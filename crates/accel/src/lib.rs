@@ -1,0 +1,39 @@
+//! # dosa-accel
+//!
+//! Accelerator hardware descriptions for the DOSA reproduction: the
+//! Gemmini-style [`HardwareConfig`] (PE array side, accumulator and
+//! scratchpad KB), the weight-stationary memory [`Hierarchy`] with Table 4's
+//! tensor-placement matrix, the Table 2 energy-per-access model, and the
+//! expert-designed baseline configurations of Figure 8.
+//!
+//! ## Example
+//!
+//! ```
+//! use dosa_accel::{EnergyModel, HardwareConfig, Hierarchy, level};
+//!
+//! let hw = HardwareConfig::new(16, 32.0, 128.0)?;
+//! let hier = Hierarchy::gemmini();
+//! let energy = EnergyModel::for_config(&hw);
+//! assert_eq!(hier.bandwidth(level::DRAM, &hw), 8.0);
+//! assert!(energy.epa(level::SCRATCHPAD) > energy.epa(level::REGISTERS));
+//! # Ok::<(), dosa_accel::HardwareError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod arch;
+mod baselines;
+mod energy;
+mod hierarchy;
+
+pub use arch::{
+    HardwareConfig, HardwareError, ACC_WORD_BYTES, MAX_PE_SIDE, SPAD_WORD_BYTES,
+};
+pub use baselines::{
+    all_baselines, eyeriss, gemmini_default, nvdla_large, nvdla_small, Baseline,
+};
+pub use energy::{
+    epa_accumulator, epa_scratchpad, pj_to_uj, EnergyModel, EPA_ACC_BASE, EPA_ACC_SLOPE,
+    EPA_DRAM, EPA_MAC, EPA_REGISTERS, EPA_SPAD_BASE, EPA_SPAD_SLOPE,
+};
+pub use hierarchy::{level, Hierarchy, MemoryLevel, DRAM_BLOCK_WORDS, NUM_LEVELS};

@@ -1,0 +1,91 @@
+//! Finite-difference gradient checking.
+
+use crate::{Tape, Var};
+
+/// Compare reverse-mode gradients against central finite differences.
+///
+/// `f` is evaluated as a function of `n = x.len()` leaf variables. Returns
+/// the maximum relative error over all coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use dosa_autodiff::{check_gradients, sum};
+/// let err = check_gradients(&[1.0, 2.0, 3.0], 1e-6, |tape, xs| {
+///     let sq: Vec<_> = xs.iter().map(|v| v.square()).collect();
+///     sum(tape, &sq)
+/// });
+/// assert!(err < 1e-6);
+/// ```
+pub fn check_gradients<F>(x: &[f64], eps: f64, f: F) -> f64
+where
+    F: for<'t> Fn(&'t Tape, &[Var<'t>]) -> Var<'t>,
+{
+    let eval = |x: &[f64]| -> f64 {
+        let tape = Tape::new();
+        let vars: Vec<Var<'_>> = x.iter().map(|&v| tape.var(v)).collect();
+        f(&tape, &vars).value()
+    };
+
+    // Reverse-mode gradients.
+    let tape = Tape::new();
+    let vars: Vec<Var<'_>> = x.iter().map(|&v| tape.var(v)).collect();
+    let out = f(&tape, &vars);
+    let grads = tape.backward(out);
+    let analytic = grads.wrt_slice(&vars);
+
+    let mut max_rel = 0.0f64;
+    for i in 0..x.len() {
+        let mut xp = x.to_vec();
+        let mut xm = x.to_vec();
+        let h = eps * x[i].abs().max(1.0);
+        xp[i] += h;
+        xm[i] -= h;
+        let numeric = (eval(&xp) - eval(&xm)) / (2.0 * h);
+        let denom = analytic[i].abs().max(numeric.abs()).max(1e-8);
+        max_rel = max_rel.max((analytic[i] - numeric).abs() / denom);
+    }
+    max_rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_of, prod, softmax, sum};
+
+    #[test]
+    fn polynomial_checks() {
+        let err = check_gradients(&[0.7, -1.3, 2.2], 1e-6, |_, xs| {
+            xs[0] * xs[1] + xs[2].square() * xs[0] - xs[1]
+        });
+        assert!(err < 1e-6, "err={err}");
+    }
+
+    #[test]
+    fn transcendental_checks() {
+        let err = check_gradients(&[1.2, 0.4], 1e-6, |_, xs| {
+            (xs[0].ln() + xs[1].exp()).sqrt() * xs[0].powf(1.7)
+        });
+        assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    fn deep_composition_checks() {
+        let err = check_gradients(&[0.9, 1.8, 2.7, 0.3], 1e-6, |tape, xs| {
+            let p = prod(tape, xs);
+            let s = sum(tape, xs);
+            let m = max_of(tape, xs);
+            let sm = softmax(tape, xs);
+            p / s + m * sm[2]
+        });
+        assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    fn division_chain_checks() {
+        let err = check_gradients(&[3.0, 5.0, 7.0], 1e-6, |_, xs| {
+            xs[0] / xs[1] / xs[2] + 1.0 / xs[0]
+        });
+        assert!(err < 1e-6, "err={err}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # dosa-autodiff
+//!
+//! A small tape-based reverse-mode automatic-differentiation engine for
+//! scalars, built for the DOSA differentiable performance model.
+//!
+//! The paper implements differentiability with PyTorch autograd; mature Rust
+//! autodiff crates are not available offline, so this crate hand-rolls the
+//! same mechanism: a [`Tape`] records every scalar operation with its local
+//! partial derivatives, and [`Tape::backward`] performs one reverse sweep to
+//! produce gradients of a scalar loss with respect to every input.
+//!
+//! ## Example
+//!
+//! ```
+//! use dosa_autodiff::{Tape, prod};
+//!
+//! let tape = Tape::new();
+//! let factors: Vec<_> = [2.0, 4.0, 8.0].iter().map(|&f| tape.var(f)).collect();
+//! // "Traffic" is a product of tiling factors, like in the DOSA model.
+//! let traffic = prod(&tape, &factors);
+//! let grads = tape.backward(traffic);
+//! assert_eq!(traffic.value(), 64.0);
+//! assert_eq!(grads.wrt(factors[0]), 32.0); // d(2*4*8)/d2
+//! ```
+
+#![warn(missing_docs)]
+
+mod check;
+mod tape;
+mod var;
+
+pub use check::check_gradients;
+pub use tape::{Gradients, Tape};
+pub use var::{dot, max_of, prod, softmax, sum, Var};

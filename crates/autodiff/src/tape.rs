@@ -1,0 +1,192 @@
+//! The gradient tape: an append-only arena of scalar operations.
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// Index of a node on the tape.
+pub(crate) type NodeId = u32;
+
+/// One recorded operation. Each node has at most two parents; `grad[i]` is
+/// the partial derivative of this node's value with respect to parent `i`,
+/// computed at forward time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub parents: [NodeId; 2],
+    pub grads: [f64; 2],
+    pub arity: u8,
+}
+
+/// A reverse-mode automatic-differentiation tape.
+///
+/// Values are recorded as [`Var`](crate::Var)s; calling
+/// [`Tape::backward`] produces the gradient of one scalar output with
+/// respect to every recorded variable.
+///
+/// # Examples
+///
+/// ```
+/// use dosa_autodiff::Tape;
+/// let tape = Tape::new();
+/// let x = tape.var(3.0);
+/// let y = tape.var(2.0);
+/// let z = x * y + x.ln();
+/// let grads = tape.backward(z);
+/// assert!((grads.wrt(x) - (2.0 + 1.0 / 3.0)).abs() < 1e-12);
+/// assert!((grads.wrt(y) - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    pub(crate) values: RefCell<Vec<f64>>,
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clear the tape, invalidating all previously created variables.
+    ///
+    /// Reuses allocations; useful when re-running a model every optimizer
+    /// step.
+    pub fn clear(&self) {
+        self.nodes.borrow_mut().clear();
+        self.values.borrow_mut().clear();
+    }
+
+    /// Record a leaf variable with value `v`.
+    pub fn var(&self, v: f64) -> crate::Var<'_> {
+        let id = self.push(Node {
+            parents: [0, 0],
+            grads: [0.0, 0.0],
+            arity: 0,
+        });
+        self.values.borrow_mut().push(v);
+        crate::Var {
+            tape: self,
+            id,
+            value: v,
+        }
+    }
+
+    /// Record a constant (identical to [`Tape::var`]; constants still occupy
+    /// a node so gradients w.r.t. them can be inspected, and are zero-cost on
+    /// the backward sweep).
+    pub fn constant(&self, v: f64) -> crate::Var<'_> {
+        self.var(v)
+    }
+
+    pub(crate) fn push(&self, node: Node) -> NodeId {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        assert!(id < u32::MAX as usize, "tape overflow");
+        nodes.push(node);
+        id as NodeId
+    }
+
+    pub(crate) fn record(&self, value: f64, node: Node) -> crate::Var<'_> {
+        let id = self.push(node);
+        self.values.borrow_mut().push(value);
+        crate::Var {
+            tape: self,
+            id,
+            value,
+        }
+    }
+
+    /// Run the backward sweep from `output`, returning the adjoint of every
+    /// node on the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` belongs to a different tape generation (i.e. the
+    /// tape was [`clear`](Tape::clear)ed after `output` was created).
+    pub fn backward(&self, output: crate::Var<'_>) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert!(
+            (output.id as usize) < nodes.len(),
+            "output var is not on this tape"
+        );
+        let mut adj = vec![0.0f64; nodes.len()];
+        adj[output.id as usize] = 1.0;
+        for i in (0..=output.id as usize).rev() {
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = nodes[i];
+            for p in 0..node.arity as usize {
+                adj[node.parents[p] as usize] += a * node.grads[p];
+            }
+        }
+        Gradients { adj }
+    }
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tape").field("len", &self.len()).finish()
+    }
+}
+
+/// The result of a backward sweep: adjoints for every tape node.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    adj: Vec<f64>,
+}
+
+impl Gradients {
+    /// Gradient of the backward output with respect to `v`.
+    pub fn wrt(&self, v: crate::Var<'_>) -> f64 {
+        self.adj[v.id as usize]
+    }
+
+    /// Gradients with respect to a slice of variables, in order.
+    pub fn wrt_slice(&self, vars: &[crate::Var<'_>]) -> Vec<f64> {
+        vars.iter().map(|&v| self.wrt(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_resets() {
+        let tape = Tape::new();
+        let _ = tape.var(1.0);
+        assert_eq!(tape.len(), 1);
+        tape.clear();
+        assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn backward_of_leaf_is_one() {
+        let tape = Tape::new();
+        let x = tape.var(5.0);
+        let g = tape.backward(x);
+        assert_eq!(g.wrt(x), 1.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_zero_grad() {
+        let tape = Tape::new();
+        let x = tape.var(5.0);
+        let y = tape.var(2.0);
+        let z = x * x;
+        let g = tape.backward(z);
+        assert_eq!(g.wrt(y), 0.0);
+        assert_eq!(g.wrt(x), 10.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Differentiable scalar variables and their operations.
+
+use crate::tape::{Node, Tape};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A differentiable scalar recorded on a [`Tape`].
+///
+/// `Var` is `Copy`; arithmetic operators (`+ - * /`) are overloaded for
+/// `Var ⊕ Var` and `Var ⊕ f64`, and record onto the owning tape.
+///
+/// # Examples
+///
+/// ```
+/// use dosa_autodiff::Tape;
+/// let t = Tape::new();
+/// let x = t.var(2.0);
+/// let y = (x * 3.0 + 1.0).powf(2.0);
+/// assert_eq!(y.value(), 49.0);
+/// assert_eq!(t.backward(y).wrt(x), 2.0 * 7.0 * 3.0);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: u32,
+    pub(crate) value: f64,
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.id)
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The forward value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.value
+    }
+
+    fn unary(self, value: f64, grad: f64) -> Var<'t> {
+        self.tape.record(
+            value,
+            Node {
+                parents: [self.id, 0],
+                grads: [grad, 0.0],
+                arity: 1,
+            },
+        )
+    }
+
+    fn binary(self, rhs: Var<'t>, value: f64, ga: f64, gb: f64) -> Var<'t> {
+        self.tape.record(
+            value,
+            Node {
+                parents: [self.id, rhs.id],
+                grads: [ga, gb],
+                arity: 2,
+            },
+        )
+    }
+
+    /// Natural logarithm. The input should be positive; `ln` of a
+    /// non-positive value produces `NaN`/`-inf` like [`f64::ln`].
+    pub fn ln(self) -> Var<'t> {
+        self.unary(self.value.ln(), 1.0 / self.value)
+    }
+
+    /// Exponential.
+    pub fn exp(self) -> Var<'t> {
+        let e = self.value.exp();
+        self.unary(e, e)
+    }
+
+    /// Power with a constant (non-differentiated) exponent.
+    pub fn powf(self, k: f64) -> Var<'t> {
+        let v = self.value.powf(k);
+        self.unary(v, k * self.value.powf(k - 1.0))
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Var<'t> {
+        let v = self.value.sqrt();
+        self.unary(v, 0.5 / v)
+    }
+
+    /// Reciprocal `1/x`.
+    pub fn recip(self) -> Var<'t> {
+        let v = 1.0 / self.value;
+        self.unary(v, -v * v)
+    }
+
+    /// Square.
+    pub fn square(self) -> Var<'t> {
+        self.unary(self.value * self.value, 2.0 * self.value)
+    }
+
+    /// Elementwise maximum, with the subgradient convention of routing the
+    /// gradient to the larger input (ties route to `self`).
+    pub fn max(self, rhs: Var<'t>) -> Var<'t> {
+        if self.value >= rhs.value {
+            self.binary(rhs, self.value, 1.0, 0.0)
+        } else {
+            self.binary(rhs, rhs.value, 0.0, 1.0)
+        }
+    }
+
+    /// Elementwise minimum (subgradient; ties route to `self`).
+    pub fn min(self, rhs: Var<'t>) -> Var<'t> {
+        if self.value <= rhs.value {
+            self.binary(rhs, self.value, 1.0, 0.0)
+        } else {
+            self.binary(rhs, rhs.value, 0.0, 1.0)
+        }
+    }
+
+    /// Rectified linear unit `max(x, 0)`.
+    pub fn relu(self) -> Var<'t> {
+        if self.value > 0.0 {
+            self.unary(self.value, 1.0)
+        } else {
+            self.unary(0.0, 0.0)
+        }
+    }
+
+    /// `max(k − x, 0)` — the hinge used by the invalid-mapping penalty
+    /// (Eq. 18 of the paper with `k = 1`).
+    pub fn hinge_below(self, k: f64) -> Var<'t> {
+        if self.value < k {
+            self.unary(k - self.value, -1.0)
+        } else {
+            self.unary(0.0, 0.0)
+        }
+    }
+
+    /// The tape this variable is recorded on.
+    pub fn tape(self) -> &'t Tape {
+        self.tape
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, |$a:ident, $b:ident| $val:expr, |$av:ident, $bv:ident| ($ga:expr, $gb:expr)) => {
+        impl<'t> $trait for Var<'t> {
+            type Output = Var<'t>;
+            fn $method(self, rhs: Var<'t>) -> Var<'t> {
+                let ($a, $b) = (self.value, rhs.value);
+                let value = $val;
+                let ($av, $bv) = (self.value, rhs.value);
+                // Silence unused warnings for grads not using both.
+                let _ = ($av, $bv);
+                self.binary(rhs, value, $ga, $gb)
+            }
+        }
+
+        impl<'t> $trait<f64> for Var<'t> {
+            type Output = Var<'t>;
+            fn $method(self, rhs: f64) -> Var<'t> {
+                let c = self.tape.constant(rhs);
+                $trait::$method(self, c)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, |a, b| a + b, |_av, _bv| (1.0, 1.0));
+impl_binop!(Sub, sub, |a, b| a - b, |_av, _bv| (1.0, -1.0));
+impl_binop!(Mul, mul, |a, b| a * b, |av, bv| (bv, av));
+impl_binop!(Div, div, |a, b| a / b, |av, bv| (1.0 / bv, -av / (bv * bv)));
+
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        self.unary(-self.value, -1.0)
+    }
+}
+
+impl<'t> Add<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        rhs + self
+    }
+}
+
+impl<'t> Mul<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        rhs * self
+    }
+}
+
+impl<'t> Sub<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        -rhs + self
+    }
+}
+
+impl<'t> Div<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        rhs.recip() * self
+    }
+}
+
+/// Sum of a slice of variables. Returns a zero constant for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `vars` mixes variables from different tapes (debug builds may
+/// not detect this; callers must keep tapes separate).
+pub fn sum<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+    match vars.split_first() {
+        None => tape.constant(0.0),
+        Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc + v),
+    }
+}
+
+/// Product of a slice of variables. Returns a one constant for an empty
+/// slice.
+pub fn prod<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+    match vars.split_first() {
+        None => tape.constant(1.0),
+        Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc * v),
+    }
+}
+
+/// Maximum over a slice of variables (subgradient semantics).
+///
+/// Returns negative infinity constant for an empty slice.
+pub fn max_of<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+    match vars.split_first() {
+        None => tape.constant(f64::NEG_INFINITY),
+        Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc.max(v)),
+    }
+}
+
+/// Numerically-stable softmax over a slice of variables (Eq. 16's σ).
+pub fn softmax<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Vec<Var<'t>> {
+    if vars.is_empty() {
+        return Vec::new();
+    }
+    let m = vars
+        .iter()
+        .map(|v| v.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<Var<'t>> = vars.iter().map(|&v| (v - m).exp()).collect();
+    let denom = sum(tape, &exps);
+    exps.into_iter().map(|e| e / denom).collect()
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<'t>(tape: &'t Tape, a: &[Var<'t>], b: &[Var<'t>]) -> Var<'t> {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    let terms: Vec<Var<'t>> = a.iter().zip(b).map(|(&x, &y)| x * y).collect();
+    sum(tape, &terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad1(f: impl for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t>, x: f64) -> (f64, f64) {
+        let tape = Tape::new();
+        let v = tape.var(x);
+        let y = f(&tape, v);
+        let g = tape.backward(y);
+        (y.value(), g.wrt(v))
+    }
+
+    #[test]
+    fn basic_arith_grads() {
+        let (v, g) = grad1(|_, x| x * x + x * 3.0 - 1.0, 2.0);
+        assert_eq!(v, 9.0);
+        assert_eq!(g, 7.0);
+    }
+
+    #[test]
+    fn div_grad() {
+        let (v, g) = grad1(|_, x| 1.0 / x, 4.0);
+        assert!((v - 0.25).abs() < 1e-12);
+        assert!((g + 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transcendental_grads() {
+        let (v, g) = grad1(|_, x| x.ln() * x.exp(), 1.5);
+        let expected = 1.5f64.exp() * (1.5f64.ln() + 1.0 / 1.5);
+        assert!((v - 1.5f64.ln() * 1.5f64.exp()).abs() < 1e-12);
+        assert!((g - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_subgradient_routes_to_argmax() {
+        let tape = Tape::new();
+        let a = tape.var(2.0);
+        let b = tape.var(5.0);
+        let m = a.max(b);
+        let g = tape.backward(m);
+        assert_eq!(g.wrt(a), 0.0);
+        assert_eq!(g.wrt(b), 1.0);
+        assert_eq!(m.value(), 5.0);
+    }
+
+    #[test]
+    fn hinge_below_matches_eq18() {
+        let tape = Tape::new();
+        let f = tape.var(0.25);
+        let pen = f.hinge_below(1.0);
+        assert_eq!(pen.value(), 0.75);
+        assert_eq!(tape.backward(pen).wrt(f), -1.0);
+        let ok = tape.var(2.0).hinge_below(1.0);
+        assert_eq!(ok.value(), 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_grads_flow() {
+        let tape = Tape::new();
+        let xs = [tape.var(1.0), tape.var(2.0), tape.var(3.0)];
+        let sm = softmax(&tape, &xs);
+        let total: f64 = sm.iter().map(|v| v.value()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let g = tape.backward(sm[0]);
+        // d softmax_0 / d x_0 = s0 (1 - s0) > 0
+        assert!(g.wrt(xs[0]) > 0.0);
+        assert!(g.wrt(xs[1]) < 0.0);
+    }
+
+    #[test]
+    fn prod_and_sum_helpers() {
+        let tape = Tape::new();
+        let xs = [tape.var(2.0), tape.var(3.0), tape.var(4.0)];
+        assert_eq!(prod(&tape, &xs).value(), 24.0);
+        assert_eq!(sum(&tape, &xs).value(), 9.0);
+        assert_eq!(prod(&tape, &[]).value(), 1.0);
+        assert_eq!(sum(&tape, &[]).value(), 0.0);
+        let p = prod(&tape, &xs);
+        let g = tape.backward(p);
+        assert_eq!(g.wrt(xs[0]), 12.0);
+    }
+
+    #[test]
+    fn scalar_lhs_ops() {
+        let tape = Tape::new();
+        let x = tape.var(4.0);
+        assert_eq!((2.0 - x).value(), -2.0);
+        assert_eq!((8.0 / x).value(), 2.0);
+        assert_eq!((3.0 * x).value(), 12.0);
+        assert_eq!((1.0 + x).value(), 5.0);
+    }
+
+    #[test]
+    fn relu_and_square() {
+        let tape = Tape::new();
+        let x = tape.var(-2.0);
+        assert_eq!(x.relu().value(), 0.0);
+        assert_eq!(tape.backward(x.relu()).wrt(x), 0.0);
+        let y = tape.var(3.0);
+        assert_eq!(y.square().value(), 9.0);
+        assert_eq!(tape.backward(y.square()).wrt(y), 6.0);
+    }
+
+    #[test]
+    fn max_of_slice() {
+        let tape = Tape::new();
+        let xs = [tape.var(1.0), tape.var(9.0), tape.var(4.0)];
+        let m = max_of(&tape, &xs);
+        assert_eq!(m.value(), 9.0);
+        let g = tape.backward(m);
+        assert_eq!(g.wrt_slice(&xs), vec![0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based gradient checks: reverse-mode must agree with finite
+//! differences on randomized compositions.
+
+use dosa_autodiff::{check_gradients, max_of, prod, softmax, sum, Tape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rational_functions_match_fd(a in 0.5f64..4.0, b in 0.5f64..4.0, c in 0.5f64..4.0) {
+        let err = check_gradients(&[a, b, c], 1e-6, |_, xs| {
+            (xs[0] * xs[1] + xs[2]) / (xs[0] + xs[1] * xs[2] + 1.0)
+        });
+        prop_assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    fn log_space_products_match_fd(xs in proptest::collection::vec(0.2f64..5.0, 2..6)) {
+        let err = check_gradients(&xs, 1e-6, |tape, vs| {
+            let logs: Vec<_> = vs.iter().map(|v| v.ln()).collect();
+            sum(tape, &logs).exp()
+        });
+        prop_assert!(err < 1e-4, "err={err}");
+    }
+
+    #[test]
+    fn softmax_weighted_sum_matches_fd(xs in proptest::collection::vec(-2.0f64..2.0, 3..5)) {
+        let err = check_gradients(&xs, 1e-6, |tape, vs| {
+            let sm = softmax(tape, vs);
+            dosa_autodiff::dot(tape, &sm, vs)
+        });
+        prop_assert!(err < 1e-4, "err={err}");
+    }
+
+    #[test]
+    fn product_gradient_is_partial_product(xs in proptest::collection::vec(0.5f64..3.0, 2..7)) {
+        let tape = Tape::new();
+        let vars: Vec<_> = xs.iter().map(|&x| tape.var(x)).collect();
+        let p = prod(&tape, &vars);
+        let g = tape.backward(p);
+        for (i, &x) in xs.iter().enumerate() {
+            let expected = p.value() / x;
+            prop_assert!((g.wrt(vars[i]) - expected).abs() < 1e-9 * expected.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn max_of_value_matches_iter_max(xs in proptest::collection::vec(-10.0f64..10.0, 1..8)) {
+        let tape = Tape::new();
+        let vars: Vec<_> = xs.iter().map(|&x| tape.var(x)).collect();
+        let m = max_of(&tape, &vars);
+        let expected = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(m.value(), expected);
+        // Exactly one unit of gradient flows back.
+        let g = tape.backward(m);
+        let total: f64 = vars.iter().map(|&v| g.wrt(v)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Figures 10/11 harness bench: trains the latency models on a reduced RTL
+//! dataset and prints the Spearman correlations, then times RTL dataset
+//! sample generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosa_accel::Hierarchy;
+use dosa_nn::{spearman, TrainConfig};
+use dosa_rtl::RtlConfig;
+use dosa_search::{
+    generate_rtl_dataset, LatencyModelKind, LatencyPredictor,
+};
+use dosa_workload::{dedup_layers, unique_layers, Network};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let hier = Hierarchy::gemmini();
+    let corpus = dedup_layers(
+        Network::TRAINING
+            .into_iter()
+            .flat_map(|n| unique_layers(n)),
+    );
+    let train_ds = generate_rtl_dataset(&corpus, 240, &hier, &RtlConfig::default(), 1);
+    let test_ds = generate_rtl_dataset(&corpus, 60, &hier, &RtlConfig::default(), 2);
+    let cfg = TrainConfig {
+        epochs: 120,
+        ..TrainConfig::default()
+    };
+    let truth: Vec<f64> = test_ds.samples.iter().map(|s| s.rtl_cycles.ln()).collect();
+    for kind in [
+        LatencyModelKind::Analytical,
+        LatencyModelKind::DnnOnly,
+        LatencyModelKind::Combined,
+    ] {
+        let p = LatencyPredictor::fit(kind, &train_ds, &cfg, 7);
+        let pred: Vec<f64> = test_ds
+            .samples
+            .iter()
+            .map(|s| p.predict(&s.problem, &s.mapping, &s.hw, &hier).max(1.0).ln())
+            .collect();
+        println!("fig10 mini {}: spearman {:.3}", kind.name(), spearman(&pred, &truth));
+    }
+
+    c.bench_function("fig10_generate_rtl_samples_10", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate_rtl_dataset(&corpus, 10, &hier, &RtlConfig::default(), seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

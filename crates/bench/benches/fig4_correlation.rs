@@ -1,0 +1,39 @@
+//! Figure 4 harness bench: regenerates the correlation statistics at quick
+//! scale (printed once), then times one correlation sample (reference +
+//! differentiable evaluation of a random mapping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_autodiff::Tape;
+use dosa_bench::{fig4, Scale};
+use dosa_search::cosa_mapping;
+use dosa_timeloop::evaluate_layer;
+use dosa_workload::Problem;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let out = std::env::temp_dir().join("dosa_bench_out");
+    let res = fig4::run(Scale::Quick, 0, &out);
+    assert!(res.latency.mae_pct < 0.01);
+
+    let hier = Hierarchy::gemmini();
+    let hw = HardwareConfig::gemmini_default();
+    let problem = Problem::conv("l", 3, 3, 28, 28, 128, 128, 1).unwrap();
+    let mapping = cosa_mapping(&problem, &hw, &hier);
+    let tape = Tape::new();
+    c.bench_function("fig4_one_correlation_sample", |b| {
+        b.iter(|| {
+            let r = evaluate_layer(&problem, &mapping, &hw, &hier);
+            let d = fig4::diff_model_eval(&tape, &problem, &mapping, &hw, &hier);
+            black_box((r, d))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

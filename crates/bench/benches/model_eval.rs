@@ -1,0 +1,67 @@
+//! Microbenchmarks of the core model kernels: reference evaluation,
+//! differentiable forward+backward, rounding, RTL simulation and the
+//! correction-MLP forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_autodiff::Tape;
+use dosa_model::{build_loss, LossOptions, RelaxedMapping};
+use dosa_nn::Mlp;
+use dosa_rtl::simulate_latency_default;
+use dosa_search::{cosa_mapping, NUM_FEATURES};
+use dosa_timeloop::{evaluate_layer, Stationarity};
+use dosa_workload::{Layer, Problem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let hier = Hierarchy::gemmini();
+    let hw = HardwareConfig::gemmini_default();
+    let problem = Problem::conv("l", 3, 3, 28, 28, 128, 128, 1).unwrap();
+    let mapping = cosa_mapping(&problem, &hw, &hier);
+
+    c.bench_function("reference_evaluate_layer", |b| {
+        b.iter(|| black_box(evaluate_layer(&problem, &mapping, &hw, &hier)))
+    });
+
+    let layers: Vec<Layer> = vec![
+        Layer::once(Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap()),
+        Layer::once(Problem::matmul("b", 128, 256, 512).unwrap()),
+        Layer::once(Problem::conv("c", 1, 1, 14, 14, 256, 1024, 1).unwrap()),
+    ];
+    let relaxed: Vec<RelaxedMapping> = layers
+        .iter()
+        .map(|l| RelaxedMapping::from_mapping(&cosa_mapping(&l.problem, &hw, &hier)))
+        .collect();
+    let tape = Tape::new();
+    c.bench_function("diff_model_forward_backward_3layers", |b| {
+        b.iter(|| {
+            tape.clear();
+            let built = build_loss(&tape, &layers, &relaxed, &hier, &LossOptions::default());
+            black_box(tape.backward(built.loss))
+        })
+    });
+
+    c.bench_function("round_relaxed_mapping", |b| {
+        let r = RelaxedMapping::identity(Stationarity::WeightStationary);
+        b.iter(|| black_box(r.round(&problem)))
+    });
+
+    c.bench_function("rtl_simulate_layer", |b| {
+        b.iter(|| black_box(simulate_latency_default(&problem, &mapping, &hw, &hier)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mlp = Mlp::paper_architecture(NUM_FEATURES, &mut rng);
+    let feats = vec![0.5; NUM_FEATURES];
+    c.bench_function("mlp_forward", |b| b.iter(|| black_box(mlp.forward(&feats))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Figure 7: DOSA vs random search vs Bayesian optimization on the four
+//! target workloads (best EDP versus number of model evaluations, mean of
+//! 5 runs with 95% CI).
+//!
+//! Paper headline: at ~10k samples DOSA is 2.80× better than random search
+//! and 12.59× better than BB-BO (geometric mean over workloads).
+
+use crate::fig6::mean_curve;
+use crate::plot::{ascii_log_chart, geomean, write_csv, Series};
+use crate::scale::Scale;
+use dosa_accel::Hierarchy;
+use dosa_search::{bayesian_search, dosa_search, random_search, SearchResult};
+use dosa_workload::{unique_layers, Network};
+use std::path::Path;
+
+/// Aggregated outcome of one searcher on one workload.
+#[derive(Debug, Clone)]
+pub struct SearcherOutcome {
+    /// Searcher label ("DOSA" / "Random" / "BB-BO").
+    pub label: &'static str,
+    /// Geometric-mean final best EDP across runs.
+    pub final_edp: f64,
+    /// Mean best-so-far curve.
+    pub curve: Vec<(f64, f64)>,
+    /// The per-run results (for downstream reuse, e.g. Figure 8).
+    pub runs: Vec<SearchResult>,
+}
+
+/// Per-workload Figure 7 result.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Workload evaluated.
+    pub network: Network,
+    /// DOSA, Random, BB-BO outcomes in that order.
+    pub outcomes: Vec<SearcherOutcome>,
+}
+
+impl Fig7Result {
+    /// Final-EDP ratio of `label` over DOSA.
+    pub fn ratio_vs_dosa(&self, label: &str) -> f64 {
+        let dosa = self.outcomes[0].final_edp;
+        let other = self
+            .outcomes
+            .iter()
+            .find(|o| o.label == label)
+            .map(|o| o.final_edp)
+            .unwrap_or(f64::NAN);
+        other / dosa
+    }
+}
+
+/// Run Figure 7 for one workload.
+pub fn run_network(scale: Scale, network: Network, seed: u64, out_dir: &Path) -> Fig7Result {
+    let layers = unique_layers(network);
+    let hier = Hierarchy::gemmini();
+    let runs = scale.runs(5);
+
+    let dosa_runs: Vec<SearchResult> = (0..runs)
+        .map(|r| dosa_search(&layers, &hier, &scale.gd_main(seed + r as u64)))
+        .collect();
+    let random_runs: Vec<SearchResult> = (0..runs)
+        .map(|r| random_search(&layers, &hier, &scale.random_search(seed + 100 + r as u64)))
+        .collect();
+    let bbbo_runs: Vec<SearchResult> = (0..runs)
+        .map(|r| bayesian_search(&layers, &hier, &scale.bbbo(seed + 200 + r as u64)))
+        .collect();
+
+    let mut outcomes = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (label, rs) in [
+        ("DOSA", dosa_runs),
+        ("Random", random_runs),
+        ("BB-BO", bbbo_runs),
+    ] {
+        let finals: Vec<f64> = rs.iter().map(|r| r.best_edp).collect();
+        let curve = mean_curve(&rs, 40);
+        for (x, y) in &curve {
+            csv_rows.push(vec![
+                network.name().to_string(),
+                label.to_string(),
+                format!("{x:.0}"),
+                format!("{y:.6e}"),
+            ]);
+        }
+        outcomes.push(SearcherOutcome {
+            label,
+            final_edp: geomean(&finals),
+            curve,
+            runs: rs,
+        });
+    }
+    write_csv(
+        out_dir,
+        &format!(
+            "fig7_{}.csv",
+            network.name().to_ascii_lowercase().replace('-', "")
+        ),
+        &["network", "searcher", "samples", "best_edp"],
+        &csv_rows,
+    );
+
+    let series: Vec<Series> = outcomes
+        .iter()
+        .map(|o| Series {
+            label: o.label.to_string(),
+            points: o.curve.clone(),
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_log_chart(
+            &format!("Figure 7 ({}) — EDP vs samples", network.name()),
+            &series,
+            64,
+            14
+        )
+    );
+    let result = Fig7Result { network, outcomes };
+    println!(
+        "  final EDP: DOSA {:.3e} | Random {:.3e} (x{:.2}) | BB-BO {:.3e} (x{:.2})\n",
+        result.outcomes[0].final_edp,
+        result.outcomes[1].final_edp,
+        result.ratio_vs_dosa("Random"),
+        result.outcomes[2].final_edp,
+        result.ratio_vs_dosa("BB-BO"),
+    );
+    result
+}
+
+/// Run Figure 7 across all four target workloads and report the geometric
+/// mean improvements.
+pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Vec<Fig7Result> {
+    let results: Vec<Fig7Result> = Network::TARGETS
+        .into_iter()
+        .map(|n| run_network(scale, n, seed, out_dir))
+        .collect();
+    let vs_random: Vec<f64> = results.iter().map(|r| r.ratio_vs_dosa("Random")).collect();
+    let vs_bbbo: Vec<f64> = results.iter().map(|r| r.ratio_vs_dosa("BB-BO")).collect();
+    println!(
+        "Figure 7 summary — geomean EDP improvement of DOSA: {:.2}x vs random, {:.2}x vs BB-BO",
+        geomean(&vs_random),
+        geomean(&vs_bbbo)
+    );
+    println!("  paper: 2.80x vs random, 12.59x vs BB-BO\n");
+    results
+}

@@ -1,0 +1,120 @@
+//! Informational tables of the paper (Tables 1–6) printed from the live
+//! configuration so they stay in sync with the code.
+
+use crate::plot::table;
+use dosa_accel::{EnergyModel, HardwareConfig, Hierarchy};
+use dosa_workload::{unique_layers, Network, Tensor};
+
+/// Print Table 1 (the DSE-method taxonomy; informational).
+pub fn table1() {
+    println!("Table 1 — state-of-the-art accelerator DSE methods");
+    let rows = vec![
+        vec!["Spotlight".into(), "BB-BO".into(), "BB-BO".into(), "two-loop".into()],
+        vec!["VAESA".into(), "ILP (CoSA)".into(), "VAE+BB-BO/GD".into(), "two-loop".into()],
+        vec!["FAST".into(), "BB-LCS+ILP".into(), "BB-LCS".into(), "two-loop".into()],
+        vec!["HASCO".into(), "RL".into(), "BB-BO".into(), "two-loop".into()],
+        vec!["NAAS".into(), "BB-ES".into(), "BB-ES".into(), "two-loop".into()],
+        vec!["MAGNet".into(), "Heuristics".into(), "BB-BO".into(), "two-loop".into()],
+        vec!["DiGamma".into(), "BB-GA".into(), "(inferred)".into(), "one-loop".into()],
+        vec!["Interstellar".into(), "Heuristics".into(), "(inferred)".into(), "one-loop".into()],
+        vec!["DOSA (this repo)".into(), "GD".into(), "(inferred)".into(), "one-loop".into()],
+    ];
+    println!(
+        "{}",
+        table(&["method", "mapspace search", "hardware search", "loops"], &rows)
+    );
+}
+
+/// Print Table 2 (accelerator under study) and Table 4 (the B matrix),
+/// evaluated for a configuration.
+pub fn table2(hw: &HardwareConfig) {
+    let hier = Hierarchy::gemmini();
+    let energy = EnergyModel::for_config(hw);
+    println!("Table 2 — accelerator under study ({hw})");
+    let mut rows = vec![vec![
+        "PE (MAC)".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{:.3}", energy.epa_mac()),
+    ]];
+    for i in 0..dosa_accel::NUM_LEVELS {
+        rows.push(vec![
+            hier.level(i).name.to_string(),
+            i.to_string(),
+            format!("{:.0}", hier.bandwidth(i, hw)),
+            format!("{:.3}", energy.epa(i)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["component", "level", "bandwidth (words/cyc)", "EPA (pJ)"],
+            &rows
+        )
+    );
+
+    println!("Table 4 — tensors stored per memory level (B matrix)");
+    let rows: Vec<Vec<String>> = (0..dosa_accel::NUM_LEVELS)
+        .map(|i| {
+            let l = hier.level(i);
+            let mut row = vec![format!("{} {}", l.name, i)];
+            for t in Tensor::ALL {
+                row.push(if l.stores(t) { "yes".into() } else { "-".into() });
+            }
+            row
+        })
+        .collect();
+    println!("{}", table(&["level", "W", "I", "O"], &rows));
+}
+
+/// Print Table 3 (notation) and Table 5 (search algorithms per decision).
+pub fn table3_and_5() {
+    println!("Table 3 — notation");
+    let rows = vec![
+        vec!["i".into(), "memory level index (0..=3)".into()],
+        vec!["d".into(), "problem dimension index (R,S,P,Q,C,K,N)".into()],
+        vec!["k".into(), "spatial / temporal index".into()],
+        vec!["t".into(), "data tensor index (W, I, O)".into()],
+    ];
+    println!("{}", table(&["symbol", "meaning"], &rows));
+
+    println!("Table 5 — search algorithm per design decision");
+    let rows = vec![
+        vec!["Temporal tiling factors".into(), "gradient descent".into()],
+        vec!["Spatial tiling factors".into(), "gradient descent".into()],
+        vec!["Spatial tiling dimensions".into(), "constant (WS C-K)".into()],
+        vec!["Tensor bypass".into(), "constant (Table 4)".into()],
+        vec!["Loop ordering".into(), "exhaustive (WS/IS/OS per rounding)".into()],
+    ];
+    println!("{}", table(&["decision", "algorithm"], &rows));
+}
+
+/// Print Table 6 (workloads) from the live layer tables.
+pub fn table6() {
+    println!("Table 6 — workloads (unique layers after dedup; total GMACs)");
+    let mut rows = Vec::new();
+    for (role, nets) in [
+        ("training", Network::TRAINING.as_slice()),
+        ("target", Network::TARGETS.as_slice()),
+    ] {
+        for &n in nets {
+            let layers = unique_layers(n);
+            let macs: u64 = layers.iter().map(|l| l.problem.macs() * l.count).sum();
+            rows.push(vec![
+                n.name().to_string(),
+                role.to_string(),
+                layers.len().to_string(),
+                format!("{:.2}", macs as f64 / 1e9),
+            ]);
+        }
+    }
+    println!("{}", table(&["network", "role", "unique layers", "GMACs"], &rows));
+}
+
+/// Print every informational table.
+pub fn all() {
+    table1();
+    table2(&HardwareConfig::gemmini_default());
+    table3_and_5();
+    table6();
+}

@@ -1,0 +1,150 @@
+//! `repro` — regenerate the tables and figures of the DOSA paper.
+//!
+//! ```text
+//! repro [--scale quick|paper] [--seed N] [--out DIR] <command> [workload]
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | all
+//! workloads: unet | resnet50 | bert | retinanet
+//! ```
+
+use dosa_accel::HardwareConfig;
+use dosa_bench::{ablation, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, Scale};
+use dosa_workload::Network;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    command: String,
+    network: Option<Network>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = Scale::Quick;
+    let mut seed = 0u64;
+    let mut out = PathBuf::from("output_dir");
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let command = positional.first().cloned().unwrap_or_else(|| "help".into());
+    let network = positional.get(1).and_then(|s| Network::parse(s));
+    if positional.len() > 1 && network.is_none() {
+        return Err(format!("unknown workload {}", positional[1]));
+    }
+    Ok(Args {
+        scale,
+        seed,
+        out,
+        command,
+        network,
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--scale quick|paper] [--seed N] [--out DIR] <command> [workload]\n\
+         commands:\n\
+           info    print Tables 1-6\n\
+           table2  print Tables 2 and 4 for the default config\n\
+           fig4    differentiable-model correlation study\n\
+           fig6    loop-ordering strategies (ResNet-50, BERT)\n\
+           fig7    DOSA vs random vs BB-BO [workload]\n\
+           fig8    comparison to expert baselines [workload]\n\
+           fig9    hardware/mapping attribution\n\
+           fig10   latency-model accuracy (Figures 10 & 11)\n\
+           fig12   Gemmini-RTL optimization + Table 7\n\
+           ablation  design-choice ablations (rounding, lr, start points)\n\
+           all     everything above\n\
+         workloads: unet | resnet50 | bert | retinanet"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let (scale, seed, out) = (args.scale, args.seed, args.out.as_path());
+    println!(
+        "repro: scale={:?} seed={} out={}\n",
+        scale,
+        seed,
+        out.display()
+    );
+    match args.command.as_str() {
+        "info" => info::all(),
+        "table2" => info::table2(&HardwareConfig::gemmini_default()),
+        "fig4" => {
+            fig4::run(scale, seed, out);
+        }
+        "fig6" => {
+            fig6::run(scale, seed, out);
+        }
+        "fig7" => match args.network {
+            Some(n) => {
+                fig7::run_network(scale, n, seed, out);
+            }
+            None => {
+                fig7::run(scale, seed, out);
+            }
+        },
+        "fig8" => match args.network {
+            Some(n) => {
+                fig8::run_network(scale, n, seed, out);
+            }
+            None => {
+                fig8::run(scale, seed, out);
+            }
+        },
+        "fig9" => {
+            fig9::run(scale, seed, out);
+        }
+        "fig10" | "fig11" => {
+            fig10_11::run(scale, seed, out);
+        }
+        "fig12" | "table7" => {
+            fig12::run(scale, seed, out);
+        }
+        "ablation" => {
+            ablation::run(scale, seed, out);
+        }
+        "all" => {
+            info::all();
+            fig4::run(scale, seed, out);
+            fig6::run(scale, seed, out);
+            fig7::run(scale, seed, out);
+            fig8::run(scale, seed, out);
+            fig9::run(scale, seed, out);
+            fig10_11::run(scale, seed, out);
+            fig12::run(scale, seed, out);
+        }
+        _ => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,233 @@
+//! Terminal plotting and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render an ASCII line chart with a log-scale y axis (the paper's
+/// EDP-versus-samples plots are log-scale).
+pub fn ascii_log_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(_, y)| y.is_finite() && *y > 0.0)
+        .collect();
+    if pts.is_empty() {
+        let _ = writeln!(out, "  (no finite points)");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y.ln());
+        y_max = y_max.max(y.ln());
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    let marks = [b'*', b'o', b'x', b'+', b'#', b'@'];
+    for (si, s) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        // Interpolate along x so lines look continuous.
+        for col in 0..width {
+            let x = x_min + (x_max - x_min) * col as f64 / (width - 1) as f64;
+            if let Some(y) = interpolate(&s.points, x) {
+                if y <= 0.0 || !y.is_finite() {
+                    continue;
+                }
+                let frac = (y.ln() - y_min) / (y_max - y_min);
+                let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][col] = mark;
+            }
+        }
+    }
+    let _ = writeln!(out, "  y: EDP (log), {:.2e} .. {:.2e}", y_min.exp(), y_max.exp());
+    for row in grid {
+        let _ = writeln!(out, "  |{}", String::from_utf8_lossy(&row));
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(width));
+    let _ = writeln!(out, "   x: {x_min:.0} .. {x_max:.0} samples");
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "   {} = {}", marks[si % marks.len()] as char, s.label);
+    }
+    out
+}
+
+fn interpolate(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    if x <= points[0].0 {
+        return None; // before the first observation
+    }
+    let last = points[points.len() - 1];
+    if x >= last.0 {
+        return Some(last.1);
+    }
+    // Step interpolation (best-so-far curves are right-continuous steps).
+    let idx = points.partition_point(|p| p.0 <= x);
+    Some(points[idx - 1].1)
+}
+
+/// Render a labeled horizontal bar chart normalized to the smallest value,
+/// like Figure 8's "EDP normalized to DOSA" annotations.
+pub fn ascii_bars(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let finite: Vec<f64> = rows.iter().map(|r| r.1).filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().cloned().fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    for (label, v) in rows {
+        let norm = v / min;
+        let bar_len = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} |{} {v:.3e} ({norm:.2}x)",
+            "#".repeat(bar_len.max(1))
+        );
+    }
+    out
+}
+
+/// Format a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("  ");
+        for (c, w) in cells.iter().zip(widths) {
+            let _ = write!(line, "{c:<w$}  ");
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+    let _ = writeln!(out, "  {}", "-".repeat(total.saturating_sub(2)));
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Write rows as CSV under `dir/name`, creating the directory if needed.
+/// Errors are reported to stderr but not fatal (the harness still prints).
+pub fn write_csv(dir: &Path, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut content = String::new();
+    let _ = writeln!(content, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(content, "{}", row.join(","));
+    }
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Geometric mean of positive values; NaN-free inputs expected.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Mean and 95% confidence half-width across runs (normal approximation,
+/// matching the shaded regions of Figures 6 and 7).
+pub fn mean_ci(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_series() {
+        let s = vec![Series {
+            label: "DOSA".into(),
+            points: vec![(0.0, 1e12), (100.0, 1e11), (200.0, 5e10)],
+        }];
+        let out = ascii_log_chart("test", &s, 40, 10);
+        assert!(out.contains("DOSA"));
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn bars_normalize_to_min() {
+        let rows = vec![("A".to_string(), 2.0), ("B".to_string(), 1.0)];
+        let out = ascii_bars("t", &rows, 20);
+        assert!(out.contains("(2.00x)"));
+        assert!(out.contains("(1.00x)"));
+    }
+
+    #[test]
+    fn geomean_and_ci() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        let (m, ci) = mean_ci(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!(ci > 0.0);
+        assert_eq!(mean_ci(&[5.0]).1, 0.0);
+    }
+
+    #[test]
+    fn interpolate_steps() {
+        let pts = vec![(0.0, 10.0), (10.0, 5.0)];
+        assert_eq!(interpolate(&pts, 5.0), Some(10.0));
+        assert_eq!(interpolate(&pts, 15.0), Some(5.0));
+        assert_eq!(interpolate(&pts, -1.0), None);
+    }
+
+    #[test]
+    fn table_aligns() {
+        let out = table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        assert!(out.contains("a"));
+        assert!(out.contains("bb"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Experiment scaling: `paper` uses the sample counts from §6; `quick`
+//! shrinks them so the whole suite finishes in minutes on a laptop.
+
+use dosa_search::{BbboConfig, GdConfig, LoopOrderStrategy, RandomSearchConfig};
+
+/// Scaling preset for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale reduced runs (default).
+    Quick,
+    /// The paper's sample counts (§6.1).
+    Paper,
+}
+
+impl Scale {
+    /// Parse `quick` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Number of repeated runs for confidence intervals (Fig. 6: 3,
+    /// Fig. 7: 5).
+    pub fn runs(&self, paper_runs: usize) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Paper => paper_runs,
+        }
+    }
+
+    /// Fig. 4 correlation study: (hardware configs, mappings per config).
+    pub fn fig4(&self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (10, 60),
+            Scale::Paper => (100, 100), // 100 configs x ~100 mappings = 10,000
+        }
+    }
+
+    /// DOSA GD configuration for §6.2 (Figure 6).
+    pub fn gd_fig6(&self, strategy: LoopOrderStrategy, seed: u64) -> GdConfig {
+        match self {
+            Scale::Quick => GdConfig {
+                start_points: 2,
+                steps_per_start: 240,
+                round_every: 80,
+                strategy,
+                seed,
+                ..GdConfig::default()
+            },
+            Scale::Paper => GdConfig {
+                start_points: 7,
+                steps_per_start: 890,
+                round_every: 300,
+                strategy,
+                seed,
+                ..GdConfig::default()
+            },
+        }
+    }
+
+    /// DOSA GD configuration for §6.3–6.5 (Figures 7–12).
+    pub fn gd_main(&self, seed: u64) -> GdConfig {
+        match self {
+            Scale::Quick => GdConfig {
+                start_points: 2,
+                steps_per_start: 300,
+                round_every: 100,
+                seed,
+                ..GdConfig::default()
+            },
+            Scale::Paper => GdConfig {
+                start_points: 7,
+                steps_per_start: 1490,
+                round_every: 500,
+                seed,
+                ..GdConfig::default()
+            },
+        }
+    }
+
+    /// Random-search baseline configuration (§6.1).
+    pub fn random_search(&self, seed: u64) -> RandomSearchConfig {
+        match self {
+            Scale::Quick => RandomSearchConfig {
+                num_hw: 4,
+                samples_per_hw: 150,
+                seed,
+            },
+            Scale::Paper => RandomSearchConfig {
+                num_hw: 10,
+                samples_per_hw: 1000,
+                seed,
+            },
+        }
+    }
+
+    /// BB-BO baseline configuration (§6.1, Spotlight-style).
+    pub fn bbbo(&self, seed: u64) -> BbboConfig {
+        match self {
+            Scale::Quick => BbboConfig {
+                num_hw: 12,
+                init_random: 4,
+                samples_per_hw: 50,
+                candidates: 200,
+                seed,
+            },
+            Scale::Paper => BbboConfig {
+                num_hw: 100,
+                init_random: 20,
+                samples_per_hw: 100,
+                candidates: 1000,
+                seed,
+            },
+        }
+    }
+
+    /// Mappings per layer for the random-pruned mapper evaluating the
+    /// baseline accelerators (Fig. 8: 10,000).
+    pub fn fig8_mappings_per_layer(&self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Paper => 10_000,
+        }
+    }
+
+    /// GD restarts for the attribution study (Fig. 9: 10).
+    pub fn fig9_restarts(&self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Random-mapper samples per layer for Fig. 9's "DOSA HW, random
+    /// mappings" bar (paper: 1000).
+    pub fn fig9_random_mapper_samples(&self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// RTL dataset size (§6.5.1: 1567 random mappings).
+    pub fn rtl_dataset(&self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Paper => 1567,
+        }
+    }
+
+    /// Training epochs for the learned latency models (§6.5.1 trains for
+    /// 50k epochs on 1567 samples; our Adam + minibatch setup converges in
+    /// far fewer passes).
+    pub fn rtl_epochs(&self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Paper => 1200,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::Quick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_section_6_1() {
+        let g6 = Scale::Paper.gd_fig6(LoopOrderStrategy::Iterate, 0);
+        assert_eq!((g6.start_points, g6.steps_per_start, g6.round_every), (7, 890, 300));
+        let g7 = Scale::Paper.gd_main(0);
+        assert_eq!((g7.start_points, g7.steps_per_start, g7.round_every), (7, 1490, 500));
+        let rs = Scale::Paper.random_search(0);
+        assert_eq!((rs.num_hw, rs.samples_per_hw), (10, 1000));
+        let bo = Scale::Paper.bbbo(0);
+        assert_eq!((bo.num_hw, bo.samples_per_hw, bo.candidates), (100, 100, 1000));
+        assert_eq!(Scale::Paper.fig4(), (100, 100));
+        assert_eq!(Scale::Paper.rtl_dataset(), 1567);
+        assert_eq!(Scale::Paper.fig8_mappings_per_layer(), 10_000);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        assert!(Scale::Quick.gd_main(0).steps_per_start < Scale::Paper.gd_main(0).steps_per_start);
+        assert!(Scale::Quick.rtl_dataset() < Scale::Paper.rtl_dataset());
+    }
+}

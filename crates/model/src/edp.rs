@@ -1,0 +1,271 @@
+//! Whole-model loss assembly (Eq. 14, Eq. 17, Eq. 18).
+//!
+//! DOSA's gradient-descent loss is the model EDP — the product of summed
+//! per-layer energies and latencies — plus the invalid-mapping penalty. We
+//! optimize `ln(EDP) + w·penalty`: the logarithm makes gradient magnitudes
+//! scale-free across workloads (EDPs span 1e9–1e16 µJ·cycles) so the O(1)
+//! penalty term stays effective; minima are unchanged.
+//!
+//! The softmax loop-ordering loss (Eq. 15–17) weights the WS/IS/OS variants
+//! of each layer by a softmax over `−τ·ln(EDP)` — a numerically robust
+//! stand-in for the paper's softmax over inverse EDPs, which degenerates to
+//! uniform weights at the magnitudes involved (see DESIGN.md).
+
+use crate::diff::{layer_perf_vars, FactorVars, HwVars};
+use crate::relaxed::RelaxedMapping;
+use dosa_autodiff::{softmax, sum, Tape, Var};
+use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_timeloop::{LoopOrder, Stationarity};
+use dosa_workload::Layer;
+
+/// Configuration for [`build_loss`].
+#[derive(Debug, Clone, Copy)]
+pub struct LossOptions {
+    /// Pin the PE array side instead of deriving it from spatial factors
+    /// (the Fig. 12 setting).
+    pub fixed_pe_side: Option<u64>,
+    /// Evaluate on a fixed hardware configuration instead of the derived
+    /// minimal hardware.
+    pub fixed_hw: Option<HardwareConfig>,
+    /// Use the gradient-based softmax loop-ordering loss (§5.2.2) instead
+    /// of the fixed per-layer orderings.
+    pub softmax_ordering: bool,
+    /// Temperature `τ` of the softmax weighting.
+    pub softmax_temperature: f64,
+    /// Weight of the invalid-mapping penalty (Eq. 18).
+    pub penalty_weight: f64,
+}
+
+impl Default for LossOptions {
+    fn default() -> Self {
+        LossOptions {
+            fixed_pe_side: None,
+            fixed_hw: None,
+            softmax_ordering: false,
+            softmax_temperature: 4.0,
+            penalty_weight: 1.0,
+        }
+    }
+}
+
+/// A fully assembled differentiable loss for one gradient step.
+pub struct BuiltLoss<'t> {
+    /// The loss to backpropagate: `ln(EDP) + w·penalty`.
+    pub loss: Var<'t>,
+    /// Leaf variables per layer (in [`RelaxedMapping::params`] order).
+    pub leaves: Vec<Vec<Var<'t>>>,
+    /// Forward model EDP in µJ·cycles.
+    pub edp: f64,
+    /// Forward model energy in µJ.
+    pub energy_uj: f64,
+    /// Forward model latency in cycles.
+    pub latency: f64,
+    /// Forward penalty value.
+    pub penalty: f64,
+}
+
+/// Assemble the differentiable loss for `layers` at the point `relaxed`.
+///
+/// # Panics
+///
+/// Panics if `layers` and `relaxed` have different lengths or are empty.
+pub fn build_loss<'t>(
+    tape: &'t Tape,
+    layers: &[Layer],
+    relaxed: &[RelaxedMapping],
+    hier: &Hierarchy,
+    opts: &LossOptions,
+) -> BuiltLoss<'t> {
+    assert_eq!(layers.len(), relaxed.len(), "one relaxed mapping per layer");
+    assert!(!layers.is_empty(), "need at least one layer");
+
+    let mut factor_vars = Vec::with_capacity(layers.len());
+    let mut leaves = Vec::with_capacity(layers.len());
+    for (layer, r) in layers.iter().zip(relaxed) {
+        let (fv, lv) = FactorVars::from_relaxed(tape, &layer.problem, r);
+        factor_vars.push(fv);
+        leaves.push(lv);
+    }
+
+    let refs: Vec<(&dosa_workload::Problem, &FactorVars<'t>)> = layers
+        .iter()
+        .zip(&factor_vars)
+        .map(|(l, fv)| (&l.problem, fv))
+        .collect();
+    let hw = match opts.fixed_hw {
+        Some(cfg) => HwVars::fixed(tape, &cfg),
+        None => HwVars::derive_with_pe(tape, &refs, opts.fixed_pe_side),
+    };
+
+    let mut energies = Vec::with_capacity(layers.len());
+    let mut latencies = Vec::with_capacity(layers.len());
+    for (layer, fv) in layers.iter().zip(&factor_vars) {
+        let count = layer.count as f64;
+        if opts.softmax_ordering {
+            // Evaluate all three canonical orderings and weight them by a
+            // softmax over -tau * ln(EDP) (Eq. 15-17).
+            let mut option_e = Vec::with_capacity(3);
+            let mut option_l = Vec::with_capacity(3);
+            let mut scores = Vec::with_capacity(3);
+            for s in Stationarity::ALL {
+                let mut fv_s = *fv;
+                fv_s.orders = [LoopOrder::canonical(s); dosa_accel::NUM_LEVELS];
+                let perf = layer_perf_vars(tape, &layer.problem, &fv_s, &hw, hier);
+                scores.push(-(perf.energy_uj * perf.latency).ln() * opts.softmax_temperature);
+                option_e.push(perf.energy_uj);
+                option_l.push(perf.latency);
+            }
+            let w = softmax(tape, &scores);
+            let e = dosa_autodiff::dot(tape, &w, &option_e);
+            let l = dosa_autodiff::dot(tape, &w, &option_l);
+            energies.push(e * count);
+            latencies.push(l * count);
+        } else {
+            let perf = layer_perf_vars(tape, &layer.problem, fv, &hw, hier);
+            energies.push(perf.energy_uj * count);
+            latencies.push(perf.latency * count);
+        }
+    }
+
+    let energy = sum(tape, &energies);
+    let latency = sum(tape, &latencies);
+    let edp = energy * latency;
+
+    let mut pen = tape.constant(0.0);
+    for fv in &factor_vars {
+        pen = pen + fv.penalty(tape);
+    }
+    let loss = edp.ln() + pen * opts.penalty_weight;
+
+    BuiltLoss {
+        loss,
+        leaves,
+        edp: edp.value(),
+        energy_uj: energy.value(),
+        latency: latency.value(),
+        penalty: pen.value(),
+    }
+}
+
+/// Forward-only model prediction (energy µJ, latency cycles, EDP) at a
+/// relaxed point — convenience wrapper allocating a private tape.
+pub fn predict(
+    layers: &[Layer],
+    relaxed: &[RelaxedMapping],
+    hier: &Hierarchy,
+    opts: &LossOptions,
+) -> (f64, f64, f64) {
+    let tape = Tape::new();
+    let built = build_loss(&tape, layers, relaxed, hier, opts);
+    (built.energy_uj, built.latency, built.edp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosa_workload::Problem;
+
+    fn layers() -> Vec<Layer> {
+        vec![
+            Layer::repeated(Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap(), 2),
+            Layer::once(Problem::matmul("b", 128, 256, 512).unwrap()),
+        ]
+    }
+
+    fn start(layers: &[Layer]) -> Vec<RelaxedMapping> {
+        layers
+            .iter()
+            .map(|_| {
+                let mut r = RelaxedMapping::identity(Stationarity::WeightStationary);
+                let v: Vec<f64> = (0..crate::relaxed::PARAMS_PER_LAYER)
+                    .map(|i| 0.2 + 0.03 * i as f64)
+                    .collect();
+                r.set_params(&v);
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loss_is_finite_and_backpropagates() {
+        let layers = layers();
+        let relaxed = start(&layers);
+        let tape = Tape::new();
+        let built = build_loss(&tape, &layers, &relaxed, &Hierarchy::gemmini(), &LossOptions::default());
+        assert!(built.loss.value().is_finite());
+        assert!(built.edp > 0.0);
+        let grads = tape.backward(built.loss);
+        let active: usize = built
+            .leaves
+            .iter()
+            .flatten()
+            .filter(|l| grads.wrt(**l) != 0.0)
+            .count();
+        assert!(active > 10);
+    }
+
+    #[test]
+    fn softmax_ordering_loss_close_to_best_fixed_ordering() {
+        let layers = layers();
+        let relaxed = start(&layers);
+        let hier = Hierarchy::gemmini();
+        let soft = LossOptions {
+            softmax_ordering: true,
+            ..LossOptions::default()
+        };
+        let (_, _, edp_soft) = predict(&layers, &relaxed, &hier, &soft);
+        // Best fixed uniform ordering.
+        let mut best = f64::INFINITY;
+        for s in Stationarity::ALL {
+            let fixed: Vec<RelaxedMapping> = relaxed
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.orders = [s; 4];
+                    r
+                })
+                .collect();
+            let (_, _, edp) = predict(&layers, &fixed, &hier, &LossOptions::default());
+            best = best.min(edp);
+        }
+        // The softmax blend is bounded between best and worst options, and
+        // with modest temperature should sit near the best.
+        assert!(edp_soft >= best * 0.99);
+        assert!(edp_soft <= best * 10.0);
+    }
+
+    #[test]
+    fn fixed_hw_changes_prediction() {
+        let layers = layers();
+        let relaxed = start(&layers);
+        let hier = Hierarchy::gemmini();
+        let (_, _, derived) = predict(&layers, &relaxed, &hier, &LossOptions::default());
+        let big = LossOptions {
+            fixed_hw: Some(HardwareConfig::new(64, 1024.0, 4096.0).unwrap()),
+            ..LossOptions::default()
+        };
+        let (_, _, fixed) = predict(&layers, &relaxed, &hier, &big);
+        assert_ne!(derived, fixed);
+    }
+
+    #[test]
+    fn repeat_counts_scale_sums() {
+        let p = Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap();
+        let hier = Hierarchy::gemmini();
+        let relaxed = vec![RelaxedMapping::identity(Stationarity::WeightStationary)];
+        let one = vec![Layer::once(p.clone())];
+        let three = vec![Layer::repeated(p, 3)];
+        let (e1, l1, _) = predict(&one, &relaxed, &hier, &LossOptions::default());
+        let (e3, l3, _) = predict(&three, &relaxed, &hier, &LossOptions::default());
+        assert!((e3 - 3.0 * e1).abs() / e3 < 1e-12);
+        assert!((l3 - 3.0 * l1).abs() / l3 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one relaxed mapping per layer")]
+    fn mismatched_lengths_panic() {
+        let tape = Tape::new();
+        let layers = layers();
+        let _ = build_loss(&tape, &layers, &[], &Hierarchy::gemmini(), &LossOptions::default());
+    }
+}

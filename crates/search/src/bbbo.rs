@@ -1,0 +1,218 @@
+//! Two-loop Bayesian-optimization baseline (§6.1): a Gaussian-process
+//! surrogate over the hardware design space with an inner random mapper,
+//! following Spotlight's hyperparameters — 100 hardware designs, 100
+//! mapping samples per layer per design, candidates selected from 1000
+//! random proposals by expected improvement.
+
+use crate::gd::{SearchPoint, SearchResult};
+use crate::gp::GaussianProcess;
+use crate::startpoints::random_hw;
+use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_timeloop::{evaluate_layer, fits, random_mapping, Mapping};
+use dosa_workload::Layer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the BB-BO baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct BbboConfig {
+    /// Total hardware designs to evaluate (paper: 100).
+    pub num_hw: usize,
+    /// Initial random designs before the surrogate takes over.
+    pub init_random: usize,
+    /// Joint mapping samples per hardware design (paper: 100).
+    pub samples_per_hw: usize,
+    /// Random hardware candidates scored by EI per BO step (paper: 1000).
+    pub candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BbboConfig {
+    fn default() -> Self {
+        BbboConfig {
+            num_hw: 100,
+            init_random: 20,
+            samples_per_hw: 100,
+            candidates: 1000,
+            seed: 0,
+        }
+    }
+}
+
+fn hw_features(hw: &HardwareConfig) -> Vec<f64> {
+    vec![
+        (hw.pe_side() as f64).ln(),
+        hw.acc_kb().ln(),
+        hw.spad_kb().ln(),
+    ]
+}
+
+/// Inner loop: random-mapper search of one hardware design. Returns
+/// `(ln best model EDP, best mappings)` and updates the global result.
+fn inner_search(
+    rng: &mut impl Rng,
+    layers: &[Layer],
+    hw: &HardwareConfig,
+    hier: &Hierarchy,
+    samples: usize,
+    result: &mut SearchResult,
+    record_every: usize,
+) -> f64 {
+    let mut best: Vec<Option<(Mapping, f64, f64)>> = vec![None; layers.len()];
+    for s in 0..samples {
+        for (i, layer) in layers.iter().enumerate() {
+            let m = random_mapping(rng, &layer.problem, hier, hw.pe_side());
+            if fits(&layer.problem, &m, hw, hier) {
+                let perf = evaluate_layer(&layer.problem, &m, hw, hier);
+                let e = perf.energy_uj * layer.count as f64;
+                let l = perf.latency_cycles * layer.count as f64;
+                let better = match &best[i] {
+                    None => true,
+                    Some((_, be, bl)) => e * l < be * bl,
+                };
+                if better {
+                    best[i] = Some((m, e, l));
+                }
+            }
+        }
+        result.samples += 1;
+        let edp = model_edp(&best);
+        if edp < result.best_edp {
+            result.best_edp = edp;
+            result.best_hw = *hw;
+            result.best_mappings = best
+                .iter()
+                .filter_map(|b| b.as_ref().map(|(m, _, _)| m.clone()))
+                .collect();
+        }
+        if s % record_every == 0 {
+            result.history.push(SearchPoint {
+                samples: result.samples,
+                best_edp: result.best_edp,
+            });
+        }
+    }
+    let edp = model_edp(&best);
+    if edp.is_finite() {
+        edp.ln()
+    } else {
+        // Penalize infeasible designs with a large but finite score so the
+        // GP learns to avoid the region.
+        1e3
+    }
+}
+
+fn model_edp(best: &[Option<(Mapping, f64, f64)>]) -> f64 {
+    let mut energy = 0.0;
+    let mut latency = 0.0;
+    for b in best {
+        match b {
+            None => return f64::INFINITY,
+            Some((_, e, l)) => {
+                energy += e;
+                latency += l;
+            }
+        }
+    }
+    energy * latency
+}
+
+/// Run the BB-BO baseline on `layers`.
+pub fn bayesian_search(layers: &[Layer], hier: &Hierarchy, cfg: &BbboConfig) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut result = SearchResult {
+        best_edp: f64::INFINITY,
+        best_hw: HardwareConfig::gemmini_default(),
+        best_mappings: Vec::new(),
+        history: Vec::new(),
+        samples: 0,
+    };
+    let record_every = (cfg.samples_per_hw / 4).max(1);
+
+    let mut observed_x: Vec<Vec<f64>> = Vec::new();
+    let mut observed_y: Vec<f64> = Vec::new();
+
+    for step in 0..cfg.num_hw {
+        let hw = if step < cfg.init_random.max(2) {
+            random_hw(&mut rng)
+        } else {
+            // Fit the surrogate and pick the best candidate by EI.
+            let gp = GaussianProcess::fit(observed_x.clone(), observed_y.clone(), 1.0, 0.05);
+            let best_y = observed_y.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mut best_candidate = random_hw(&mut rng);
+            let mut best_ei = f64::NEG_INFINITY;
+            for _ in 0..cfg.candidates {
+                let cand = random_hw(&mut rng);
+                let ei = gp.expected_improvement(&hw_features(&cand), best_y);
+                if ei > best_ei {
+                    best_ei = ei;
+                    best_candidate = cand;
+                }
+            }
+            best_candidate
+        };
+        let score = inner_search(
+            &mut rng,
+            layers,
+            &hw,
+            hier,
+            cfg.samples_per_hw,
+            &mut result,
+            record_every,
+        );
+        observed_x.push(hw_features(&hw));
+        observed_y.push(score);
+    }
+    result.history.push(SearchPoint {
+        samples: result.samples,
+        best_edp: result.best_edp,
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosa_workload::Problem;
+
+    fn layers() -> Vec<Layer> {
+        vec![
+            Layer::once(Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap()),
+            Layer::once(Problem::matmul("b", 64, 128, 256).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn bo_runs_and_improves() {
+        let hier = Hierarchy::gemmini();
+        let cfg = BbboConfig {
+            num_hw: 8,
+            init_random: 3,
+            samples_per_hw: 20,
+            candidates: 50,
+            seed: 2,
+        };
+        let res = bayesian_search(&layers(), &hier, &cfg);
+        assert!(res.best_edp.is_finite());
+        assert_eq!(res.samples, 8 * 20);
+        for w in res.history.windows(2) {
+            assert!(w[1].best_edp <= w[0].best_edp);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hier = Hierarchy::gemmini();
+        let cfg = BbboConfig {
+            num_hw: 5,
+            init_random: 2,
+            samples_per_hw: 10,
+            candidates: 20,
+            seed: 11,
+        };
+        let a = bayesian_search(&layers(), &hier, &cfg);
+        let b = bayesian_search(&layers(), &hier, &cfg);
+        assert_eq!(a.best_edp, b.best_edp);
+    }
+}

@@ -1,0 +1,272 @@
+//! Gaussian-process regression with an RBF kernel — the surrogate for the
+//! Bayesian-optimization baseline (§6.1, Spotlight-style hyperparameters).
+
+/// A Gaussian process fit to observations, with a squared-exponential
+/// kernel `σ² exp(−‖x−x'‖²/2ℓ²)` plus observation noise.
+///
+/// Inputs are standardized internally; targets are centered.
+///
+/// # Examples
+///
+/// ```
+/// use dosa_search::GaussianProcess;
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = vec![0.0, 1.0, 4.0, 9.0];
+/// let gp = GaussianProcess::fit(xs, ys, 1.0, 0.01);
+/// let (mean, _var) = gp.predict(&[1.5]);
+/// assert!((mean - 2.2).abs() < 1.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    x: Vec<Vec<f64>>, // standardized inputs
+    alpha: Vec<f64>,  // (K + σn² I)⁻¹ (y - mean)
+    chol: Vec<f64>,   // lower Cholesky factor, row-major n x n
+    n: usize,
+    dim: usize,
+    lengthscale: f64,
+    signal_var: f64,
+    y_mean: f64,
+    feat_mean: Vec<f64>,
+    feat_std: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Fit a GP to `(xs, ys)` with the given kernel lengthscale (in
+    /// standardized input units) and noise standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty, rows have inconsistent dimension, or the
+    /// kernel matrix is not positive definite (excluded by the noise term).
+    pub fn fit(xs: Vec<Vec<f64>>, ys: Vec<f64>, lengthscale: f64, noise_std: f64) -> Self {
+        assert!(!xs.is_empty(), "GP needs observations");
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len();
+        let dim = xs[0].len();
+
+        // Standardize features.
+        let mut feat_mean = vec![0.0; dim];
+        for x in &xs {
+            assert_eq!(x.len(), dim, "inconsistent feature dimension");
+            for (m, v) in feat_mean.iter_mut().zip(x) {
+                *m += v / n as f64;
+            }
+        }
+        let mut feat_std = vec![0.0; dim];
+        for x in &xs {
+            for ((s, v), m) in feat_std.iter_mut().zip(x).zip(&feat_mean) {
+                *s += (v - m) * (v - m) / n as f64;
+            }
+        }
+        for s in feat_std.iter_mut() {
+            *s = s.sqrt().max(1e-9);
+        }
+        let x: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(feat_mean.iter().zip(&feat_std))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+
+        // Signal variance from the data.
+        let signal_var = (yc.iter().map(|y| y * y).sum::<f64>() / n as f64).max(1e-12);
+
+        // Kernel matrix + noise.
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(&x[i], &x[j], lengthscale, signal_var);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+            k[i * n + i] += noise_std * noise_std + 1e-10;
+        }
+
+        let chol = cholesky(&k, n);
+        // Solve (LLᵀ) alpha = yc.
+        let mut alpha = forward_sub(&chol, &yc, n);
+        alpha = backward_sub(&chol, &alpha, n);
+
+        GaussianProcess {
+            x,
+            alpha,
+            chol,
+            n,
+            dim,
+            lengthscale,
+            signal_var,
+            y_mean,
+            feat_mean,
+            feat_std,
+        }
+    }
+
+    /// Posterior mean and variance at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let xs: Vec<f64> = x
+            .iter()
+            .zip(self.feat_mean.iter().zip(&self.feat_std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| rbf(xi, &xs, self.lengthscale, self.signal_var))
+            .collect();
+        let mean = self.y_mean
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        // var = k(x,x) - vᵀv with v = L⁻¹ k*.
+        let v = forward_sub(&self.chol, &kstar, self.n);
+        let var = (self.signal_var - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+
+    /// Expected improvement for *minimization* below `best`.
+    pub fn expected_improvement(&self, x: &[f64], best: f64) -> f64 {
+        let (mean, var) = self.predict(x);
+        let sd = var.sqrt();
+        if sd < 1e-12 {
+            return (best - mean).max(0.0);
+        }
+        let z = (best - mean) / sd;
+        (best - mean) * norm_cdf(z) + sd * norm_pdf(z)
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64, signal_var: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    signal_var * (-d2 / (2.0 * lengthscale * lengthscale)).exp()
+}
+
+fn cholesky(k: &[f64], n: usize) -> Vec<f64> {
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = k[i * n + j];
+            for p in 0..j {
+                sum -= l[i * n + p] * l[j * n + p];
+            }
+            if i == j {
+                assert!(sum > 0.0, "kernel matrix not positive definite");
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    l
+}
+
+fn forward_sub(l: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i * n + j] * y[j];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    y
+}
+
+fn backward_sub(l: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum -= l[j * n + i] * x[j];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+fn norm_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn norm_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, max error ~1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.5], vec![0.2, 2.0]];
+        let ys = vec![1.0, -2.0, 3.0];
+        let gp = GaussianProcess::fit(xs.clone(), ys.clone(), 1.0, 1e-4);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 0.05, "{mean} vs {y}");
+            assert!(var < 0.05);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 1.0];
+        let gp = GaussianProcess::fit(xs, ys, 0.5, 1e-3);
+        let (_, near) = gp.predict(&[0.5]);
+        let (_, far) = gp.predict(&[10.0]);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn ei_prefers_promising_regions() {
+        // y = (x-2)^2 sampled away from the minimum; EI at x=2 should beat
+        // EI at x=-3.
+        let xs: Vec<Vec<f64>> = [-1.0f64, 0.0, 1.0, 3.0, 4.0, 5.0]
+            .iter()
+            .map(|&x| vec![x])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 2.0) * (x[0] - 2.0)).collect();
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let gp = GaussianProcess::fit(xs, ys, 1.0, 1e-3);
+        assert!(gp.expected_improvement(&[2.0], best) > gp.expected_improvement(&[-3.0], best));
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "GP needs observations")]
+    fn empty_fit_panics() {
+        let _ = GaussianProcess::fit(vec![], vec![], 1.0, 0.1);
+    }
+}

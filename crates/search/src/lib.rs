@@ -1,0 +1,55 @@
+//! # dosa-search
+//!
+//! The searchers of the DOSA paper:
+//!
+//! * [`dosa_search`] — the one-loop mapping-first gradient-descent
+//!   co-search (§3.2, §5), with the Baseline / Iterate / Softmax
+//!   loop-ordering strategies of Figure 6,
+//! * [`random_search`] — the random-search baseline (10 hardware designs ×
+//!   1000 mapping samples, §6.1),
+//! * [`bayesian_search`] — the two-loop Bayesian-optimization baseline
+//!   (Gaussian-process surrogate with Spotlight-style hyperparameters),
+//! * [`dosa_search_rtl`] — the fixed-PE real-hardware flow of §6.5 driven
+//!   by the analytical, DNN-only, or DNN-augmented latency models,
+//! * the CoSA-substitute constrained mapper ([`cosa_mapping`]) used for
+//!   start points and as the constant mapper of §6.4.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dosa_search::{dosa_search, GdConfig};
+//! use dosa_accel::Hierarchy;
+//! use dosa_workload::{unique_layers, Network};
+//!
+//! let layers = unique_layers(Network::ResNet50);
+//! let result = dosa_search(&layers, &Hierarchy::gemmini(), &GdConfig::default());
+//! println!("best EDP: {:.3e} on {}", result.best_edp, result.best_hw);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adam;
+mod bbbo;
+mod cosa;
+mod gd;
+mod gp;
+mod latency_model;
+mod random_search;
+mod startpoints;
+
+pub use adam::Adam;
+pub use bbbo::{bayesian_search, BbboConfig};
+pub use cosa::{cosa_mapping, cosa_mappings, cosa_order};
+pub use gd::{
+    choose_best_orderings, dosa_search, evaluate_rounded, GdConfig, LoopOrderStrategy,
+    SearchPoint, SearchResult,
+};
+pub use gp::GaussianProcess;
+pub use latency_model::{
+    dosa_search_rtl, evaluate_rtl, feature_vars, features, generate_rtl_dataset,
+    LatencyModelKind, LatencyPredictor, RtlDataset, RtlSample, NUM_FEATURES,
+};
+pub use random_search::{
+    evaluate_with_cosa, evaluate_with_random_mapper, random_search, RandomSearchConfig,
+};
+pub use startpoints::{generate_start_point, generate_start_points, random_hw, StartPoint};

@@ -1,0 +1,254 @@
+//! Random-search baseline and constant-mapper evaluation helpers
+//! (§6.1: "the random search baseline evaluates 10 hardware designs with
+//! 1000 mappings per layer per hardware design"; §6.4's CoSA / random
+//! constant mappers).
+
+use crate::cosa::cosa_mapping;
+use crate::gd::{SearchPoint, SearchResult};
+use crate::startpoints::random_hw;
+use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_timeloop::{evaluate_layer, fits, random_mapping, LayerPerf, Mapping, ModelPerf};
+use dosa_workload::Layer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random-search baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearchConfig {
+    /// Number of hardware designs to sample (paper: 10).
+    pub num_hw: usize,
+    /// Joint mapping samples per hardware design (paper: 1000 per layer;
+    /// one joint sample draws one mapping per layer).
+    pub samples_per_hw: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearchConfig {
+    fn default() -> Self {
+        RandomSearchConfig {
+            num_hw: 10,
+            samples_per_hw: 1000,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-layer best-so-far tracker for a fixed hardware design.
+struct PerLayerBest {
+    perf: Vec<Option<(Mapping, LayerPerf)>>,
+}
+
+impl PerLayerBest {
+    fn new(n: usize) -> PerLayerBest {
+        PerLayerBest {
+            perf: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    fn offer(&mut self, i: usize, mapping: Mapping, perf: LayerPerf) {
+        let better = match &self.perf[i] {
+            None => true,
+            Some((_, old)) => perf.edp() < old.edp(),
+        };
+        if better {
+            self.perf[i] = Some((mapping, perf));
+        }
+    }
+
+    /// Whole-model EDP of the current per-layer bests (Eq. 14), infinite
+    /// until every layer has a fitting mapping.
+    fn model_edp(&self, layers: &[Layer]) -> f64 {
+        let mut energy = 0.0;
+        let mut latency = 0.0;
+        for (layer, slot) in layers.iter().zip(&self.perf) {
+            match slot {
+                None => return f64::INFINITY,
+                Some((_, p)) => {
+                    energy += p.energy_uj * layer.count as f64;
+                    latency += p.latency_cycles * layer.count as f64;
+                }
+            }
+        }
+        energy * latency
+    }
+
+    fn mappings(&self) -> Option<Vec<Mapping>> {
+        self.perf
+            .iter()
+            .map(|s| s.as_ref().map(|(m, _)| m.clone()))
+            .collect()
+    }
+}
+
+/// Search one hardware design with random mappings, offering each joint
+/// sample to `result` and returning the per-layer bests.
+fn search_one_hw(
+    rng: &mut impl Rng,
+    layers: &[Layer],
+    hw: &HardwareConfig,
+    hier: &Hierarchy,
+    samples: usize,
+    result: &mut SearchResult,
+    record_every: usize,
+) {
+    let mut best = PerLayerBest::new(layers.len());
+    for s in 0..samples {
+        for (i, layer) in layers.iter().enumerate() {
+            let m = random_mapping(rng, &layer.problem, hier, hw.pe_side());
+            if fits(&layer.problem, &m, hw, hier) {
+                let perf = evaluate_layer(&layer.problem, &m, hw, hier);
+                best.offer(i, m, perf);
+            }
+        }
+        result.samples += 1;
+        let edp = best.model_edp(layers);
+        if edp < result.best_edp {
+            if let Some(mappings) = best.mappings() {
+                result.best_edp = edp;
+                result.best_hw = *hw;
+                result.best_mappings = mappings;
+            }
+        }
+        if s % record_every == 0 {
+            result.history.push(SearchPoint {
+                samples: result.samples,
+                best_edp: result.best_edp,
+            });
+        }
+    }
+}
+
+/// Run the random-search baseline of §6.1/§6.3.
+pub fn random_search(
+    layers: &[Layer],
+    hier: &Hierarchy,
+    cfg: &RandomSearchConfig,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut result = SearchResult {
+        best_edp: f64::INFINITY,
+        best_hw: HardwareConfig::gemmini_default(),
+        best_mappings: Vec::new(),
+        history: Vec::new(),
+        samples: 0,
+    };
+    let record_every = (cfg.samples_per_hw / 20).max(1);
+    for _ in 0..cfg.num_hw {
+        let hw = random_hw(&mut rng);
+        search_one_hw(
+            &mut rng,
+            layers,
+            &hw,
+            hier,
+            cfg.samples_per_hw,
+            &mut result,
+            record_every,
+        );
+    }
+    result.history.push(SearchPoint {
+        samples: result.samples,
+        best_edp: result.best_edp,
+    });
+    result
+}
+
+/// Evaluate `layers` on fixed hardware with CoSA as a constant mapper
+/// (§6.4). Returns whole-model performance.
+pub fn evaluate_with_cosa(layers: &[Layer], hw: &HardwareConfig, hier: &Hierarchy) -> ModelPerf {
+    let paired: Vec<(Layer, Mapping)> = layers
+        .iter()
+        .map(|l| (l.clone(), cosa_mapping(&l.problem, hw, hier)))
+        .collect();
+    dosa_timeloop::evaluate_model(&paired, hw, hier)
+}
+
+/// Evaluate `layers` on fixed hardware with an N-sample random mapper per
+/// layer (§6.4's "1000-sample random mapper"). Layers with no fitting
+/// sample fall back to the CoSA mapping.
+pub fn evaluate_with_random_mapper(
+    layers: &[Layer],
+    hw: &HardwareConfig,
+    hier: &Hierarchy,
+    samples_per_layer: usize,
+    seed: u64,
+) -> ModelPerf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let paired: Vec<(Layer, Mapping)> = layers
+        .iter()
+        .map(|l| {
+            let found =
+                dosa_timeloop::random_pruned_search(&mut rng, &l.problem, hw, hier, samples_per_layer);
+            let m = match found {
+                Some(r) => r.mapping,
+                None => cosa_mapping(&l.problem, hw, hier),
+            };
+            (l.clone(), m)
+        })
+        .collect();
+    dosa_timeloop::evaluate_model(&paired, hw, hier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosa_workload::Problem;
+
+    fn layers() -> Vec<Layer> {
+        vec![
+            Layer::once(Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap()),
+            Layer::once(Problem::matmul("b", 64, 128, 256).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn random_search_produces_valid_result() {
+        let hier = Hierarchy::gemmini();
+        let cfg = RandomSearchConfig {
+            num_hw: 3,
+            samples_per_hw: 40,
+            seed: 1,
+        };
+        let res = random_search(&layers(), &hier, &cfg);
+        assert!(res.best_edp.is_finite());
+        assert_eq!(res.samples, 120);
+        assert_eq!(res.best_mappings.len(), 2);
+        for w in res.history.windows(2) {
+            assert!(w[1].best_edp <= w[0].best_edp);
+        }
+    }
+
+    #[test]
+    fn more_samples_never_worse() {
+        let hier = Hierarchy::gemmini();
+        let small = random_search(
+            &layers(),
+            &hier,
+            &RandomSearchConfig {
+                num_hw: 2,
+                samples_per_hw: 10,
+                seed: 7,
+            },
+        );
+        let large = random_search(
+            &layers(),
+            &hier,
+            &RandomSearchConfig {
+                num_hw: 2,
+                samples_per_hw: 100,
+                seed: 7,
+            },
+        );
+        assert!(large.best_edp <= small.best_edp);
+    }
+
+    #[test]
+    fn constant_mappers_evaluate() {
+        let hier = Hierarchy::gemmini();
+        let hw = HardwareConfig::gemmini_default();
+        let cosa = evaluate_with_cosa(&layers(), &hw, &hier);
+        let rand = evaluate_with_random_mapper(&layers(), &hw, &hier, 50, 3);
+        assert!(cosa.edp().is_finite() && cosa.edp() > 0.0);
+        assert!(rand.edp().is_finite() && rand.edp() > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal-hardware inference: the mapping-first step that collapses the
+//! two-loop search into one (Figure 3, §4.1).
+
+use crate::mapping::Mapping;
+use crate::traffic::tile_words;
+use dosa_accel::{level, HardwareConfig, Hierarchy, ACC_WORD_BYTES, SPAD_WORD_BYTES};
+use dosa_workload::{Dim, Problem, Tensor};
+
+/// The minimal hardware configuration able to execute `mapping` on
+/// `problem` (Eqs. 1–5 plus the KB rounding of §6.1).
+///
+/// # Examples
+///
+/// ```
+/// use dosa_timeloop::{min_hw, Mapping};
+/// use dosa_accel::Hierarchy;
+/// use dosa_workload::Problem;
+/// let p = Problem::conv("l", 1, 1, 56, 56, 64, 64, 1)?;
+/// let m = Mapping::all_at_dram(&p);
+/// let hw = min_hw(&p, &m, &Hierarchy::gemmini());
+/// assert_eq!(hw.pe_side(), 1); // no spatial unrolling
+/// # Ok::<(), dosa_workload::ProblemError>(())
+/// ```
+pub fn min_hw(problem: &Problem, mapping: &Mapping, hier: &Hierarchy) -> HardwareConfig {
+    // Eq. 1: the square array must fit the larger spatial factor.
+    let side = Dim::ALL
+        .into_iter()
+        .flat_map(|d| (0..dosa_accel::NUM_LEVELS).map(move |i| mapping.spatial(i, d)))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let acc_words = tile_words(problem, mapping, level::ACCUMULATOR, Tensor::Outputs);
+    let spad_words = tile_words(problem, mapping, level::SCRATCHPAD, Tensor::Weights)
+        + tile_words(problem, mapping, level::SCRATCHPAD, Tensor::Inputs);
+    let _ = hier;
+
+    let acc_kb = ((acc_words * ACC_WORD_BYTES) as f64 / 1024.0).ceil().max(1.0);
+    let spad_kb = ((spad_words * SPAD_WORD_BYTES) as f64 / 1024.0).ceil().max(1.0);
+
+    HardwareConfig::new(side, acc_kb, spad_kb)
+        .expect("min-HW inference produces valid configurations")
+}
+
+/// The minimal configuration supporting every `(problem, mapping)` pair:
+/// the parameter-wise max of the per-layer requirements (Figure 3).
+pub fn min_hw_for_all<'a>(
+    pairs: impl IntoIterator<Item = (&'a Problem, &'a Mapping)>,
+    hier: &Hierarchy,
+) -> HardwareConfig {
+    pairs
+        .into_iter()
+        .map(|(p, m)| min_hw(p, m, hier))
+        .reduce(|a, b| a.max(&b))
+        .unwrap_or_else(|| HardwareConfig::new(1, 1.0, 1.0).expect("valid"))
+}
+
+/// Whether `mapping` can execute on fixed hardware `hw` (used by the
+/// two-loop baselines and the fixed-hardware RTL experiments).
+pub fn fits(problem: &Problem, mapping: &Mapping, hw: &HardwareConfig, hier: &Hierarchy) -> bool {
+    let need = min_hw(problem, mapping, hier);
+    need.pe_side() <= hw.pe_side()
+        && need.acc_kb() <= hw.acc_kb().ceil()
+        && need.spad_kb() <= hw.spad_kb().ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fig3_mapping;
+
+    #[test]
+    fn fig3_min_hw_matches_paper() {
+        // Figure 3: 64x64 PEs, accumulator 896 words x 4 B ≈ 4 KB,
+        // scratchpad (4096 + 896) words x 1 B ≈ 5 KB.
+        let p = Problem::conv("fig3", 1, 1, 56, 56, 64, 64, 1).unwrap();
+        let hw = min_hw(&p, &fig3_mapping(), &Hierarchy::gemmini());
+        assert_eq!(hw.pe_side(), 64);
+        assert_eq!(hw.acc_kb(), 4.0);
+        assert_eq!(hw.spad_kb(), 5.0);
+    }
+
+    #[test]
+    fn max_across_layers() {
+        let h = Hierarchy::gemmini();
+        let p1 = Problem::conv("a", 1, 1, 56, 56, 64, 64, 1).unwrap();
+        let m1 = fig3_mapping();
+        let p2 = Problem::conv("b", 1, 1, 8, 8, 16, 16, 1).unwrap();
+        let m2 = Mapping::all_at_dram(&p2);
+        let hw = min_hw_for_all([(&p1, &m1), (&p2, &m2)], &h);
+        assert_eq!(hw.pe_side(), 64);
+        assert_eq!(hw.acc_kb(), 4.0);
+    }
+
+    #[test]
+    fn fits_is_monotone() {
+        let h = Hierarchy::gemmini();
+        let p = Problem::conv("fig3", 1, 1, 56, 56, 64, 64, 1).unwrap();
+        let m = fig3_mapping();
+        let exact = min_hw(&p, &m, &h);
+        assert!(fits(&p, &m, &exact, &h));
+        let bigger = HardwareConfig::new(128, exact.acc_kb() + 1.0, exact.spad_kb() + 1.0).unwrap();
+        assert!(fits(&p, &m, &bigger, &h));
+        let smaller = HardwareConfig::new(32, exact.acc_kb(), exact.spad_kb()).unwrap();
+        assert!(!fits(&p, &m, &smaller, &h));
+    }
+}

@@ -1,0 +1,431 @@
+//! Exact integer traffic analysis for a mapping — the "iterative program"
+//! reference model that plays Timeloop's role (§4.2, §4.6).
+//!
+//! ## Semantics (shared with the differentiable model)
+//!
+//! * `temporal[j]` loops form level `j`'s subnest; the tile resident at
+//!   level `i` spans every temporal factor at levels `j < i` (Eq. 2) and —
+//!   because Gemmini's SRAMs are shared across the PE array — **all** spatial
+//!   factors of relevant dimensions (this reproduces every capacity in
+//!   Figure 3).
+//! * A tile at level `i` is re-fetched from its parent once per iteration of
+//!   the relevant temporal loops above it, times every irrelevant temporal
+//!   loop **outer to the innermost non-unit relevant loop** (Eq. 6). Loops
+//!   with bound 1 are transparent.
+//! * Reads at a tensor's innermost holding level equal `MACs` divided by the
+//!   spatial fanout over irrelevant dimensions at or below that level
+//!   (broadcast for inputs/weights, spatial reduction for outputs;
+//!   Eqs. 8–11).
+//! * Outputs follow read-modify-write semantics with first-update elision:
+//!   a tile's first residency starts from zeros (no fill from the parent,
+//!   no read on the first update of each element). Every residency ends in
+//!   a drain to the parent, which arrives there as an update.
+//! * Halo overlap between adjacent input tiles is not reused (both models
+//!   count full re-fetches), a deliberate simplification applied
+//!   identically on both sides of the Figure 4 correlation.
+
+use crate::mapping::Mapping;
+use dosa_accel::{Hierarchy, NUM_LEVELS};
+use dosa_workload::{Dim, DimSet, Problem, Tensor};
+
+/// Directional access counts for one (level, tensor) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TensorFlows {
+    /// Words written into this level from its parent (the paper's
+    /// "Writes"). For outputs these are partial-sum reloads.
+    pub fills: u64,
+    /// Words read out of this level: serving the child level or the MACs,
+    /// plus (for outputs) drain reads and read-modify-write reads.
+    pub reads: u64,
+    /// Words written into this level from below (the paper's "Updates";
+    /// outputs only).
+    pub updates: u64,
+}
+
+impl TensorFlows {
+    /// Total accesses of this tensor at this level.
+    pub fn total(&self) -> u64 {
+        self.fills + self.reads + self.updates
+    }
+}
+
+/// One DRAM transfer stream: `transfers` moves of a `tile_words`-word tile.
+/// Used for Timeloop-style per-block energy ceilings (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramStream {
+    /// The tensor being moved.
+    pub tensor: Tensor,
+    /// Words per transfer.
+    pub tile_words: u64,
+    /// Number of transfers.
+    pub transfers: u64,
+}
+
+/// Complete traffic summary for one layer under one mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traffic {
+    /// Total multiply-accumulates (Eq. 7).
+    pub macs: u64,
+    /// Per-level, per-tensor directional flows.
+    pub flows: [[TensorFlows; 3]; NUM_LEVELS],
+    /// DRAM transfer streams for block-granularity energy accounting.
+    pub dram_streams: Vec<DramStream>,
+}
+
+impl Traffic {
+    /// Total accesses at memory level `i` (Eq. 12's `Accesses(i)`).
+    pub fn accesses(&self, i: usize) -> u64 {
+        self.flows[i].iter().map(TensorFlows::total).sum()
+    }
+
+    /// Flows of tensor `t` at level `i`.
+    pub fn flows(&self, i: usize, t: Tensor) -> TensorFlows {
+        self.flows[i][t.index()]
+    }
+}
+
+/// The tile footprint (in words) of tensor `t` at level `i`: temporal
+/// factors at levels below `i` times all spatial factors, for the
+/// dimensions indexing `t`; inputs include the stride halo (Eqs. 2–4).
+pub fn tile_words(problem: &Problem, mapping: &Mapping, i: usize, t: Tensor) -> u64 {
+    let inner = |d: Dim| -> u64 {
+        let mut f = 1u64;
+        for j in 0..i {
+            f *= mapping.temporal(j, d);
+        }
+        for j in 0..NUM_LEVELS {
+            f *= mapping.spatial(j, d);
+        }
+        f
+    };
+    match t {
+        Tensor::Weights => inner(Dim::R) * inner(Dim::S) * inner(Dim::C) * inner(Dim::K),
+        Tensor::Outputs => inner(Dim::P) * inner(Dim::Q) * inner(Dim::K) * inner(Dim::N),
+        Tensor::Inputs => {
+            let h = problem.stride_p() * (inner(Dim::P) - 1) + inner(Dim::R);
+            let w = problem.stride_q() * (inner(Dim::Q) - 1) + inner(Dim::S);
+            inner(Dim::C) * inner(Dim::N) * h * w
+        }
+    }
+}
+
+/// Refetch analysis over the temporal loops above level `i` (subnests
+/// `i..=3`, innermost first): returns `(rel, x)` where `rel` is the product
+/// of relevant factors and `x` the product of irrelevant factors outer to
+/// the innermost non-unit relevant loop (1 if no such loop).
+pub fn refetch(mapping: &Mapping, i: usize, relevant: DimSet) -> (u64, u64) {
+    let mut rel = 1u64;
+    let mut x = 1u64;
+    let mut past_innermost_relevant = false;
+    for j in i..NUM_LEVELS {
+        for &d in mapping.orders[j].dims() {
+            let f = mapping.temporal(j, d);
+            if relevant.contains(d) {
+                rel *= f;
+                if f > 1 {
+                    past_innermost_relevant = true;
+                }
+            } else if past_innermost_relevant {
+                // Irrelevant loop outer to the innermost non-unit relevant
+                // loop: causes refetches.
+                x *= f;
+            }
+        }
+    }
+    (rel, x)
+}
+
+/// Product of spatial factors over irrelevant dimensions at levels in
+/// `lo..=hi` — the broadcast / spatial-reduction discount `F_{S,t}`
+/// (Eqs. 8, 10).
+fn spatial_discount(mapping: &Mapping, lo: usize, hi: usize, relevant: DimSet) -> u64 {
+    let mut f = 1u64;
+    for j in lo..=hi {
+        for d in Dim::ALL {
+            if !relevant.contains(d) {
+                f *= mapping.spatial(j, d);
+            }
+        }
+    }
+    f
+}
+
+/// Compute the full traffic summary for `mapping` on `problem`.
+///
+/// The mapping should be valid (see [`Mapping::validate`]); invalid
+/// mappings produce meaningless counts but do not panic.
+pub fn compute_traffic(problem: &Problem, mapping: &Mapping, hier: &Hierarchy) -> Traffic {
+    let macs: u64 = problem.sizes().iter().product();
+    let mut flows = [[TensorFlows::default(); 3]; NUM_LEVELS];
+    let mut dram_streams = Vec::new();
+
+    for t in Tensor::ALL {
+        let rel_dims = t.dims();
+        let holding: Vec<usize> = (0..NUM_LEVELS)
+            .filter(|&i| hier.level(i).stores(t))
+            .collect();
+        let outermost = *holding.last().expect("DRAM stores everything");
+
+        // Per holding level: tile size and refetch counts.
+        let mut tiles = vec![0u64; NUM_LEVELS];
+        let mut rels = vec![1u64; NUM_LEVELS];
+        let mut xs = vec![1u64; NUM_LEVELS];
+        for &i in &holding {
+            tiles[i] = tile_words(problem, mapping, i, t);
+            let (r, x) = refetch(mapping, i, rel_dims);
+            rels[i] = r;
+            xs[i] = x;
+        }
+
+        for (pos, &i) in holding.iter().enumerate() {
+            let child = if pos > 0 { Some(holding[pos - 1]) } else { None };
+            let is_outer = i == outermost;
+            let f = &mut flows[i][t.index()];
+
+            match t {
+                Tensor::Weights | Tensor::Inputs => {
+                    // Fills from the parent (paper's Writes), zero at the
+                    // outermost level where the data originates.
+                    f.fills = if is_outer { 0 } else { tiles[i] * rels[i] * xs[i] };
+                    // Reads serving the level below (or the MACs).
+                    f.reads = match child {
+                        None => macs / spatial_discount(mapping, 0, i, rel_dims),
+                        Some(c) => {
+                            let child_fills = tiles[c] * rels[c] * xs[c];
+                            child_fills / spatial_discount(mapping, c + 1, i, rel_dims)
+                        }
+                    };
+                    if i == outermost && i == dosa_accel::level::DRAM {
+                        if let Some(c) = child {
+                            dram_streams.push(DramStream {
+                                tensor: t,
+                                tile_words: tiles[c],
+                                transfers: rels[c] * xs[c],
+                            });
+                        }
+                    }
+                }
+                Tensor::Outputs => {
+                    let residencies = rels[i] * xs[i];
+                    // Drains: every residency ends by writing the tile up.
+                    let drains = if is_outer { 0 } else { tiles[i] * residencies };
+                    // Fills: partial-sum reloads on revisits (first
+                    // residency per distinct tile starts from zeros).
+                    f.fills = if is_outer {
+                        0
+                    } else {
+                        tiles[i] * rels[i] * (xs[i] - 1)
+                    };
+                    // Updates from below.
+                    f.updates = match child {
+                        None => macs / spatial_discount(mapping, 0, i, rel_dims),
+                        Some(c) => {
+                            let child_drains = tiles[c] * rels[c] * xs[c];
+                            child_drains / spatial_discount(mapping, c + 1, i, rel_dims)
+                        }
+                    };
+                    // Reads: RMW partial reads at the innermost level (first
+                    // update of each element per residency is elided), plus
+                    // drain reads, plus serving the child's partial reloads.
+                    let rmw = if child.is_none() {
+                        f.updates.saturating_sub(tiles[i] * residencies)
+                    } else {
+                        0
+                    };
+                    let serve_child = match child {
+                        Some(c) => {
+                            let child_refills = tiles[c] * rels[c] * (xs[c] - 1);
+                            child_refills / spatial_discount(mapping, c + 1, i, rel_dims)
+                        }
+                        None => 0,
+                    };
+                    f.reads = rmw + drains + serve_child;
+                    if i == outermost && i == dosa_accel::level::DRAM {
+                        if let Some(c) = child {
+                            // Drain stream up + reload stream down.
+                            dram_streams.push(DramStream {
+                                tensor: t,
+                                tile_words: tiles[c],
+                                transfers: rels[c] * xs[c],
+                            });
+                            if xs[c] > 1 {
+                                dram_streams.push(DramStream {
+                                    tensor: t,
+                                    tile_words: tiles[c],
+                                    transfers: rels[c] * (xs[c] - 1),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Traffic {
+        macs,
+        flows,
+        dram_streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fig3_mapping;
+    use dosa_accel::level;
+
+    fn fig3() -> (Problem, Mapping, Hierarchy) {
+        let p = Problem::conv("fig3", 1, 1, 56, 56, 64, 64, 1).unwrap();
+        (p, fig3_mapping(), Hierarchy::gemmini())
+    }
+
+    #[test]
+    fn fig3_tile_sizes_match_paper() {
+        let (p, m, _) = fig3();
+        // Figure 3 annotations.
+        assert_eq!(tile_words(&p, &m, level::REGISTERS, Tensor::Weights), 4096);
+        assert_eq!(tile_words(&p, &m, level::ACCUMULATOR, Tensor::Outputs), 896);
+        assert_eq!(tile_words(&p, &m, level::SCRATCHPAD, Tensor::Weights), 4096);
+        assert_eq!(tile_words(&p, &m, level::SCRATCHPAD, Tensor::Inputs), 896);
+        // The DRAM "tile" (content below the DRAM subnest) equals the
+        // scratchpad/accumulator working set here; DRAM capacity itself is
+        // unbounded and never constrains a mapping.
+        assert_eq!(tile_words(&p, &m, level::DRAM, Tensor::Weights), 4096);
+        assert_eq!(tile_words(&p, &m, level::DRAM, Tensor::Inputs), 896);
+        assert_eq!(tile_words(&p, &m, level::DRAM, Tensor::Outputs), 896);
+    }
+
+    #[test]
+    fn fig3_traffic_counts() {
+        let (p, m, h) = fig3();
+        let t = compute_traffic(&p, &m, &h);
+        let macs = 56 * 56 * 64 * 64u64;
+        assert_eq!(t.macs, macs);
+
+        // Registers: one weight read per MAC; weights filled once.
+        assert_eq!(t.flows(level::REGISTERS, Tensor::Weights).reads, macs);
+        assert_eq!(t.flows(level::REGISTERS, Tensor::Weights).fills, 4096);
+
+        // Accumulator: one update per output (C fully spatial), no RMW
+        // reads (first-update elision), each output drained once.
+        let acc = t.flows(level::ACCUMULATOR, Tensor::Outputs);
+        assert_eq!(acc.updates, 200_704);
+        assert_eq!(acc.reads, 200_704); // drain reads only
+        assert_eq!(acc.fills, 0);
+
+        // Scratchpad: inputs broadcast across the 64 K-columns.
+        let spad_i = t.flows(level::SCRATCHPAD, Tensor::Inputs);
+        assert_eq!(spad_i.reads, macs / 64);
+        assert_eq!(spad_i.fills, 200_704);
+        let spad_w = t.flows(level::SCRATCHPAD, Tensor::Weights);
+        assert_eq!(spad_w.reads, 4096);
+        assert_eq!(spad_w.fills, 4096);
+
+        // DRAM: weight + input reads, output drains as updates.
+        assert_eq!(t.flows(level::DRAM, Tensor::Weights).reads, 4096);
+        assert_eq!(t.flows(level::DRAM, Tensor::Inputs).reads, 200_704);
+        assert_eq!(t.flows(level::DRAM, Tensor::Outputs).updates, 200_704);
+        assert_eq!(t.flows(level::DRAM, Tensor::Outputs).reads, 0);
+
+        assert_eq!(t.accesses(level::DRAM), 405_504);
+        assert_eq!(t.accesses(level::SCRATCHPAD), 409_600);
+        assert_eq!(t.accesses(level::ACCUMULATOR), 401_408);
+    }
+
+    #[test]
+    fn trivial_mapping_streams_everything_from_dram() {
+        let p = Problem::conv("t", 3, 3, 8, 8, 4, 4, 1).unwrap();
+        let h = Hierarchy::gemmini();
+        let m = Mapping::all_at_dram(&p);
+        let t = compute_traffic(&p, &m, &h);
+        // With all loops at DRAM, inner tiles are single elements and the
+        // total MAC count flows through every level.
+        assert_eq!(t.flows(level::REGISTERS, Tensor::Weights).reads, t.macs);
+        // Weight tile at the scratchpad is one element, fetched per
+        // relevant iteration x irrelevant-outer refetch.
+        let spad_w = t.flows(level::SCRATCHPAD, Tensor::Weights);
+        assert!(spad_w.fills >= p.tensor_size(Tensor::Weights));
+    }
+
+    #[test]
+    fn refetch_respects_loop_order() {
+        let p = Problem::conv("o", 1, 1, 4, 1, 8, 1, 1).unwrap();
+        let h = Hierarchy::gemmini();
+        let mut m = Mapping::all_at_dram(&p);
+        // DRAM loops: P=4 (relevant to W? no), C=8 (relevant to W).
+        // WS order puts P inner, C outer: innermost relevant nonunit loop is
+        // C, and P is inner to it => weights fetched only C-many times.
+        m.set_orders([crate::mapping::Stationarity::WeightStationary; NUM_LEVELS]);
+        let (rel, x) = refetch(&m, 0, Tensor::Weights.dims());
+        assert_eq!((rel, x), (8, 1));
+        // OS order puts C inner, P outer: P now causes weight refetches.
+        m.set_orders([crate::mapping::Stationarity::OutputStationary; NUM_LEVELS]);
+        let (rel, x) = refetch(&m, 0, Tensor::Weights.dims());
+        assert_eq!((rel, x), (8, 4));
+    }
+
+    #[test]
+    fn bound_one_loops_are_transparent() {
+        // A relevant loop with bound 1 must not shield outer irrelevant
+        // loops... and must not cause refetches itself.
+        let p = Problem::conv("b1", 1, 1, 4, 1, 1, 2, 1).unwrap();
+        let h = Hierarchy::gemmini();
+        let mut m = Mapping::all_at_dram(&p);
+        let _ = h;
+        // Order at DRAM (WS): P, Q, N | R, S, C, K -> P(4) inner, K(2) outer.
+        // For weights: innermost nonunit relevant loop is K; P is inner to
+        // K => X = 1 even though C (bound 1, relevant) sits between them.
+        m.set_orders([crate::mapping::Stationarity::WeightStationary; NUM_LEVELS]);
+        let (rel, x) = refetch(&m, 0, Tensor::Weights.dims());
+        assert_eq!((rel, x), (2, 1));
+    }
+
+    #[test]
+    fn partial_sum_traffic_appears_with_outer_reduction_loops() {
+        // Put a C loop at DRAM outside the output drain level: outputs must
+        // bounce to DRAM and back.
+        let p = Problem::conv("ps", 1, 1, 2, 2, 8, 2, 1).unwrap();
+        let h = Hierarchy::gemmini();
+        let mut m = Mapping::all_at_dram(&p);
+        // Keep P,Q,K at DRAM; split C between accumulator subnest and DRAM.
+        m.temporal[level::DRAM][Dim::C.index()] = 4;
+        m.temporal[level::ACCUMULATOR][Dim::C.index()] = 2;
+        m.validate(&p, &h).unwrap();
+        // Default WS order at DRAM: [P,Q,N inner][R,S,C,K outer]; for
+        // outputs the innermost relevant nonunit loop is P, C(4) is outer:
+        // each output tile is revisited 4 times.
+        let t = compute_traffic(&p, &m, &h);
+        let o_dram = t.flows(level::DRAM, Tensor::Outputs);
+        let out_size = p.tensor_size(Tensor::Outputs);
+        assert_eq!(o_dram.updates, out_size * 4);
+        assert_eq!(o_dram.reads, out_size * 3); // reloads on revisits 2..4
+        let acc = t.flows(level::ACCUMULATOR, Tensor::Outputs);
+        assert_eq!(acc.fills, out_size * 3);
+        // RMW at the accumulator: 2 updates per element per residency, one
+        // elided each.
+        assert_eq!(acc.updates, t.macs);
+    }
+
+    #[test]
+    fn accesses_sum_over_tensors() {
+        let (p, m, h) = fig3();
+        let t = compute_traffic(&p, &m, &h);
+        for i in 0..NUM_LEVELS {
+            let by_tensor: u64 = Tensor::ALL.iter().map(|&tt| t.flows(i, tt).total()).sum();
+            assert_eq!(t.accesses(i), by_tensor);
+        }
+    }
+
+    #[test]
+    fn dram_streams_cover_dram_words() {
+        let (p, m, h) = fig3();
+        let t = compute_traffic(&p, &m, &h);
+        let stream_words: u64 = t
+            .dram_streams
+            .iter()
+            .map(|s| s.tile_words * s.transfers)
+            .sum();
+        assert_eq!(stream_words, t.accesses(level::DRAM));
+    }
+}

@@ -1,0 +1,136 @@
+//! Conservation and monotonicity laws of the traffic model, checked across
+//! random problems and mappings.
+
+use dosa_accel::{level, HardwareConfig, Hierarchy};
+use dosa_timeloop::{compute_traffic, evaluate_layer, min_hw, random_mapping, tile_words};
+use dosa_workload::{Problem, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (1u64..=3, 1u64..=3, 1u64..=28, 1u64..=28, 1u64..=96, 1u64..=96, 1u64..=2).prop_map(
+        |(r, s, p, q, c, k, stride)| {
+            Problem::conv("prop", r, s, p, q, c, k, stride).expect("positive bounds")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every word of every tensor must cross the DRAM boundary at least
+    /// once: reads cover weights and inputs, updates cover outputs.
+    #[test]
+    fn dram_traffic_covers_tensor_sizes(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, 16);
+        let t = compute_traffic(&problem, &m, &hier);
+        prop_assert!(t.flows(level::DRAM, Tensor::Weights).reads >= problem.tensor_size(Tensor::Weights));
+        // Strided convolutions with R < stride legitimately skip input
+        // rows, so bound by the number of provably distinct input elements:
+        // each (p, q) output position touches a distinct (stride*p, stride*q)
+        // input corner, per channel and batch.
+        let distinct = problem.size(dosa_workload::Dim::C)
+            * problem.size(dosa_workload::Dim::N)
+            * problem.size(dosa_workload::Dim::P)
+            * problem.size(dosa_workload::Dim::Q);
+        prop_assert!(t.flows(level::DRAM, Tensor::Inputs).reads >= distinct);
+        prop_assert!(t.flows(level::DRAM, Tensor::Outputs).updates >= problem.tensor_size(Tensor::Outputs));
+    }
+
+    /// Total MAC operand deliveries are conserved: weight reads at the
+    /// registers equal MACs; input reads at the scratchpad equal MACs over
+    /// the K-broadcast; output updates at the accumulator equal MACs over
+    /// the C-reduction.
+    #[test]
+    fn innermost_flows_match_macs(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, 16);
+        let t = compute_traffic(&problem, &m, &hier);
+        let k_spatial = m.spatial(level::SCRATCHPAD, dosa_workload::Dim::K);
+        let c_spatial = m.spatial(level::ACCUMULATOR, dosa_workload::Dim::C);
+        prop_assert_eq!(t.flows(level::REGISTERS, Tensor::Weights).reads, t.macs);
+        prop_assert_eq!(t.flows(level::SCRATCHPAD, Tensor::Inputs).reads, t.macs / k_spatial);
+        prop_assert_eq!(t.flows(level::ACCUMULATOR, Tensor::Outputs).updates, t.macs / c_spatial);
+    }
+
+    /// Fills into a level can never be smaller than the child's fills over
+    /// the broadcast factor (data flows downward through the hierarchy).
+    #[test]
+    fn weight_flow_is_monotone_down_the_hierarchy(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, 16);
+        let t = compute_traffic(&problem, &m, &hier);
+        // Scratchpad weight reads serve register fills exactly (no
+        // irrelevant spatial fanout between them in Gemmini).
+        prop_assert_eq!(
+            t.flows(level::SCRATCHPAD, Tensor::Weights).reads,
+            t.flows(level::REGISTERS, Tensor::Weights).fills
+        );
+        // DRAM weight reads serve scratchpad fills exactly.
+        prop_assert_eq!(
+            t.flows(level::DRAM, Tensor::Weights).reads,
+            t.flows(level::SCRATCHPAD, Tensor::Weights).fills
+        );
+    }
+
+    /// The minimal hardware derived from a mapping really is minimal:
+    /// the mapping fits it, and the accumulator requirement matches the
+    /// output tile.
+    #[test]
+    fn min_hw_is_sufficient_and_tight(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, 16);
+        let hw = min_hw(&problem, &m, &hier);
+        prop_assert!(dosa_timeloop::fits(&problem, &m, &hw, &hier));
+        let acc_words = tile_words(&problem, &m, level::ACCUMULATOR, Tensor::Outputs);
+        prop_assert!(hw.acc_words() >= acc_words);
+        // Tight to within the 1 KB rounding granularity.
+        prop_assert!(hw.acc_kb() <= (acc_words * 4) as f64 / 1024.0 + 1.0);
+    }
+
+    /// Latency is monotone in hardware: growing the PE array (with the
+    /// same mapping) never increases modeled latency.
+    #[test]
+    fn latency_monotone_in_bandwidth(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, 8);
+        let small = HardwareConfig::new(8, 32.0, 128.0).unwrap();
+        let large = HardwareConfig::new(64, 32.0, 128.0).unwrap();
+        let p_small = evaluate_layer(&problem, &m, &small, &hier);
+        let p_large = evaluate_layer(&problem, &m, &large, &hier);
+        prop_assert!(p_large.latency_cycles <= p_small.latency_cycles * (1.0 + 1e-12));
+    }
+
+    /// Energy is invariant to loop order permutations of bound-1 levels:
+    /// reordering loops that all have factor 1 cannot change traffic.
+    #[test]
+    fn unit_loops_do_not_affect_traffic(problem in arb_problem(), seed in 0u64..1000) {
+        use dosa_timeloop::{LoopOrder, Stationarity};
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = random_mapping(&mut rng, &problem, &hier, 16);
+        // Force level-1 temporal factors to 1 by pushing them to DRAM.
+        for d in dosa_workload::Dim::ALL {
+            let f = m.temporal[1][d.index()];
+            m.temporal[1][d.index()] = 1;
+            m.temporal[3][d.index()] *= f;
+        }
+        m.validate(&problem, &hier).unwrap();
+        let base = compute_traffic(&problem, &m, &hier);
+        for s in Stationarity::ALL {
+            let mut m2 = m.clone();
+            m2.orders[1] = LoopOrder::canonical(s);
+            let t2 = compute_traffic(&problem, &m2, &hier);
+            for lvl in 0..dosa_accel::NUM_LEVELS {
+                prop_assert_eq!(base.accesses(lvl), t2.accesses(lvl));
+            }
+        }
+    }
+}

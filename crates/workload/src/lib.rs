@@ -1,0 +1,29 @@
+//! # dosa-workload
+//!
+//! DNN workload descriptions for the DOSA reproduction: the seven problem
+//! dimensions of §3.1.1 (`R,S,P,Q,C,K,N`), layer ("problem") shapes with
+//! stride handling, and the eight networks of Table 6 with repeat counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use dosa_workload::{Network, unique_layers, Dim};
+//!
+//! let layers = unique_layers(Network::ResNet50);
+//! assert!(layers.len() > 10);
+//! let total_macs: u64 = layers.iter().map(|l| l.problem.macs() * l.count).sum();
+//! assert!(total_macs > 1_000_000_000); // ResNet-50 is ~4 GMACs
+//! assert_eq!(layers[0].problem.size(Dim::N), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dims;
+mod models;
+mod problem;
+mod suite;
+
+pub use dims::{Dim, DimSet, Tensor, NUM_DIMS};
+pub use models::{alexnet, bert, deepbench, resnet50, resnext50_32x4d, retinanet, unet, vgg16};
+pub use problem::{Layer, LayerKind, Problem, ProblemError};
+pub use suite::{correlation_corpus, dedup_layers, unique_layers, Network};

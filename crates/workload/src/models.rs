@@ -1,0 +1,346 @@
+//! Layer tables for the eight networks of Table 6.
+//!
+//! Training workloads (used to fit the learned latency model, §4.7/§6.5):
+//! AlexNet, ResNeXt-50-32x4d, VGG-16, DeepBench (OCR + face recognition).
+//!
+//! Target workloads (optimized by DOSA, §6): BERT, ResNet-50, RetinaNet
+//! (non-backbone layers), U-Net.
+//!
+//! Shapes follow the standard torchvision / original-paper definitions with
+//! batch size 1. Grouped convolutions (ResNeXt) are modeled as `groups`
+//! repetitions of a conv with `C/groups` input and `K/groups` output channels,
+//! the usual reduction used by Timeloop-style models.
+
+use crate::problem::{Layer, Problem};
+
+fn conv(name: &str, r: u64, s: u64, p: u64, q: u64, c: u64, k: u64, stride: u64) -> Problem {
+    Problem::conv(name, r, s, p, q, c, k, stride).expect("static layer tables are valid")
+}
+
+fn mm(name: &str, m: u64, k_red: u64, n_out: u64) -> Problem {
+    Problem::matmul(name, m, k_red, n_out).expect("static layer tables are valid")
+}
+
+/// AlexNet (Krizhevsky et al., torchvision variant), 5 convs + 3 FC layers.
+pub fn alexnet() -> Vec<Layer> {
+    vec![
+        Layer::once(conv("alexnet_conv1", 11, 11, 55, 55, 3, 64, 4)),
+        Layer::once(conv("alexnet_conv2", 5, 5, 27, 27, 64, 192, 1)),
+        Layer::once(conv("alexnet_conv3", 3, 3, 13, 13, 192, 384, 1)),
+        Layer::once(conv("alexnet_conv4", 3, 3, 13, 13, 384, 256, 1)),
+        Layer::once(conv("alexnet_conv5", 3, 3, 13, 13, 256, 256, 1)),
+        Layer::once(mm("alexnet_fc6", 1, 9216, 4096)),
+        Layer::once(mm("alexnet_fc7", 1, 4096, 4096)),
+        Layer::once(mm("alexnet_fc8", 1, 4096, 1000)),
+    ]
+}
+
+/// VGG-16 (configuration D): 13 convs + 3 FC layers.
+pub fn vgg16() -> Vec<Layer> {
+    vec![
+        Layer::once(conv("vgg16_conv1_1", 3, 3, 224, 224, 3, 64, 1)),
+        Layer::once(conv("vgg16_conv1_2", 3, 3, 224, 224, 64, 64, 1)),
+        Layer::once(conv("vgg16_conv2_1", 3, 3, 112, 112, 64, 128, 1)),
+        Layer::once(conv("vgg16_conv2_2", 3, 3, 112, 112, 128, 128, 1)),
+        Layer::once(conv("vgg16_conv3_1", 3, 3, 56, 56, 128, 256, 1)),
+        Layer::repeated(conv("vgg16_conv3_2", 3, 3, 56, 56, 256, 256, 1), 2),
+        Layer::once(conv("vgg16_conv4_1", 3, 3, 28, 28, 256, 512, 1)),
+        Layer::repeated(conv("vgg16_conv4_2", 3, 3, 28, 28, 512, 512, 1), 2),
+        Layer::once(conv("vgg16_conv5_1", 3, 3, 14, 14, 512, 512, 1)),
+        Layer::repeated(conv("vgg16_conv5_2", 3, 3, 14, 14, 512, 512, 1), 2),
+        Layer::once(mm("vgg16_fc6", 1, 25088, 4096)),
+        Layer::once(mm("vgg16_fc7", 1, 4096, 4096)),
+        Layer::once(mm("vgg16_fc8", 1, 4096, 1000)),
+    ]
+}
+
+/// ResNet-50 (He et al.), bottleneck v1 with stride on the 3x3 convs.
+pub fn resnet50() -> Vec<Layer> {
+    let mut layers = vec![Layer::once(conv("resnet50_conv1", 7, 7, 112, 112, 3, 64, 2))];
+    // Stage 2 (56x56, widths 64 -> 256), 3 blocks.
+    layers.extend([
+        Layer::once(conv("resnet50_s2_b1_1x1a", 1, 1, 56, 56, 64, 64, 1)),
+        Layer::repeated(conv("resnet50_s2_3x3", 3, 3, 56, 56, 64, 64, 1), 3),
+        Layer::repeated(conv("resnet50_s2_1x1b", 1, 1, 56, 56, 64, 256, 1), 3),
+        Layer::once(conv("resnet50_s2_ds", 1, 1, 56, 56, 64, 256, 1)),
+        Layer::repeated(conv("resnet50_s2_1x1a", 1, 1, 56, 56, 256, 64, 1), 2),
+    ]);
+    // Stage 3 (28x28, widths 128 -> 512), 4 blocks.
+    layers.extend([
+        Layer::once(conv("resnet50_s3_1x1a_in", 1, 1, 28, 28, 256, 128, 2)),
+        Layer::repeated(conv("resnet50_s3_3x3", 3, 3, 28, 28, 128, 128, 1), 4),
+        Layer::repeated(conv("resnet50_s3_1x1b", 1, 1, 28, 28, 128, 512, 1), 4),
+        Layer::once(conv("resnet50_s3_ds", 1, 1, 28, 28, 256, 512, 2)),
+        Layer::repeated(conv("resnet50_s3_1x1a", 1, 1, 28, 28, 512, 128, 1), 3),
+    ]);
+    // Stage 4 (14x14, widths 256 -> 1024), 6 blocks.
+    layers.extend([
+        Layer::once(conv("resnet50_s4_1x1a_in", 1, 1, 14, 14, 512, 256, 2)),
+        Layer::repeated(conv("resnet50_s4_3x3", 3, 3, 14, 14, 256, 256, 1), 6),
+        Layer::repeated(conv("resnet50_s4_1x1b", 1, 1, 14, 14, 256, 1024, 1), 6),
+        Layer::once(conv("resnet50_s4_ds", 1, 1, 14, 14, 512, 1024, 2)),
+        Layer::repeated(conv("resnet50_s4_1x1a", 1, 1, 14, 14, 1024, 256, 1), 5),
+    ]);
+    // Stage 5 (7x7, widths 512 -> 2048), 3 blocks.
+    layers.extend([
+        Layer::once(conv("resnet50_s5_1x1a_in", 1, 1, 7, 7, 1024, 512, 2)),
+        Layer::repeated(conv("resnet50_s5_3x3", 3, 3, 7, 7, 512, 512, 1), 3),
+        Layer::repeated(conv("resnet50_s5_1x1b", 1, 1, 7, 7, 512, 2048, 1), 3),
+        Layer::once(conv("resnet50_s5_ds", 1, 1, 7, 7, 1024, 2048, 2)),
+        Layer::repeated(conv("resnet50_s5_1x1a", 1, 1, 7, 7, 2048, 512, 1), 2),
+    ]);
+    layers.push(Layer::once(mm("resnet50_fc", 1, 2048, 1000)));
+    layers
+}
+
+/// ResNeXt-50-32x4d (Xie et al.). Grouped 3x3 convolutions with 32 groups are
+/// modeled as 32 repetitions of a `C/32 -> K/32` convolution.
+pub fn resnext50_32x4d() -> Vec<Layer> {
+    vec![
+        Layer::once(conv("resnext50_conv1", 7, 7, 112, 112, 3, 64, 2)),
+        // Stage 2 (56x56, width 128, grouped 3x3 with 4 channels/group).
+        Layer::once(conv("resnext50_s2_1x1a_in", 1, 1, 56, 56, 64, 128, 1)),
+        Layer::repeated(conv("resnext50_s2_g3x3", 3, 3, 56, 56, 4, 4, 1), 3 * 32),
+        Layer::repeated(conv("resnext50_s2_1x1b", 1, 1, 56, 56, 128, 256, 1), 3),
+        Layer::once(conv("resnext50_s2_ds", 1, 1, 56, 56, 64, 256, 1)),
+        Layer::repeated(conv("resnext50_s2_1x1a", 1, 1, 56, 56, 256, 128, 1), 2),
+        // Stage 3 (28x28, width 256, 8 channels/group).
+        Layer::once(conv("resnext50_s3_1x1a_in", 1, 1, 28, 28, 256, 256, 2)),
+        Layer::repeated(conv("resnext50_s3_g3x3", 3, 3, 28, 28, 8, 8, 1), 4 * 32),
+        Layer::repeated(conv("resnext50_s3_1x1b", 1, 1, 28, 28, 256, 512, 1), 4),
+        Layer::once(conv("resnext50_s3_ds", 1, 1, 28, 28, 256, 512, 2)),
+        Layer::repeated(conv("resnext50_s3_1x1a", 1, 1, 28, 28, 512, 256, 1), 3),
+        // Stage 4 (14x14, width 512, 16 channels/group).
+        Layer::once(conv("resnext50_s4_1x1a_in", 1, 1, 14, 14, 512, 512, 2)),
+        Layer::repeated(conv("resnext50_s4_g3x3", 3, 3, 14, 14, 16, 16, 1), 6 * 32),
+        Layer::repeated(conv("resnext50_s4_1x1b", 1, 1, 14, 14, 512, 1024, 1), 6),
+        Layer::once(conv("resnext50_s4_ds", 1, 1, 14, 14, 512, 1024, 2)),
+        Layer::repeated(conv("resnext50_s4_1x1a", 1, 1, 14, 14, 1024, 512, 1), 5),
+        // Stage 5 (7x7, width 1024, 32 channels/group).
+        Layer::once(conv("resnext50_s5_1x1a_in", 1, 1, 7, 7, 1024, 1024, 2)),
+        Layer::repeated(conv("resnext50_s5_g3x3", 3, 3, 7, 7, 32, 32, 1), 3 * 32),
+        Layer::repeated(conv("resnext50_s5_1x1b", 1, 1, 7, 7, 1024, 2048, 1), 3),
+        Layer::once(conv("resnext50_s5_ds", 1, 1, 7, 7, 1024, 2048, 2)),
+        Layer::repeated(conv("resnext50_s5_1x1a", 1, 1, 7, 7, 2048, 1024, 1), 2),
+        Layer::once(mm("resnext50_fc", 1, 2048, 1000)),
+    ]
+}
+
+/// DeepBench inference GEMM/conv kernels from the OCR and face-recognition
+/// suites (Baidu DeepBench).
+pub fn deepbench() -> Vec<Layer> {
+    vec![
+        // OCR GEMMs (M, K, N).
+        Layer::once(mm("deepbench_ocr_gemm1", 5124, 2048, 700)),
+        Layer::once(mm("deepbench_ocr_gemm2", 35, 2048, 700)),
+        Layer::once(mm("deepbench_ocr_gemm3", 5124, 2560, 700)),
+        Layer::once(mm("deepbench_ocr_gemm4", 35, 2560, 700)),
+        Layer::once(mm("deepbench_ocr_gemm5", 3072, 1024, 1500)),
+        Layer::once(mm("deepbench_ocr_gemm6", 512, 2816, 6000)),
+        Layer::once(mm("deepbench_ocr_gemm7", 1024, 3584, 6000)),
+        // Face-recognition (DeepSpeech-style) convolutions.
+        Layer::once(conv("deepbench_face_conv1", 3, 3, 108, 108, 3, 64, 2)),
+        Layer::once(conv("deepbench_face_conv2", 3, 3, 54, 54, 64, 64, 1)),
+        Layer::once(conv("deepbench_face_conv3", 3, 3, 27, 27, 128, 128, 1)),
+        Layer::once(conv("deepbench_face_conv4", 3, 3, 14, 14, 128, 256, 1)),
+        Layer::once(conv("deepbench_face_conv5", 3, 3, 7, 7, 256, 512, 1)),
+    ]
+}
+
+/// BERT-base encoder (Devlin et al.), sequence length 512, 12 layers.
+///
+/// Per encoder layer: QKV projections, attention score and context matmuls
+/// (12 heads folded into the batch-of-matmuls count), output projection, and
+/// the two feed-forward matmuls.
+pub fn bert() -> Vec<Layer> {
+    vec![
+        Layer::repeated(mm("bert_qkv_proj", 512, 768, 768), 12 * 3),
+        Layer::repeated(mm("bert_attn_scores", 512, 64, 512), 12 * 12),
+        Layer::repeated(mm("bert_attn_context", 512, 512, 64), 12 * 12),
+        Layer::repeated(mm("bert_out_proj", 512, 768, 768), 12),
+        Layer::repeated(mm("bert_ffn1", 512, 768, 3072), 12),
+        Layer::repeated(mm("bert_ffn2", 512, 3072, 768), 12),
+    ]
+}
+
+/// RetinaNet (Lin et al.) layers that are *not* part of the ResNet backbone:
+/// FPN lateral/output convs plus the classification and box subnets, over a
+/// 640x640 input (pyramid levels P3..P7).
+pub fn retinanet() -> Vec<Layer> {
+    let mut layers = vec![
+        // FPN laterals from C3/C4/C5 feature maps.
+        Layer::once(conv("retinanet_fpn_lat_c3", 1, 1, 80, 80, 512, 256, 1)),
+        Layer::once(conv("retinanet_fpn_lat_c4", 1, 1, 40, 40, 1024, 256, 1)),
+        Layer::once(conv("retinanet_fpn_lat_c5", 1, 1, 20, 20, 2048, 256, 1)),
+        // FPN output convs at P3..P5.
+        Layer::once(conv("retinanet_fpn_out_p3", 3, 3, 80, 80, 256, 256, 1)),
+        Layer::once(conv("retinanet_fpn_out_p4", 3, 3, 40, 40, 256, 256, 1)),
+        Layer::once(conv("retinanet_fpn_out_p5", 3, 3, 20, 20, 256, 256, 1)),
+        // P6/P7 extra levels.
+        Layer::once(conv("retinanet_fpn_p6", 3, 3, 10, 10, 2048, 256, 2)),
+        Layer::once(conv("retinanet_fpn_p7", 3, 3, 5, 5, 256, 256, 2)),
+    ];
+    // Class and box subnets: 4 intermediate 3x3/256 convs + 1 head conv,
+    // shared across levels (so each runs once per level).
+    for (lvl, hw) in [(3u32, 80u64), (4, 40), (5, 20), (6, 10), (7, 5)] {
+        layers.push(Layer::repeated(
+            conv(
+                &format!("retinanet_subnet_p{lvl}"),
+                3,
+                3,
+                hw,
+                hw,
+                256,
+                256,
+                1,
+            ),
+            // 4 tower convs in the class subnet + 4 in the box subnet.
+            8,
+        ));
+        layers.push(Layer::once(conv(
+            &format!("retinanet_cls_head_p{lvl}"),
+            3,
+            3,
+            hw,
+            hw,
+            256,
+            720,
+            1,
+        )));
+        layers.push(Layer::once(conv(
+            &format!("retinanet_box_head_p{lvl}"),
+            3,
+            3,
+            hw,
+            hw,
+            256,
+            36,
+            1,
+        )));
+    }
+    layers
+}
+
+/// U-Net (Ronneberger et al.) on a 256x256 input with the standard
+/// 64-128-256-512-1024 channel progression.
+pub fn unet() -> Vec<Layer> {
+    vec![
+        // Encoder.
+        Layer::once(conv("unet_enc1_1", 3, 3, 256, 256, 3, 64, 1)),
+        Layer::once(conv("unet_enc1_2", 3, 3, 256, 256, 64, 64, 1)),
+        Layer::once(conv("unet_enc2_1", 3, 3, 128, 128, 64, 128, 1)),
+        Layer::once(conv("unet_enc2_2", 3, 3, 128, 128, 128, 128, 1)),
+        Layer::once(conv("unet_enc3_1", 3, 3, 64, 64, 128, 256, 1)),
+        Layer::once(conv("unet_enc3_2", 3, 3, 64, 64, 256, 256, 1)),
+        Layer::once(conv("unet_enc4_1", 3, 3, 32, 32, 256, 512, 1)),
+        Layer::once(conv("unet_enc4_2", 3, 3, 32, 32, 512, 512, 1)),
+        // Bottleneck.
+        Layer::once(conv("unet_bott_1", 3, 3, 16, 16, 512, 1024, 1)),
+        Layer::once(conv("unet_bott_2", 3, 3, 16, 16, 1024, 1024, 1)),
+        // Decoder (2x2 up-convolutions + double convs on concatenated maps).
+        Layer::once(conv("unet_up4", 2, 2, 32, 32, 1024, 512, 1)),
+        Layer::once(conv("unet_dec4_1", 3, 3, 32, 32, 1024, 512, 1)),
+        Layer::once(conv("unet_dec4_2", 3, 3, 32, 32, 512, 512, 1)),
+        Layer::once(conv("unet_up3", 2, 2, 64, 64, 512, 256, 1)),
+        Layer::once(conv("unet_dec3_1", 3, 3, 64, 64, 512, 256, 1)),
+        Layer::once(conv("unet_dec3_2", 3, 3, 64, 64, 256, 256, 1)),
+        Layer::once(conv("unet_up2", 2, 2, 128, 128, 256, 128, 1)),
+        Layer::once(conv("unet_dec2_1", 3, 3, 128, 128, 256, 128, 1)),
+        Layer::once(conv("unet_dec2_2", 3, 3, 128, 128, 128, 128, 1)),
+        Layer::once(conv("unet_up1", 2, 2, 256, 256, 128, 64, 1)),
+        Layer::once(conv("unet_dec1_1", 3, 3, 256, 256, 128, 64, 1)),
+        Layer::once(conv("unet_dec1_2", 3, 3, 256, 256, 64, 64, 1)),
+        Layer::once(conv("unet_head", 1, 1, 256, 256, 64, 2, 1)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Tensor;
+
+    #[test]
+    fn resnet50_macs_in_expected_range() {
+        // ResNet-50 is ~4.1 GMACs at 224x224.
+        let total: u64 = resnet50()
+            .iter()
+            .map(|l| l.problem.macs() * l.count)
+            .sum();
+        assert!(
+            (3_500_000_000..4_500_000_000).contains(&total),
+            "got {total}"
+        );
+    }
+
+    #[test]
+    fn vgg16_macs_in_expected_range() {
+        // VGG-16 is ~15.5 GMACs.
+        let total: u64 = vgg16().iter().map(|l| l.problem.macs() * l.count).sum();
+        assert!(
+            (14_000_000_000..16_500_000_000).contains(&total),
+            "got {total}"
+        );
+    }
+
+    #[test]
+    fn bert_macs_in_expected_range() {
+        // BERT-base at seq 512 is ~49 GMACs for the matmuls (incl. attention).
+        let total: u64 = bert().iter().map(|l| l.problem.macs() * l.count).sum();
+        assert!(
+            (40_000_000_000..60_000_000_000).contains(&total),
+            "got {total}"
+        );
+    }
+
+    #[test]
+    fn all_layer_names_unique_within_network() {
+        for layers in [
+            alexnet(),
+            vgg16(),
+            resnet50(),
+            resnext50_32x4d(),
+            deepbench(),
+            bert(),
+            retinanet(),
+            unet(),
+        ] {
+            let mut names: Vec<&str> = layers.iter().map(|l| l.problem.name()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate layer name");
+        }
+    }
+
+    #[test]
+    fn all_layers_have_positive_tensors() {
+        for layers in [
+            alexnet(),
+            vgg16(),
+            resnet50(),
+            resnext50_32x4d(),
+            deepbench(),
+            bert(),
+            retinanet(),
+            unet(),
+        ] {
+            for l in layers {
+                for t in Tensor::ALL {
+                    assert!(l.problem.tensor_size(t) > 0, "{}", l.problem);
+                }
+                assert!(l.count >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn resnext_grouped_convs_expand_counts() {
+        let grouped: u64 = resnext50_32x4d()
+            .iter()
+            .filter(|l| l.problem.name().contains("g3x3"))
+            .map(|l| l.count)
+            .sum();
+        // (3 + 4 + 6 + 3) blocks x 32 groups.
+        assert_eq!(grouped, 16 * 32);
+    }
+}

@@ -1,0 +1,205 @@
+//! Workload suites (Table 6) and unique-layer deduplication.
+
+use crate::models;
+use crate::problem::Layer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One of the eight networks of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Network {
+    /// AlexNet (training workload).
+    AlexNet,
+    /// VGG-16 (training workload).
+    Vgg16,
+    /// ResNeXt-50-32x4d (training workload).
+    ResNext50,
+    /// DeepBench OCR + face recognition kernels (training workload).
+    DeepBench,
+    /// BERT-base (target workload).
+    Bert,
+    /// ResNet-50 (target workload).
+    ResNet50,
+    /// RetinaNet non-backbone layers (target workload).
+    RetinaNet,
+    /// U-Net (target workload).
+    UNet,
+}
+
+impl Network {
+    /// The four training workloads (left column of Table 6).
+    pub const TRAINING: [Network; 4] = [
+        Network::AlexNet,
+        Network::ResNext50,
+        Network::Vgg16,
+        Network::DeepBench,
+    ];
+
+    /// The four target workloads (right column of Table 6).
+    pub const TARGETS: [Network; 4] = [
+        Network::UNet,
+        Network::ResNet50,
+        Network::Bert,
+        Network::RetinaNet,
+    ];
+
+    /// All eight networks.
+    pub const ALL: [Network; 8] = [
+        Network::AlexNet,
+        Network::Vgg16,
+        Network::ResNext50,
+        Network::DeepBench,
+        Network::Bert,
+        Network::ResNet50,
+        Network::RetinaNet,
+        Network::UNet,
+    ];
+
+    /// Layer table for this network (with repeat counts).
+    pub fn layers(self) -> Vec<Layer> {
+        match self {
+            Network::AlexNet => models::alexnet(),
+            Network::Vgg16 => models::vgg16(),
+            Network::ResNext50 => models::resnext50_32x4d(),
+            Network::DeepBench => models::deepbench(),
+            Network::Bert => models::bert(),
+            Network::ResNet50 => models::resnet50(),
+            Network::RetinaNet => models::retinanet(),
+            Network::UNet => models::unet(),
+        }
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Network::AlexNet => "AlexNet",
+            Network::Vgg16 => "VGG-16",
+            Network::ResNext50 => "ResNeXt-50-32x4d",
+            Network::DeepBench => "DeepBench",
+            Network::Bert => "BERT",
+            Network::ResNet50 => "ResNet-50",
+            Network::RetinaNet => "RetinaNet",
+            Network::UNet => "U-Net",
+        }
+    }
+
+    /// Parse a CLI-style name (`unet | resnet50 | bert | retinanet | ...`).
+    pub fn parse(s: &str) -> Option<Network> {
+        match s.to_ascii_lowercase().as_str() {
+            "alexnet" => Some(Network::AlexNet),
+            "vgg16" | "vgg-16" => Some(Network::Vgg16),
+            "resnext50" | "resnext" => Some(Network::ResNext50),
+            "deepbench" => Some(Network::DeepBench),
+            "bert" => Some(Network::Bert),
+            "resnet50" | "resnet-50" => Some(Network::ResNet50),
+            "retinanet" => Some(Network::RetinaNet),
+            "unet" | "u-net" => Some(Network::UNet),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deduplicate layers by shape: layers with identical bounds and strides are
+/// merged, summing their counts (§4.5: one mapping per unique layer).
+pub fn dedup_layers(layers: impl IntoIterator<Item = Layer>) -> Vec<Layer> {
+    let mut order = Vec::new();
+    let mut index: HashMap<_, usize> = HashMap::new();
+    for layer in layers {
+        let key = layer.problem.shape_key();
+        match index.get(&key) {
+            Some(&i) => {
+                let merged: &mut Layer = &mut order[i];
+                merged.count += layer.count;
+            }
+            None => {
+                index.insert(key, order.len());
+                order.push(layer);
+            }
+        }
+    }
+    order
+}
+
+/// The unique layers of a network, merged by shape.
+pub fn unique_layers(net: Network) -> Vec<Layer> {
+    dedup_layers(net.layers())
+}
+
+/// The correlation corpus for Figure 4: the unique layer shapes across every
+/// network in Table 6 (the paper evaluates 73 unique matmul/conv layers).
+pub fn correlation_corpus() -> Vec<Layer> {
+    dedup_layers(Network::ALL.into_iter().flat_map(Network::layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_merges_counts() {
+        let layers = models::resnet50();
+        let unique = dedup_layers(layers.clone());
+        let total_before: u64 = layers.iter().map(|l| l.count).sum();
+        let total_after: u64 = unique.iter().map(|l| l.count).sum();
+        assert_eq!(total_before, total_after);
+        assert!(unique.len() <= layers.len());
+        // All shapes unique after dedup.
+        let mut keys: Vec<_> = unique.iter().map(|l| l.problem.shape_key()).collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+
+    #[test]
+    fn corpus_has_dozens_of_unique_layers() {
+        let corpus = correlation_corpus();
+        // The paper evaluates 73 unique layers; our tables should land in the
+        // same regime.
+        assert!(
+            (60..=130).contains(&corpus.len()),
+            "corpus has {} unique layers",
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_cli_names() {
+        for net in Network::ALL {
+            let lowered = match net {
+                Network::ResNext50 => "resnext50".to_string(),
+                Network::Vgg16 => "vgg16".to_string(),
+                other => other.name().to_ascii_lowercase().replace('-', ""),
+            };
+            let parsed = Network::parse(&lowered).or_else(|| Network::parse(net.name()));
+            assert_eq!(parsed, Some(net), "failed to parse {lowered}");
+        }
+        assert_eq!(Network::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn training_and_targets_partition_all() {
+        let mut all: Vec<_> = Network::TRAINING
+            .into_iter()
+            .chain(Network::TARGETS)
+            .collect();
+        all.sort_by_key(|n| n.name());
+        let mut expected: Vec<_> = Network::ALL.into_iter().collect();
+        expected.sort_by_key(|n| n.name());
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn every_network_nonempty() {
+        for net in Network::ALL {
+            assert!(!net.layers().is_empty(), "{net} has no layers");
+        }
+    }
+}

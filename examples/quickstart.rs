@@ -1,0 +1,57 @@
+//! Quickstart: co-search hardware and mappings for a small DNN with DOSA's
+//! one-loop gradient descent, then inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dosa::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A three-layer toy network: two convolutions and a matmul.
+    let layers = vec![
+        Layer::once(Problem::conv("conv3x3", 3, 3, 28, 28, 64, 64, 1)?),
+        Layer::repeated(Problem::conv("conv1x1", 1, 1, 28, 28, 64, 256, 1)?, 2),
+        Layer::once(Problem::matmul("fc", 1, 2048, 1000)?),
+    ];
+    let hier = Hierarchy::gemmini();
+
+    // Run a reduced one-loop search: gradient descent over all layers'
+    // tiling factors simultaneously, hardware inferred from the mappings.
+    let cfg = GdConfig {
+        start_points: 2,
+        steps_per_start: 300,
+        round_every: 100,
+        ..GdConfig::default()
+    };
+    let result = dosa_search(&layers, &hier, &cfg);
+
+    println!("samples used:   {}", result.samples);
+    println!("best EDP:       {:.4e} uJ x cycles", result.best_edp);
+    println!("best hardware:  {}", result.best_hw);
+    println!();
+
+    // Per-layer view: reference-model evaluation of the chosen mappings.
+    for (layer, mapping) in layers.iter().zip(&result.best_mappings) {
+        let perf = evaluate_layer(&layer.problem, mapping, &result.best_hw, &hier);
+        println!(
+            "{:<10} latency {:>12.0} cycles  energy {:>10.3} uJ  (x{})",
+            layer.problem.name(),
+            perf.latency_cycles,
+            perf.energy_uj,
+            layer.count
+        );
+        println!("{mapping}");
+    }
+
+    // The minimal hardware really is minimal: shrinking any buffer breaks
+    // at least one mapping.
+    let pairs: Vec<_> = layers
+        .iter()
+        .zip(&result.best_mappings)
+        .map(|(l, m)| (&l.problem, m))
+        .collect();
+    let minimal = min_hw_for_all(pairs, &hier);
+    println!("minimal hardware for these mappings: {minimal}");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Real-hardware co-design (the §6.5 / Figure 12 flow): train a learned
+//! latency-correction model from simulated Gemmini-RTL measurements, run
+//! the fixed-PE one-loop search with the analytical and DNN-augmented
+//! models, and measure both results on the RTL simulator.
+//!
+//! ```text
+//! cargo run --release --example rtl_codesign
+//! ```
+
+use dosa::nn::TrainConfig;
+use dosa::prelude::*;
+use dosa::rtl::RtlConfig;
+use dosa::search::{evaluate_rtl, generate_rtl_dataset};
+use dosa::workload::dedup_layers;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hier = Hierarchy::gemmini();
+    let rtl_cfg = RtlConfig::default();
+
+    // 1) "Measure" random mappings of the training workloads on the RTL
+    //    simulator (the FireSim role) and train the residual model.
+    let corpus = dedup_layers(
+        Network::TRAINING
+            .into_iter()
+            .flat_map(|n| unique_layers(n)),
+    );
+    println!("generating RTL dataset ({} layers)...", corpus.len());
+    let dataset = generate_rtl_dataset(&corpus, 500, &hier, &rtl_cfg, 1);
+    let cfg = TrainConfig {
+        epochs: 150,
+        ..TrainConfig::default()
+    };
+    let combined = LatencyPredictor::fit(LatencyModelKind::Combined, &dataset, &cfg, 2);
+    println!("trained combined model on {} samples", dataset.samples.len());
+
+    // 2) Optimize BERT's buffer sizes and mappings for a fixed 16x16 array
+    //    with both latency models.
+    let layers = unique_layers(Network::Bert);
+    let gd = GdConfig {
+        start_points: 2,
+        steps_per_start: 300,
+        round_every: 100,
+        fixed_pe_side: Some(16),
+        ..GdConfig::default()
+    };
+    let analytical_run = dosa_search_rtl(&layers, &hier, &gd, &LatencyPredictor::analytical());
+    let combined_run = dosa_search_rtl(&layers, &hier, &gd, &combined);
+
+    // 3) Measure everything on the RTL simulator (energy stays analytical,
+    //    like the paper's FireSim + Accelergy evaluation).
+    let default_hw = HardwareConfig::gemmini_default();
+    let default_maps: Vec<Mapping> = layers
+        .iter()
+        .map(|l| cosa_mapping(&l.problem, &default_hw, &hier))
+        .collect();
+    let default = evaluate_rtl(&layers, &default_maps, &default_hw, &hier, &rtl_cfg);
+    let ana = evaluate_rtl(
+        &layers,
+        &analytical_run.best_mappings,
+        &analytical_run.best_hw,
+        &hier,
+        &rtl_cfg,
+    );
+    let comb = evaluate_rtl(
+        &layers,
+        &combined_run.best_mappings,
+        &combined_run.best_hw,
+        &hier,
+        &rtl_cfg,
+    );
+
+    println!("\nBERT on Gemmini-RTL (measured EDP, lower is better):");
+    println!("  default  {:>12.4e}  ({default_hw})", default.edp());
+    println!(
+        "  analytical {:>10.4e}  ({}) => {:.2}x vs default",
+        ana.edp(),
+        analytical_run.best_hw,
+        default.edp() / ana.edp()
+    );
+    println!(
+        "  combined {:>12.4e}  ({}) => {:.2}x vs default",
+        comb.edp(),
+        combined_run.best_hw,
+        default.edp() / comb.edp()
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # dosa
+//!
+//! A from-scratch Rust reproduction of *DOSA: Differentiable Model-Based
+//! One-Loop Search for DNN Accelerators* (MICRO 2023), including every
+//! substrate the paper depends on: a Timeloop-style reference analytical
+//! model, an Accelergy-style energy model, a tape-based autodiff engine, a
+//! Gemmini-RTL cycle-approximate simulator, a CoSA-substitute mapper, the
+//! learned latency-correction MLP, and the random / Bayesian-optimization
+//! baseline searchers.
+//!
+//! This facade crate re-exports the workspace members under stable paths:
+//!
+//! * [`workload`] — layer shapes and the Table 6 networks,
+//! * [`accel`] — hardware configurations, hierarchy and energy model,
+//! * [`timeloop`] — the reference analytical model and mapspace,
+//! * [`autodiff`] — reverse-mode automatic differentiation,
+//! * [`model`] — the differentiable performance model,
+//! * [`nn`] — the learned latency-correction MLP,
+//! * [`rtl`] — the Gemmini-RTL simulator substitute,
+//! * [`search`] — DOSA's one-loop GD search and the baselines,
+//! * [`bench`] — the experiment harness behind the `repro` binary.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dosa::prelude::*;
+//!
+//! // One ResNet-50 bottleneck layer.
+//! let layers = vec![Layer::once(Problem::conv("l", 1, 1, 56, 56, 64, 64, 1)?)];
+//! let hier = Hierarchy::gemmini();
+//!
+//! // A tiny one-loop search: hardware and mapping found together.
+//! let cfg = GdConfig { start_points: 1, steps_per_start: 60, round_every: 30,
+//!                      ..GdConfig::default() };
+//! let result = dosa_search(&layers, &hier, &cfg);
+//! assert!(result.best_edp.is_finite());
+//! # Ok::<(), dosa::workload::ProblemError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dosa_accel as accel;
+pub use dosa_autodiff as autodiff;
+pub use dosa_bench as bench;
+pub use dosa_model as model;
+pub use dosa_nn as nn;
+pub use dosa_rtl as rtl;
+pub use dosa_search as search;
+pub use dosa_timeloop as timeloop;
+pub use dosa_workload as workload;
+
+/// Commonly used items for examples and downstream code.
+pub mod prelude {
+    pub use dosa_accel::{EnergyModel, HardwareConfig, Hierarchy};
+    pub use dosa_model::{build_loss, LossOptions, RelaxedMapping};
+    pub use dosa_search::{
+        bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search,
+        BbboConfig, GdConfig, LatencyModelKind, LatencyPredictor, LoopOrderStrategy,
+        RandomSearchConfig,
+    };
+    pub use dosa_timeloop::{
+        evaluate_layer, evaluate_model, min_hw, min_hw_for_all, Mapping, Stationarity,
+    };
+    pub use dosa_workload::{unique_layers, Layer, Network, Problem};
+}

@@ -1,0 +1,30 @@
+//! Smoke tests of the experiment harness: the informational tables print
+//! and the quick-scale Figure 4 study reproduces its headline statistics.
+
+use dosa::bench::{fig4, info, Scale};
+
+#[test]
+fn info_tables_print_without_panicking() {
+    info::all();
+}
+
+#[test]
+fn fig4_quick_reproduces_headline_statistics() {
+    let out = std::env::temp_dir().join("dosa_harness_smoke");
+    let res = fig4::run(Scale::Quick, 7, &out);
+    assert!(res.samples >= 200);
+    assert!(res.latency.mae_pct < 0.01);
+    assert!(res.energy.mae_pct < 1.0);
+    assert!(res.edp.within_1pct > 0.9);
+    // The CSV artifact is written.
+    assert!(out.join("fig4_correlation.csv").exists());
+}
+
+#[test]
+fn scales_expose_paper_counts() {
+    assert_eq!(Scale::Paper.fig4(), (100, 100));
+    assert_eq!(Scale::Paper.rtl_dataset(), 1567);
+    let gd = Scale::Paper.gd_main(0);
+    assert_eq!(gd.start_points, 7);
+    assert_eq!(gd.steps_per_start, 1490);
+}

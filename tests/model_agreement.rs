@@ -1,0 +1,112 @@
+//! Property-based agreement between the differentiable model and the
+//! reference model — the invariant behind Figure 4, checked across random
+//! problems and mappings.
+
+use dosa::accel::{HardwareConfig, Hierarchy};
+use dosa::autodiff::Tape;
+use dosa::model::{layer_perf_vars, FactorVars, HwVars, RelaxedMapping};
+use dosa::timeloop::{evaluate_layer, min_hw, random_mapping};
+use dosa::workload::Problem;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (
+        1u64..=3,   // r
+        1u64..=3,   // s
+        1u64..=32,  // p
+        1u64..=32,  // q
+        1u64..=128, // c
+        1u64..=128, // k
+        1u64..=2,   // stride
+    )
+        .prop_map(|(r, s, p, q, c, k, stride)| {
+            Problem::conv("prop", r, s, p, q, c, k, stride).expect("bounds are positive")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn latency_agrees_exactly(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let hw = HardwareConfig::gemmini_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, hw.pe_side());
+        let reference = evaluate_layer(&problem, &m, &hw, &hier);
+
+        let tape = Tape::new();
+        let fv = FactorVars::from_mapping(&tape, &m);
+        let hwv = HwVars::fixed(&tape, &hw);
+        let perf = layer_perf_vars(&tape, &problem, &fv, &hwv, &hier);
+        let rel = (perf.latency.value() - reference.latency_cycles).abs()
+            / reference.latency_cycles.max(1.0);
+        prop_assert!(rel < 1e-9, "latency diverged: {} vs {}", perf.latency.value(), reference.latency_cycles);
+    }
+
+    #[test]
+    fn diff_energy_never_exceeds_reference(problem in arb_problem(), seed in 0u64..1000) {
+        // The reference adds DRAM block padding; the smooth model cannot be
+        // larger.
+        let hier = Hierarchy::gemmini();
+        let hw = HardwareConfig::gemmini_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, hw.pe_side());
+        let reference = evaluate_layer(&problem, &m, &hw, &hier);
+
+        let tape = Tape::new();
+        let fv = FactorVars::from_mapping(&tape, &m);
+        let hwv = HwVars::fixed(&tape, &hw);
+        let perf = layer_perf_vars(&tape, &problem, &fv, &hwv, &hier);
+        prop_assert!(perf.energy_uj.value() <= reference.energy_uj * (1.0 + 1e-9));
+        // And within 35% even in the worst padded case.
+        prop_assert!(perf.energy_uj.value() >= reference.energy_uj * 0.65);
+    }
+
+    #[test]
+    fn derived_hw_matches_integer_min_hw(problem in arb_problem(), seed in 0u64..1000) {
+        let hier = Hierarchy::gemmini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, 32);
+        let expect = min_hw(&problem, &m, &hier);
+
+        let tape = Tape::new();
+        let fv = FactorVars::from_mapping(&tape, &m);
+        let hw = HwVars::derive(&tape, &[(&problem, &fv)]);
+        let got = hw.to_config();
+        prop_assert_eq!(got.pe_side(), expect.pe_side());
+        prop_assert_eq!(got.acc_kb(), expect.acc_kb());
+        prop_assert_eq!(got.spad_kb(), expect.spad_kb());
+    }
+
+    #[test]
+    fn rounding_relaxed_mappings_is_always_valid(problem in arb_problem(), params in proptest::collection::vec(-1.5f64..3.0, 23)) {
+        let hier = Hierarchy::gemmini();
+        let mut r = RelaxedMapping::identity(dosa::timeloop::Stationarity::WeightStationary);
+        r.set_params(&params);
+        let m = r.round(&problem);
+        prop_assert!(m.validate(&problem, &hier).is_ok());
+        // Capped rounding respects a pinned PE side.
+        let m16 = r.round_with_cap(&problem, 16);
+        prop_assert!(m16.validate(&problem, &hier).is_ok());
+        for lvl in 0..dosa::accel::NUM_LEVELS {
+            for d in dosa::workload::Dim::ALL {
+                prop_assert!(m16.spatial(lvl, d) <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_never_beats_the_roofline(problem in arb_problem(), seed in 0u64..500) {
+        let hier = Hierarchy::gemmini();
+        let hw = HardwareConfig::gemmini_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_mapping(&mut rng, &problem, &hier, hw.pe_side());
+        let reference = evaluate_layer(&problem, &m, &hw, &hier);
+        let rtl = dosa::rtl::simulate_latency_default(&problem, &m, &hw, &hier);
+        prop_assert!(rtl > reference.latency_cycles * 0.99,
+            "rtl {} vs roofline {}", rtl, reference.latency_cycles);
+    }
+}

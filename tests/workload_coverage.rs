@@ -1,0 +1,100 @@
+//! Broad coverage: every layer of all eight Table 6 networks flows through
+//! the mapper, min-HW inference, the reference model, and the
+//! differentiable model without inconsistency.
+
+use dosa::autodiff::Tape;
+use dosa::model::{layer_perf_vars, FactorVars, HwVars};
+use dosa::prelude::*;
+use dosa::timeloop::fits;
+use dosa::workload::correlation_corpus;
+
+#[test]
+fn cosa_maps_every_layer_of_every_network() {
+    let hier = Hierarchy::gemmini();
+    let hw = HardwareConfig::gemmini_default();
+    for net in Network::ALL {
+        for layer in unique_layers(net) {
+            let m = cosa_mapping(&layer.problem, &hw, &hier);
+            m.validate(&layer.problem, &hier)
+                .unwrap_or_else(|e| panic!("{net}: {}: {e}", layer.problem));
+            assert!(
+                fits(&layer.problem, &m, &hw, &hier),
+                "{net}: {} does not fit {hw} (needs {})",
+                layer.problem,
+                min_hw(&layer.problem, &m, &hier)
+            );
+        }
+    }
+}
+
+#[test]
+fn reference_and_diff_model_agree_on_every_corpus_layer() {
+    let hier = Hierarchy::gemmini();
+    let hw = HardwareConfig::gemmini_default();
+    let tape = Tape::new();
+    for layer in correlation_corpus() {
+        let m = cosa_mapping(&layer.problem, &hw, &hier);
+        let reference = evaluate_layer(&layer.problem, &m, &hw, &hier);
+
+        tape.clear();
+        let fv = FactorVars::from_mapping(&tape, &m);
+        let hwv = HwVars::fixed(&tape, &hw);
+        let perf = layer_perf_vars(&tape, &layer.problem, &fv, &hwv, &hier);
+        let rel_latency = (perf.latency.value() - reference.latency_cycles).abs()
+            / reference.latency_cycles.max(1.0);
+        assert!(rel_latency < 1e-9, "{}: latency diverged", layer.problem);
+        assert!(
+            perf.energy_uj.value() <= reference.energy_uj * (1.0 + 1e-9),
+            "{}: diff energy exceeds reference",
+            layer.problem
+        );
+        assert!(
+            perf.energy_uj.value() >= reference.energy_uj * 0.6,
+            "{}: energy gap beyond the block ceiling",
+            layer.problem
+        );
+    }
+}
+
+#[test]
+fn every_layer_is_compute_or_memory_bound_sanely() {
+    // The roofline must never report latency below the compute bound of the
+    // PEs the mapping uses, for any layer and the CoSA mapping.
+    let hier = Hierarchy::gemmini();
+    let hw = HardwareConfig::gemmini_default();
+    for layer in correlation_corpus() {
+        let m = cosa_mapping(&layer.problem, &hw, &hier);
+        let perf = evaluate_layer(&layer.problem, &m, &hw, &hier);
+        let compute_bound = layer.problem.macs() as f64 / m.spatial_product() as f64;
+        assert!(
+            perf.latency_cycles >= compute_bound * (1.0 - 1e-12),
+            "{}: latency {} under compute bound {}",
+            layer.problem,
+            perf.latency_cycles,
+            compute_bound
+        );
+        assert!(perf.energy_uj > 0.0);
+    }
+}
+
+#[test]
+fn min_hw_never_exceeds_architectural_caps() {
+    let hier = Hierarchy::gemmini();
+    for net in Network::TARGETS {
+        let layers = unique_layers(net);
+        let hw = HardwareConfig::new(32, 64.0, 256.0).unwrap();
+        let mappings: Vec<Mapping> = layers
+            .iter()
+            .map(|l| cosa_mapping(&l.problem, &hw, &hier))
+            .collect();
+        let pairs: Vec<_> = layers
+            .iter()
+            .zip(&mappings)
+            .map(|(l, m)| (&l.problem, m))
+            .collect();
+        let min = min_hw_for_all(pairs, &hier);
+        assert!(min.pe_side() <= 32, "{net}");
+        assert!(min.acc_kb() <= 64.0 + 1.0, "{net}");
+        assert!(min.spad_kb() <= 256.0 + 1.0, "{net}");
+    }
+}
