@@ -1,6 +1,5 @@
 //! Hardware configurations: the three parameters DOSA searches (§6.1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum PE-array side length (the paper caps the array at 128x128, §6.1).
@@ -28,7 +27,7 @@ pub const SPAD_WORD_BYTES: u64 = 1;
 /// assert_eq!(hw.num_pes(), 256);
 /// assert_eq!(hw.acc_words(), 32 * 1024 / 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareConfig {
     pe_side: u64,
     acc_kb: f64,
@@ -192,7 +191,9 @@ mod tests {
 
     #[test]
     fn rounding_ceils_to_kb() {
-        let hw = HardwareConfig::new(16, 30.2, 100.001).unwrap().rounded_up_to_kb();
+        let hw = HardwareConfig::new(16, 30.2, 100.001)
+            .unwrap()
+            .rounded_up_to_kb();
         assert_eq!(hw.acc_kb(), 31.0);
         assert_eq!(hw.spad_kb(), 101.0);
     }

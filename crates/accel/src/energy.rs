@@ -9,10 +9,9 @@
 //! All EPA values are in picojoules; reported energies are in microjoules.
 
 use crate::arch::HardwareConfig;
-use crate::hierarchy::NUM_LEVELS;
 #[cfg(test)]
 use crate::hierarchy::level;
-use serde::{Deserialize, Serialize};
+use crate::hierarchy::NUM_LEVELS;
 
 /// Energy-per-access table for one hardware configuration (values in pJ).
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(e.epa_mac(), 0.561);
 /// assert!(e.epa(3) == 100.0); // DRAM
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     epa: [f64; NUM_LEVELS],
     epa_mac: f64,

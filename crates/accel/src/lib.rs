@@ -26,14 +26,10 @@ mod baselines;
 mod energy;
 mod hierarchy;
 
-pub use arch::{
-    HardwareConfig, HardwareError, ACC_WORD_BYTES, MAX_PE_SIDE, SPAD_WORD_BYTES,
-};
-pub use baselines::{
-    all_baselines, eyeriss, gemmini_default, nvdla_large, nvdla_small, Baseline,
-};
+pub use arch::{HardwareConfig, HardwareError, ACC_WORD_BYTES, MAX_PE_SIDE, SPAD_WORD_BYTES};
+pub use baselines::{all_baselines, eyeriss, gemmini_default, nvdla_large, nvdla_small, Baseline};
 pub use energy::{
-    epa_accumulator, epa_scratchpad, pj_to_uj, EnergyModel, EPA_ACC_BASE, EPA_ACC_SLOPE,
-    EPA_DRAM, EPA_MAC, EPA_REGISTERS, EPA_SPAD_BASE, EPA_SPAD_SLOPE,
+    epa_accumulator, epa_scratchpad, pj_to_uj, EnergyModel, EPA_ACC_BASE, EPA_ACC_SLOPE, EPA_DRAM,
+    EPA_MAC, EPA_REGISTERS, EPA_SPAD_BASE, EPA_SPAD_SLOPE,
 };
 pub use hierarchy::{level, Hierarchy, MemoryLevel, DRAM_BLOCK_WORDS, NUM_LEVELS};

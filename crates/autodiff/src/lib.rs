@@ -30,5 +30,5 @@ mod tape;
 mod var;
 
 pub use check::check_gradients;
-pub use tape::{Gradients, Tape};
+pub use tape::{Gradients, GradientsView, Tape};
 pub use var::{dot, max_of, prod, softmax, sum, Var};

@@ -108,17 +108,45 @@ impl Tape {
     /// Run the backward sweep from `output`, returning the adjoint of every
     /// node on the tape.
     ///
+    /// Allocates a fresh adjoint vector; hot loops that backpropagate once
+    /// per optimizer step should keep a scratch buffer alive and use
+    /// [`Tape::backward_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `output` belongs to a different tape generation (i.e. the
     /// tape was [`clear`](Tape::clear)ed after `output` was created).
     pub fn backward(&self, output: crate::Var<'_>) -> Gradients {
+        let mut adj = Vec::new();
+        self.backward_into(output, &mut adj);
+        Gradients { adj }
+    }
+
+    /// Run the backward sweep from `output` into a caller-owned adjoint
+    /// buffer, reusing its allocation across calls.
+    ///
+    /// `adj` is cleared and resized to the tape length; on return it holds
+    /// the adjoint of every node and the returned [`GradientsView`] borrows
+    /// it for lookups. A GD search backpropagates once per sample —
+    /// ~900–1500 times per start point — so reusing one buffer per worker
+    /// removes that many transient allocations of tape size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` belongs to a different tape generation (i.e. the
+    /// tape was [`clear`](Tape::clear)ed after `output` was created).
+    pub fn backward_into<'a>(
+        &self,
+        output: crate::Var<'_>,
+        adj: &'a mut Vec<f64>,
+    ) -> GradientsView<'a> {
         let nodes = self.nodes.borrow();
         assert!(
             (output.id as usize) < nodes.len(),
             "output var is not on this tape"
         );
-        let mut adj = vec![0.0f64; nodes.len()];
+        adj.clear();
+        adj.resize(nodes.len(), 0.0);
         adj[output.id as usize] = 1.0;
         for i in (0..=output.id as usize).rev() {
             let a = adj[i];
@@ -130,7 +158,7 @@ impl Tape {
                 adj[node.parents[p] as usize] += a * node.grads[p];
             }
         }
-        Gradients { adj }
+        GradientsView { adj }
     }
 }
 
@@ -147,6 +175,25 @@ pub struct Gradients {
 }
 
 impl Gradients {
+    /// Gradient of the backward output with respect to `v`.
+    pub fn wrt(&self, v: crate::Var<'_>) -> f64 {
+        self.adj[v.id as usize]
+    }
+
+    /// Gradients with respect to a slice of variables, in order.
+    pub fn wrt_slice(&self, vars: &[crate::Var<'_>]) -> Vec<f64> {
+        vars.iter().map(|&v| self.wrt(v)).collect()
+    }
+}
+
+/// A borrowed view of a backward sweep's adjoints, produced by
+/// [`Tape::backward_into`]; the buffer it reads stays owned by the caller.
+#[derive(Debug)]
+pub struct GradientsView<'a> {
+    adj: &'a [f64],
+}
+
+impl GradientsView<'_> {
     /// Gradient of the backward output with respect to `v`.
     pub fn wrt(&self, v: crate::Var<'_>) -> f64 {
         self.adj[v.id as usize]
@@ -177,6 +224,37 @@ mod tests {
         let x = tape.var(5.0);
         let g = tape.backward(x);
         assert_eq!(g.wrt(x), 1.0);
+    }
+
+    #[test]
+    fn backward_into_matches_backward_and_reuses_buffer() {
+        let tape = Tape::new();
+        let mut adj = Vec::new();
+        for k in 1..=3 {
+            tape.clear();
+            let x = tape.var(2.0 * k as f64);
+            let y = tape.var(3.0);
+            let z = x * y + x.ln();
+            let expect = tape.backward(z);
+            let view = tape.backward_into(z, &mut adj);
+            assert_eq!(view.wrt(x), expect.wrt(x));
+            assert_eq!(view.wrt(y), expect.wrt(y));
+            assert_eq!(view.wrt_slice(&[x, y]), expect.wrt_slice(&[x, y]));
+        }
+        // The buffer sticks around sized to the last sweep.
+        assert_eq!(adj.len(), tape.len());
+    }
+
+    #[test]
+    fn backward_into_clears_stale_adjoints() {
+        let tape = Tape::new();
+        let x = tape.var(5.0);
+        let y = tape.var(7.0);
+        let z = x * y;
+        let mut adj = vec![99.0; 16];
+        let view = tape.backward_into(z, &mut adj);
+        assert_eq!(view.wrt(x), 7.0);
+        assert_eq!(view.wrt(y), 5.0);
     }
 
     #[test]

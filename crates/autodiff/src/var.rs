@@ -201,6 +201,9 @@ impl<'t> Sub<Var<'t>> for f64 {
 
 impl<'t> Div<Var<'t>> for f64 {
     type Output = Var<'t>;
+    // `k / v` is recorded as `v.recip() * k`: one reciprocal node plus a
+    // constant scale, which is exactly the intended derivative chain.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Var<'t>) -> Var<'t> {
         rhs.recip() * self
     }

@@ -6,20 +6,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dosa_accel::Hierarchy;
 use dosa_nn::{spearman, TrainConfig};
 use dosa_rtl::RtlConfig;
-use dosa_search::{
-    generate_rtl_dataset, LatencyModelKind, LatencyPredictor,
-};
+use dosa_search::{generate_rtl_dataset, LatencyModelKind, LatencyPredictor};
 use dosa_workload::{dedup_layers, unique_layers, Network};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let hier = Hierarchy::gemmini();
-    let corpus = dedup_layers(
-        Network::TRAINING
-            .into_iter()
-            .flat_map(|n| unique_layers(n)),
-    );
+    let corpus = dedup_layers(Network::TRAINING.into_iter().flat_map(unique_layers));
     let train_ds = generate_rtl_dataset(&corpus, 240, &hier, &RtlConfig::default(), 1);
     let test_ds = generate_rtl_dataset(&corpus, 60, &hier, &RtlConfig::default(), 2);
     let cfg = TrainConfig {
@@ -36,16 +30,30 @@ fn bench(c: &mut Criterion) {
         let pred: Vec<f64> = test_ds
             .samples
             .iter()
-            .map(|s| p.predict(&s.problem, &s.mapping, &s.hw, &hier).max(1.0).ln())
+            .map(|s| {
+                p.predict(&s.problem, &s.mapping, &s.hw, &hier)
+                    .max(1.0)
+                    .ln()
+            })
             .collect();
-        println!("fig10 mini {}: spearman {:.3}", kind.name(), spearman(&pred, &truth));
+        println!(
+            "fig10 mini {}: spearman {:.3}",
+            kind.name(),
+            spearman(&pred, &truth)
+        );
     }
 
     c.bench_function("fig10_generate_rtl_samples_10", |b| {
         let mut seed = 100u64;
         b.iter(|| {
             seed += 1;
-            black_box(generate_rtl_dataset(&corpus, 10, &hier, &RtlConfig::default(), seed))
+            black_box(generate_rtl_dataset(
+                &corpus,
+                10,
+                &hier,
+                &RtlConfig::default(),
+                seed,
+            ))
         })
     });
 }

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_rtl::RtlConfig;
-use dosa_search::{
-    cosa_mapping, dosa_search_rtl, evaluate_rtl, GdConfig, LatencyPredictor,
-};
+use dosa_search::{cosa_mapping, dosa_search_rtl, evaluate_rtl, GdConfig, LatencyPredictor};
 use dosa_timeloop::Mapping;
 use dosa_workload::{unique_layers, Network};
 use std::hint::black_box;

@@ -170,7 +170,10 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) {
 
     println!("Ablation — GD vs exhaustive optimum (enumerable layer, fixed HW)");
     let (gd, opt) = optimality_gap(scale, seed);
-    println!("  GD pipeline: {gd:.4e}  exhaustive optimum: {opt:.4e}  gap: {:.2}x\n", gd / opt);
+    println!(
+        "  GD pipeline: {gd:.4e}  exhaustive optimum: {opt:.4e}  gap: {:.2}x\n",
+        gd / opt
+    );
 }
 
 #[cfg(test)]
@@ -181,7 +184,11 @@ mod tests {
     fn gd_lands_near_the_exhaustive_optimum() {
         let (gd, opt) = optimality_gap(Scale::Quick, 3);
         assert!(gd >= opt * (1.0 - 1e-12), "gd beat the oracle?");
-        assert!(gd <= opt * 5.0, "gd {gd} is {:.1}x off optimum {opt}", gd / opt);
+        assert!(
+            gd <= opt * 5.0,
+            "gd {gd} is {:.1}x off optimum {opt}",
+            gd / opt
+        );
     }
 
     #[test]

@@ -10,12 +10,12 @@ use crate::plot::{table, write_csv};
 use crate::scale::Scale;
 use dosa_accel::Hierarchy;
 use dosa_nn::{spearman, TrainConfig};
+use dosa_rtl::simulate_latency;
 use dosa_rtl::RtlConfig;
 use dosa_search::{
     dosa_search_rtl, generate_rtl_dataset, GdConfig, LatencyModelKind, LatencyPredictor,
     RtlDataset, RtlSample,
 };
-use dosa_rtl::simulate_latency;
 use dosa_timeloop::min_hw_for_all;
 use dosa_workload::{dedup_layers, unique_layers, Network};
 use std::path::Path;
@@ -42,7 +42,11 @@ pub struct Fig1011Result {
     pub predictors: Vec<LatencyPredictor>,
 }
 
-fn accuracy(predictors: &[LatencyPredictor], data: &[RtlSample], hier: &Hierarchy) -> ModelAccuracy {
+fn accuracy(
+    predictors: &[LatencyPredictor],
+    data: &[RtlSample],
+    hier: &Hierarchy,
+) -> ModelAccuracy {
     let truth: Vec<f64> = data.iter().map(|s| s.rtl_cycles.ln()).collect();
     let corr = |p: &LatencyPredictor| {
         let pred: Vec<f64> = data
@@ -66,11 +70,7 @@ pub fn train_predictors(
     hier: &Hierarchy,
 ) -> (Vec<LatencyPredictor>, Vec<RtlSample>) {
     // Training corpus: the unique layers of the four training workloads.
-    let corpus = dedup_layers(
-        Network::TRAINING
-            .into_iter()
-            .flat_map(|n| unique_layers(n)),
-    );
+    let corpus = dedup_layers(Network::TRAINING.into_iter().flat_map(unique_layers));
     let n = scale.rtl_dataset();
     let dataset = generate_rtl_dataset(&corpus, n, hier, &RtlConfig::default(), seed);
     // 80/20 split by index parity-of-five (deterministic).
@@ -178,7 +178,10 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Fig1011Result {
     println!("Figures 10 & 11 — Gemmini-RTL latency model accuracy (Spearman rank correlation)");
     println!(
         "{}",
-        table(&["dataset", "Analytical", "DNN-only", "Analytical+DNN"], &rows)
+        table(
+            &["dataset", "Analytical", "DNN-only", "Analytical+DNN"],
+            &rows
+        )
     );
     println!("  paper: Fig 10 = 0.87 / 0.84 / 0.92; Fig 11 = 0.97 / 0.79 / 0.97\n");
     Fig1011Result {

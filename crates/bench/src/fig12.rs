@@ -118,14 +118,26 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Fig12Result {
     write_csv(
         out_dir,
         "fig12_rtl.csv",
-        &["network", "default_edp", "analytical_edp", "dnn_only_edp", "combined_edp"],
+        &[
+            "network",
+            "default_edp",
+            "analytical_edp",
+            "dnn_only_edp",
+            "combined_edp",
+        ],
         &csv,
     );
     println!("Figure 12 — Gemmini-RTL optimization (EDP normalized to the default config)");
     println!(
         "{}",
         table(
-            &["workload", "Default", "Analytical", "DNN-Only", "Analytical+DNN"],
+            &[
+                "workload",
+                "Default",
+                "Analytical",
+                "DNN-Only",
+                "Analytical+DNN"
+            ],
             &fig_rows
         )
     );
@@ -157,7 +169,13 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Fig12Result {
         &t7_csv,
     );
     println!("Table 7 — buffer sizes selected by DOSA Analytical+DNN");
-    println!("{}", table(&["configuration", "Accumulator (KB)", "Scratchpad (KB)"], &t7));
+    println!(
+        "{}",
+        table(
+            &["configuration", "Accumulator (KB)", "Scratchpad (KB)"],
+            &t7
+        )
+    );
     println!("  paper: acc 64-196 KB, spad 251-322 KB (both well above the default)\n");
 
     Fig12Result { rows }

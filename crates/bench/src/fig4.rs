@@ -180,9 +180,21 @@ mod tests {
         assert!(res.samples > 100);
         // Latency must be essentially exact; energy within a few percent on
         // average (DRAM block ceiling only).
-        assert!(res.latency.mae_pct < 0.01, "latency MAE {}", res.latency.mae_pct);
-        assert!(res.energy.mae_pct < 5.0, "energy MAE {}", res.energy.mae_pct);
-        assert!(res.edp.within_1pct > 0.5, "within1% {}", res.edp.within_1pct);
+        assert!(
+            res.latency.mae_pct < 0.01,
+            "latency MAE {}",
+            res.latency.mae_pct
+        );
+        assert!(
+            res.energy.mae_pct < 5.0,
+            "energy MAE {}",
+            res.energy.mae_pct
+        );
+        assert!(
+            res.edp.within_1pct > 0.5,
+            "within1% {}",
+            res.edp.within_1pct
+        );
         // The diff model never over-counts DRAM energy: errors are <= 0.
         assert!(res.energy.max_abs_pct < 100.0);
     }

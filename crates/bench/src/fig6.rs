@@ -36,12 +36,7 @@ pub struct Fig6Result {
 
 /// Average best-so-far histories across runs onto a common sample grid.
 pub fn mean_curve(results: &[SearchResult], grid_points: usize) -> Vec<(f64, f64)> {
-    let max_samples = results
-        .iter()
-        .map(|r| r.samples)
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let max_samples = results.iter().map(|r| r.samples).max().unwrap_or(0).max(1);
     let mut curve = Vec::with_capacity(grid_points);
     for gi in 1..=grid_points {
         let x = (max_samples * gi) as f64 / grid_points as f64;
@@ -108,7 +103,10 @@ pub fn run_network(scale: Scale, network: Network, seed: u64, out_dir: &Path) ->
     }
     write_csv(
         out_dir,
-        &format!("fig6_{}.csv", network.name().to_ascii_lowercase().replace('-', "")),
+        &format!(
+            "fig6_{}.csv",
+            network.name().to_ascii_lowercase().replace('-', "")
+        ),
         &["network", "strategy", "samples", "best_edp"],
         &csv_rows,
     );
@@ -163,8 +161,14 @@ mod tests {
             best_hw: dosa_accel::HardwareConfig::gemmini_default(),
             best_mappings: vec![],
             history: vec![
-                SearchPoint { samples: 10, best_edp: 100.0 },
-                SearchPoint { samples: 20, best_edp: 10.0 },
+                SearchPoint {
+                    samples: 10,
+                    best_edp: 100.0,
+                },
+                SearchPoint {
+                    samples: 20,
+                    best_edp: 10.0,
+                },
             ],
             samples: 20,
         };

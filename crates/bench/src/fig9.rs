@@ -13,11 +13,10 @@
 use crate::plot::{geomean, table, write_csv};
 use crate::scale::Scale;
 use dosa_accel::Hierarchy;
-use dosa_search::{
-    dosa_search, evaluate_with_cosa, evaluate_with_random_mapper, generate_start_point,
-    GdConfig,
-};
 use dosa_model::{round_all, LossOptions};
+use dosa_search::{
+    dosa_search, evaluate_with_cosa, evaluate_with_random_mapper, generate_start_point, GdConfig,
+};
 use dosa_timeloop::evaluate_model;
 use dosa_workload::{unique_layers, Network};
 use rand::rngs::StdRng;
@@ -144,7 +143,8 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Vec<Fig9Result> {
         ]);
     }
     // Geomean row.
-    let gm = |f: fn(&Fig9Row) -> f64| geomean(&results.iter().map(|r| f(&r.row)).collect::<Vec<_>>());
+    let gm =
+        |f: fn(&Fig9Row) -> f64| geomean(&results.iter().map(|r| f(&r.row)).collect::<Vec<_>>());
     let start = gm(|r| r.start_cosa);
     let hw_cosa = gm(|r| r.dosa_hw_cosa);
     let hw_rand = gm(|r| r.dosa_hw_random);
@@ -159,7 +159,13 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Vec<Fig9Result> {
     write_csv(
         out_dir,
         "fig9_attribution.csv",
-        &["network", "start_cosa", "dosa_hw_cosa", "dosa_hw_random", "dosa_full"],
+        &[
+            "network",
+            "start_cosa",
+            "dosa_hw_cosa",
+            "dosa_hw_random",
+            "dosa_full",
+        ],
         &csv,
     );
 
@@ -167,7 +173,13 @@ pub fn run(scale: Scale, seed: u64, out_dir: &Path) -> Vec<Fig9Result> {
     println!(
         "{}",
         table(
-            &["workload", "start+CoSA", "DOSA HW+CoSA", "DOSA HW+random", "DOSA full"],
+            &[
+                "workload",
+                "start+CoSA",
+                "DOSA HW+CoSA",
+                "DOSA HW+random",
+                "DOSA full"
+            ],
             &rows
         )
     );

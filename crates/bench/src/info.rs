@@ -9,19 +9,67 @@ use dosa_workload::{unique_layers, Network, Tensor};
 pub fn table1() {
     println!("Table 1 — state-of-the-art accelerator DSE methods");
     let rows = vec![
-        vec!["Spotlight".into(), "BB-BO".into(), "BB-BO".into(), "two-loop".into()],
-        vec!["VAESA".into(), "ILP (CoSA)".into(), "VAE+BB-BO/GD".into(), "two-loop".into()],
-        vec!["FAST".into(), "BB-LCS+ILP".into(), "BB-LCS".into(), "two-loop".into()],
-        vec!["HASCO".into(), "RL".into(), "BB-BO".into(), "two-loop".into()],
-        vec!["NAAS".into(), "BB-ES".into(), "BB-ES".into(), "two-loop".into()],
-        vec!["MAGNet".into(), "Heuristics".into(), "BB-BO".into(), "two-loop".into()],
-        vec!["DiGamma".into(), "BB-GA".into(), "(inferred)".into(), "one-loop".into()],
-        vec!["Interstellar".into(), "Heuristics".into(), "(inferred)".into(), "one-loop".into()],
-        vec!["DOSA (this repo)".into(), "GD".into(), "(inferred)".into(), "one-loop".into()],
+        vec![
+            "Spotlight".into(),
+            "BB-BO".into(),
+            "BB-BO".into(),
+            "two-loop".into(),
+        ],
+        vec![
+            "VAESA".into(),
+            "ILP (CoSA)".into(),
+            "VAE+BB-BO/GD".into(),
+            "two-loop".into(),
+        ],
+        vec![
+            "FAST".into(),
+            "BB-LCS+ILP".into(),
+            "BB-LCS".into(),
+            "two-loop".into(),
+        ],
+        vec![
+            "HASCO".into(),
+            "RL".into(),
+            "BB-BO".into(),
+            "two-loop".into(),
+        ],
+        vec![
+            "NAAS".into(),
+            "BB-ES".into(),
+            "BB-ES".into(),
+            "two-loop".into(),
+        ],
+        vec![
+            "MAGNet".into(),
+            "Heuristics".into(),
+            "BB-BO".into(),
+            "two-loop".into(),
+        ],
+        vec![
+            "DiGamma".into(),
+            "BB-GA".into(),
+            "(inferred)".into(),
+            "one-loop".into(),
+        ],
+        vec![
+            "Interstellar".into(),
+            "Heuristics".into(),
+            "(inferred)".into(),
+            "one-loop".into(),
+        ],
+        vec![
+            "DOSA (this repo)".into(),
+            "GD".into(),
+            "(inferred)".into(),
+            "one-loop".into(),
+        ],
     ];
     println!(
         "{}",
-        table(&["method", "mapspace search", "hardware search", "loops"], &rows)
+        table(
+            &["method", "mapspace search", "hardware search", "loops"],
+            &rows
+        )
     );
 }
 
@@ -59,7 +107,11 @@ pub fn table2(hw: &HardwareConfig) {
             let l = hier.level(i);
             let mut row = vec![format!("{} {}", l.name, i)];
             for t in Tensor::ALL {
-                row.push(if l.stores(t) { "yes".into() } else { "-".into() });
+                row.push(if l.stores(t) {
+                    "yes".into()
+                } else {
+                    "-".into()
+                });
             }
             row
         })
@@ -82,9 +134,15 @@ pub fn table3_and_5() {
     let rows = vec![
         vec!["Temporal tiling factors".into(), "gradient descent".into()],
         vec!["Spatial tiling factors".into(), "gradient descent".into()],
-        vec!["Spatial tiling dimensions".into(), "constant (WS C-K)".into()],
+        vec![
+            "Spatial tiling dimensions".into(),
+            "constant (WS C-K)".into(),
+        ],
         vec!["Tensor bypass".into(), "constant (Table 4)".into()],
-        vec!["Loop ordering".into(), "exhaustive (WS/IS/OS per rounding)".into()],
+        vec![
+            "Loop ordering".into(),
+            "exhaustive (WS/IS/OS per rounding)".into(),
+        ],
     ];
     println!("{}", table(&["decision", "algorithm"], &rows));
 }
@@ -108,7 +166,10 @@ pub fn table6() {
             ]);
         }
     }
-    println!("{}", table(&["network", "role", "unique layers", "GMACs"], &rows));
+    println!(
+        "{}",
+        table(&["network", "role", "unique layers", "GMACs"], &rows)
+    );
 }
 
 /// Print every informational table.

@@ -1,10 +1,14 @@
 //! `repro` — regenerate the tables and figures of the DOSA paper.
 //!
 //! ```text
-//! repro [--scale quick|paper] [--seed N] [--out DIR] <command> [workload]
+//! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] <command> [workload]
 //! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
+//!
+//! `--threads N` caps the worker threads the parallel GD search engine
+//! fans start points out over (default: all cores). Results are
+//! bit-identical for every choice; only wall-clock time changes.
 
 use dosa_accel::HardwareConfig;
 use dosa_bench::{ablation, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, Scale};
@@ -16,6 +20,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     out: PathBuf,
+    threads: Option<usize>,
     command: String,
     network: Option<Network>,
 }
@@ -24,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Quick;
     let mut seed = 0u64;
     let mut out = PathBuf::from("output_dir");
+    let mut threads = None;
     let mut positional = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -39,6 +45,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => positional.push(other.to_string()),
         }
@@ -52,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         out,
+        threads,
         command,
         network,
     })
@@ -59,7 +74,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--scale quick|paper] [--seed N] [--out DIR] <command> [workload]\n\
+        "usage: repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] <command> [workload]\n\
          commands:\n\
            info    print Tables 1-6\n\
            table2  print Tables 2 and 4 for the default config\n\
@@ -72,7 +87,9 @@ fn usage() {
            fig12   Gemmini-RTL optimization + Table 7\n\
            ablation  design-choice ablations (rounding, lr, start points)\n\
            all     everything above\n\
-         workloads: unet | resnet50 | bert | retinanet"
+         workloads: unet | resnet50 | bert | retinanet\n\
+         --threads N caps the GD engine's worker threads (results are\n\
+         identical for every N; only wall-clock time changes)"
     );
 }
 
@@ -87,12 +104,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = args.threads {
+        if rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .is_err()
+        {
+            eprintln!("warning: thread pool already configured; --threads ignored");
+        }
+    }
     let (scale, seed, out) = (args.scale, args.seed, args.out.as_path());
     println!(
-        "repro: scale={:?} seed={} out={}\n",
+        "repro: scale={:?} seed={} out={} threads={}\n",
         scale,
         seed,
-        out.display()
+        out.display(),
+        args.threads
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "auto".into())
     );
     match args.command.as_str() {
         "info" => info::all(),

@@ -46,6 +46,7 @@ pub fn ascii_log_chart(title: &str, series: &[Series], width: usize, height: usi
     for (si, s) in series.iter().enumerate() {
         let mark = marks[si % marks.len()];
         // Interpolate along x so lines look continuous.
+        #[allow(clippy::needless_range_loop)] // col maps to both an x value and a grid column
         for col in 0..width {
             let x = x_min + (x_max - x_min) * col as f64 / (width - 1) as f64;
             if let Some(y) = interpolate(&s.points, x) {
@@ -58,7 +59,12 @@ pub fn ascii_log_chart(title: &str, series: &[Series], width: usize, height: usi
             }
         }
     }
-    let _ = writeln!(out, "  y: EDP (log), {:.2e} .. {:.2e}", y_min.exp(), y_max.exp());
+    let _ = writeln!(
+        out,
+        "  y: EDP (log), {:.2e} .. {:.2e}",
+        y_min.exp(),
+        y_max.exp()
+    );
     for row in grid {
         let _ = writeln!(out, "  |{}", String::from_utf8_lossy(&row));
     }

@@ -4,9 +4,10 @@
 use dosa_search::{BbboConfig, GdConfig, LoopOrderStrategy, RandomSearchConfig};
 
 /// Scaling preset for the harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Minutes-scale reduced runs (default).
+    #[default]
     Quick,
     /// The paper's sample counts (§6.1).
     Paper,
@@ -162,12 +163,6 @@ impl Scale {
     }
 }
 
-impl Default for Scale {
-    fn default() -> Self {
-        Scale::Quick
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,13 +177,22 @@ mod tests {
     #[test]
     fn paper_scale_matches_section_6_1() {
         let g6 = Scale::Paper.gd_fig6(LoopOrderStrategy::Iterate, 0);
-        assert_eq!((g6.start_points, g6.steps_per_start, g6.round_every), (7, 890, 300));
+        assert_eq!(
+            (g6.start_points, g6.steps_per_start, g6.round_every),
+            (7, 890, 300)
+        );
         let g7 = Scale::Paper.gd_main(0);
-        assert_eq!((g7.start_points, g7.steps_per_start, g7.round_every), (7, 1490, 500));
+        assert_eq!(
+            (g7.start_points, g7.steps_per_start, g7.round_every),
+            (7, 1490, 500)
+        );
         let rs = Scale::Paper.random_search(0);
         assert_eq!((rs.num_hw, rs.samples_per_hw), (10, 1000));
         let bo = Scale::Paper.bbbo(0);
-        assert_eq!((bo.num_hw, bo.samples_per_hw, bo.candidates), (100, 100, 1000));
+        assert_eq!(
+            (bo.num_hw, bo.samples_per_hw, bo.candidates),
+            (100, 100, 1000)
+        );
         assert_eq!(Scale::Paper.fig4(), (100, 100));
         assert_eq!(Scale::Paper.rtl_dataset(), 1567);
         assert_eq!(Scale::Paper.fig8_mappings_per_layer(), 10_000);

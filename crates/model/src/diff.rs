@@ -9,11 +9,11 @@
 //! differs only by the DRAM block ceiling, reproducing Figure 4.
 
 use crate::relaxed::RelaxedMapping;
-use dosa_autodiff::{max_of, Tape, Var};
 use dosa_accel::{
     level, HardwareConfig, Hierarchy, EPA_ACC_BASE, EPA_ACC_SLOPE, EPA_DRAM, EPA_MAC,
     EPA_REGISTERS, EPA_SPAD_BASE, EPA_SPAD_SLOPE, MAX_PE_SIDE, NUM_LEVELS,
 };
+use dosa_autodiff::{max_of, Tape, Var};
 use dosa_timeloop::{LoopOrder, Mapping};
 use dosa_workload::{Dim, DimSet, Problem, Tensor, NUM_DIMS};
 
@@ -58,14 +58,13 @@ impl<'t> FactorVars<'t> {
         // factors. Gradients flow through the division.
         for d in Dim::ALL {
             let mut inner = one;
-            for lvl in 0..3 {
-                inner = inner * temporal[lvl][d.index()];
+            for level_temporal in temporal.iter().take(3) {
+                inner = inner * level_temporal[d.index()];
             }
-            for lvl in 0..NUM_LEVELS {
-                inner = inner * spatial[lvl][d.index()];
+            for level_spatial in &spatial {
+                inner = inner * level_spatial[d.index()];
             }
-            temporal[level::DRAM][d.index()] =
-                tape.constant(problem.size(d) as f64) / inner;
+            temporal[level::DRAM][d.index()] = tape.constant(problem.size(d) as f64) / inner;
         }
         let orders = core::array::from_fn(|i| LoopOrder::canonical(relaxed.orders[i]));
         (
@@ -171,7 +170,13 @@ impl<'t> HwVars<'t> {
                     sides.push(fv.spatial(lvl, d));
                 }
             }
-            accs.push(tile_words_var(tape, p, fv, level::ACCUMULATOR, Tensor::Outputs));
+            accs.push(tile_words_var(
+                tape,
+                p,
+                fv,
+                level::ACCUMULATOR,
+                Tensor::Outputs,
+            ));
             let w = tile_words_var(tape, p, fv, level::SCRATCHPAD, Tensor::Weights);
             let i = tile_words_var(tape, p, fv, level::SCRATCHPAD, Tensor::Inputs);
             spads.push(w + i);
@@ -436,9 +441,13 @@ mod tests {
                 let m = random_mapping(&mut rng, p, &hier, 16);
                 let reference = evaluate_layer(p, &m, &hw, &hier);
                 let (lat, _) = diff_perf(p, &m, &hw);
-                let rel = (lat - reference.latency_cycles).abs()
-                    / reference.latency_cycles.max(1.0);
-                assert!(rel < 1e-9, "{p}: diff {lat} vs ref {}", reference.latency_cycles);
+                let rel =
+                    (lat - reference.latency_cycles).abs() / reference.latency_cycles.max(1.0);
+                assert!(
+                    rel < 1e-9,
+                    "{p}: diff {lat} vs ref {}",
+                    reference.latency_cycles
+                );
             }
         }
     }
@@ -463,8 +472,7 @@ mod tests {
                 .sum();
             let pad_uj = (padded - traffic.accesses(3)) as f64 * 100.0 * 1e-6;
             assert!(
-                (reference.energy_uj - energy - pad_uj).abs()
-                    / reference.energy_uj.max(1e-12)
+                (reference.energy_uj - energy - pad_uj).abs() / reference.energy_uj.max(1e-12)
                     < 1e-9,
                 "gap mismatch"
             );
@@ -476,9 +484,8 @@ mod tests {
         let p = Problem::conv("g", 3, 3, 28, 28, 64, 64, 1).unwrap();
         let hier = Hierarchy::gemmini();
         let tape = Tape::new();
-        let mut relaxed = crate::relaxed::RelaxedMapping::identity(
-            dosa_timeloop::Stationarity::WeightStationary,
-        );
+        let mut relaxed =
+            crate::relaxed::RelaxedMapping::identity(dosa_timeloop::Stationarity::WeightStationary);
         // Start away from 1 so masks are active.
         let v: Vec<f64> = (0..crate::relaxed::PARAMS_PER_LAYER)
             .map(|i| 0.3 + 0.05 * i as f64)
@@ -517,9 +524,8 @@ mod tests {
     fn penalty_zero_for_valid_relaxed_points() {
         let p = Problem::conv("v", 1, 1, 8, 8, 16, 16, 1).unwrap();
         let tape = Tape::new();
-        let relaxed = crate::relaxed::RelaxedMapping::identity(
-            dosa_timeloop::Stationarity::WeightStationary,
-        );
+        let relaxed =
+            crate::relaxed::RelaxedMapping::identity(dosa_timeloop::Stationarity::WeightStationary);
         let (fv, _) = FactorVars::from_relaxed(&tape, &p, &relaxed);
         assert_eq!(fv.penalty(&tape).value(), 0.0);
     }
@@ -528,9 +534,8 @@ mod tests {
     fn penalty_positive_when_products_overflow() {
         let p = Problem::conv("v", 1, 1, 8, 8, 16, 16, 1).unwrap();
         let tape = Tape::new();
-        let mut relaxed = crate::relaxed::RelaxedMapping::identity(
-            dosa_timeloop::Stationarity::WeightStationary,
-        );
+        let mut relaxed =
+            crate::relaxed::RelaxedMapping::identity(dosa_timeloop::Stationarity::WeightStationary);
         relaxed.log_temporal[0][Dim::P.index()] = (32.0f64).ln(); // > P=8
         let (fv, leaves) = FactorVars::from_relaxed(&tape, &p, &relaxed);
         let pen = fv.penalty(&tape);

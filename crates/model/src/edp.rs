@@ -13,8 +13,8 @@
 
 use crate::diff::{layer_perf_vars, FactorVars, HwVars};
 use crate::relaxed::RelaxedMapping;
-use dosa_autodiff::{softmax, sum, Tape, Var};
 use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_autodiff::{softmax, sum, Tape, Var};
 use dosa_timeloop::{LoopOrder, Stationarity};
 use dosa_workload::Layer;
 
@@ -191,7 +191,13 @@ mod tests {
         let layers = layers();
         let relaxed = start(&layers);
         let tape = Tape::new();
-        let built = build_loss(&tape, &layers, &relaxed, &Hierarchy::gemmini(), &LossOptions::default());
+        let built = build_loss(
+            &tape,
+            &layers,
+            &relaxed,
+            &Hierarchy::gemmini(),
+            &LossOptions::default(),
+        );
         assert!(built.loss.value().is_finite());
         assert!(built.edp > 0.0);
         let grads = tape.backward(built.loss);
@@ -266,6 +272,12 @@ mod tests {
     fn mismatched_lengths_panic() {
         let tape = Tape::new();
         let layers = layers();
-        let _ = build_loss(&tape, &layers, &[], &Hierarchy::gemmini(), &LossOptions::default());
+        let _ = build_loss(
+            &tape,
+            &layers,
+            &[],
+            &Hierarchy::gemmini(),
+            &LossOptions::default(),
+        );
     }
 }

@@ -209,7 +209,11 @@ impl RelaxedMapping {
 ///
 /// Panics if rounding ever produces an invalid mapping (a bug — rounding is
 /// correct by construction).
-pub fn round_all(relaxed: &[RelaxedMapping], problems: &[Problem], hier: &Hierarchy) -> Vec<Mapping> {
+pub fn round_all(
+    relaxed: &[RelaxedMapping],
+    problems: &[Problem],
+    hier: &Hierarchy,
+) -> Vec<Mapping> {
     relaxed
         .iter()
         .zip(problems)
@@ -282,7 +286,9 @@ mod tests {
     #[test]
     fn params_round_trip() {
         let mut r = RelaxedMapping::identity(Stationarity::OutputStationary);
-        let v: Vec<f64> = (0..PARAMS_PER_LAYER).map(|i| i as f64 * 0.1 - 1.0).collect();
+        let v: Vec<f64> = (0..PARAMS_PER_LAYER)
+            .map(|i| i as f64 * 0.1 - 1.0)
+            .collect();
         r.set_params(&v);
         assert_eq!(r.params(), v);
     }

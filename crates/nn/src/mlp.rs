@@ -85,7 +85,11 @@ impl Mlp {
     /// Panics if fewer than two sizes are given or the last is not 1.
     pub fn new(sizes: &[usize], rng: &mut impl Rng) -> Mlp {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
-        assert_eq!(*sizes.last().expect("nonempty"), 1, "scalar output expected");
+        assert_eq!(
+            *sizes.last().expect("nonempty"),
+            1,
+            "scalar output expected"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| Dense::new(w[0], w[1], rng))
@@ -101,7 +105,7 @@ impl Mlp {
     /// (≈5.7k parameters at the 33-feature input of the latency model).
     pub fn paper_architecture(inputs: usize, rng: &mut impl Rng) -> Mlp {
         let mut sizes = vec![inputs];
-        sizes.extend(std::iter::repeat(Self::HIDDEN_WIDTH).take(Self::HIDDEN_LAYERS));
+        sizes.extend(std::iter::repeat_n(Self::HIDDEN_WIDTH, Self::HIDDEN_LAYERS));
         sizes.push(1);
         Mlp::new(&sizes, rng)
     }
@@ -171,12 +175,7 @@ impl Mlp {
     /// Forward and backward pass for one sample; returns the output and
     /// accumulates parameter gradients of `0.5*(y - target)^2` into `grads`
     /// (laid out layer by layer: weights then bias).
-    pub(crate) fn forward_backward(
-        &self,
-        x: &[f64],
-        target: f64,
-        grads: &mut [f64],
-    ) -> f64 {
+    pub(crate) fn forward_backward(&self, x: &[f64], target: f64, grads: &mut [f64]) -> f64 {
         let mut activations: Vec<Vec<f64>> = vec![self.normalize(x)];
         for (li, layer) in self.layers.iter().enumerate() {
             let mut z = Vec::new();

@@ -69,12 +69,7 @@ impl Default for TrainConfig {
 
 /// Train `mlp` on `data` with Adam and MSE loss; fits input normalization
 /// first. Returns the mean loss per epoch.
-pub fn train(
-    mlp: &mut Mlp,
-    data: &Dataset,
-    cfg: &TrainConfig,
-    rng: &mut impl Rng,
-) -> Vec<f64> {
+pub fn train(mlp: &mut Mlp, data: &Dataset, cfg: &TrainConfig, rng: &mut impl Rng) -> Vec<f64> {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     mlp.fit_normalization(&data.features);
 
@@ -253,6 +248,11 @@ mod tests {
     fn training_empty_panics() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut mlp = Mlp::new(&[2, 4, 1], &mut rng);
-        let _ = train(&mut mlp, &Dataset::default(), &TrainConfig::default(), &mut rng);
+        let _ = train(
+            &mut mlp,
+            &Dataset::default(),
+            &TrainConfig::default(),
+            &mut rng,
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct RtlConfig {
     pub issue_cycles: f64,
     /// Cycles of DMA transaction setup per tile transfer.
     pub dma_setup_cycles: f64,
-    /// System-bus width in bytes per cycle (TileLink beat).
+    /// System-bus width in bytes per cycle (TileLink beat). Must not
+    /// exceed the analytical model's DRAM bandwidth (8 words/cycle with
+    /// 1-byte scratchpad words = 8 bytes/cycle), or the simulated DMA
+    /// could outrun the roofline on DRAM-bound mappings and violate the
+    /// "RTL never beats the analytical latency" invariant.
     pub bus_bytes_per_cycle: f64,
     /// Fraction of the shorter of (compute, memory) hidden by double
     /// buffering. 1.0 would reproduce the analytical roofline.
@@ -38,7 +42,7 @@ impl Default for RtlConfig {
         RtlConfig {
             issue_cycles: 12.0,
             dma_setup_cycles: 36.0,
-            bus_bytes_per_cycle: 16.0,
+            bus_bytes_per_cycle: 8.0,
             overlap: 0.82,
             startup_cycles: 600.0,
         }
@@ -77,7 +81,7 @@ pub fn simulate_latency(
     let acc_tile_k = mapping
         .spatial(dosa_accel::level::SCRATCHPAD, dosa_workload::Dim::K)
         .max(1) as f64;
-    let bank_penalty = (side / acc_tile_k).min(4.0).max(1.0);
+    let bank_penalty = (side / acc_tile_k).clamp(1.0, 4.0);
     let spad_cycles = traffic.accesses(dosa_accel::level::SCRATCHPAD) as f64 / (2.0 * side);
     let acc_cycles =
         traffic.accesses(dosa_accel::level::ACCUMULATOR) as f64 * bank_penalty / (2.0 * side);
@@ -140,6 +144,22 @@ mod tests {
     }
 
     #[test]
+    fn default_bus_cannot_outrun_analytical_dram_bandwidth() {
+        // The analytical model moves 8 words/cycle from DRAM; scratchpad
+        // words are 1 byte, so any default bus rate above 8 bytes/cycle
+        // would let the simulated DMA beat the roofline on DRAM-bound
+        // mappings, breaking the invariant the next test samples.
+        let analytical_dram_words_per_cycle = Hierarchy::gemmini()
+            .bandwidth(dosa_accel::level::DRAM, &HardwareConfig::gemmini_default());
+        let min_word_bytes = SPAD_WORD_BYTES as f64;
+        assert!(
+            RtlConfig::default().bus_bytes_per_cycle
+                <= analytical_dram_words_per_cycle * min_word_bytes,
+            "default bus rate outruns the analytical DRAM bandwidth"
+        );
+    }
+
+    #[test]
     fn rtl_is_slower_than_the_analytical_roofline() {
         // The RTL pays overheads the roofline ignores, so it can never beat
         // the analytical latency for the same mapping.
@@ -190,13 +210,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut analytical = Vec::new();
         let mut rtl = Vec::new();
-        for _ in 0..60 {
+        for _ in 0..150 {
             let m = random_mapping(&mut rng, &p, &h, 16);
             analytical.push(evaluate_layer(&p, &m, &hw, &h).latency_cycles.ln());
             rtl.push(simulate_latency_default(&p, &m, &hw, &h).ln());
         }
         let corr = dosa_nn_spearman(&analytical, &rtl);
-        assert!(corr > 0.65, "spearman {corr}");
+        // The paper reports ~0.6 Spearman for the analytical model against
+        // measured RTL latency (§6.5, Figure 10); the simulator should sit
+        // in that regime — correlated, but imperfect enough to leave room
+        // for the learned correction.
+        assert!(corr > 0.55, "spearman {corr}");
+        assert!(corr < 0.999, "suspiciously perfect correlation {corr}");
     }
 
     // Local copy to avoid a dev-dependency cycle.

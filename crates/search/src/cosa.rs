@@ -73,8 +73,7 @@ pub fn cosa_mapping(problem: &Problem, hw: &HardwareConfig, hier: &Hierarchy) ->
             candidate.temporal[0][d.index()] *= p;
             let fits = tile_words(problem, &candidate, level::ACCUMULATOR, Tensor::Outputs)
                 <= acc_budget
-                && tile_words(problem, &candidate, level::SCRATCHPAD, Tensor::Inputs)
-                    <= half_spad;
+                && tile_words(problem, &candidate, level::SCRATCHPAD, Tensor::Inputs) <= half_spad;
             if fits {
                 m = candidate;
             } else {
@@ -87,20 +86,32 @@ pub fn cosa_mapping(problem: &Problem, hw: &HardwareConfig, hier: &Hierarchy) ->
     //    fits the accumulator. P/Q growth also inflates the scratchpad
     //    input tile through the stride halo, so the scratchpad budget is
     //    enforced here too.
-    grow_while_fits(&mut m, problem, level::ACCUMULATOR, &[Dim::K, Dim::P, Dim::Q, Dim::N], |m| {
-        tile_words(problem, m, level::ACCUMULATOR, Tensor::Outputs) <= acc_budget
-            && tile_words(problem, m, level::SCRATCHPAD, Tensor::Inputs) <= half_spad
-    });
+    grow_while_fits(
+        &mut m,
+        problem,
+        level::ACCUMULATOR,
+        &[Dim::K, Dim::P, Dim::Q, Dim::N],
+        |m| {
+            tile_words(problem, m, level::ACCUMULATOR, Tensor::Outputs) <= acc_budget
+                && tile_words(problem, m, level::SCRATCHPAD, Tensor::Inputs) <= half_spad
+        },
+    );
 
     // 4) Reduction dims (R, S, C) grow in the *accumulator subnest*: there
     //    they sit inner to the output-tile loops (with the OS ordering the
     //    permutation step below selects), so partial sums accumulate fully
     //    on chip instead of bouncing to DRAM. Their factors still size the
     //    scratchpad weight/input tiles, which bound the growth.
-    grow_while_fits(&mut m, problem, level::ACCUMULATOR, &[Dim::R, Dim::S, Dim::C], |m| {
-        tile_words(problem, m, level::SCRATCHPAD, Tensor::Weights) <= half_spad
-            && tile_words(problem, m, level::SCRATCHPAD, Tensor::Inputs) <= half_spad
-    });
+    grow_while_fits(
+        &mut m,
+        problem,
+        level::ACCUMULATOR,
+        &[Dim::R, Dim::S, Dim::C],
+        |m| {
+            tile_words(problem, m, level::SCRATCHPAD, Tensor::Weights) <= half_spad
+                && tile_words(problem, m, level::SCRATCHPAD, Tensor::Inputs) <= half_spad
+        },
+    );
 
     //    Then more output pixels in the scratchpad subnest while inputs
     //    still fit their half.
@@ -154,11 +165,7 @@ fn grow_while_fits(
 }
 
 /// CoSA mappings for a set of layers on one hardware design (§3.2 step 1).
-pub fn cosa_mappings(
-    problems: &[&Problem],
-    hw: &HardwareConfig,
-    hier: &Hierarchy,
-) -> Vec<Mapping> {
+pub fn cosa_mappings(problems: &[&Problem], hw: &HardwareConfig, hier: &Hierarchy) -> Vec<Mapping> {
     problems.iter().map(|p| cosa_mapping(p, hw, hier)).collect()
 }
 

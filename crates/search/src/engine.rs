@@ -1,0 +1,451 @@
+//! The unified one-loop GD search engine.
+//!
+//! DOSA runs the same optimization loop against different differentiable
+//! surrogates: the plain EDP loss of §5 ([`dosa_search`](crate::dosa_search))
+//! and the predictor-adjusted latency loss of §6.5
+//! ([`dosa_search_rtl`](crate::dosa_search_rtl)). This module factors that
+//! loop out once — Adam stepping over the log tiling factors, tape reuse,
+//! the §5.3.2 rounding cadence, and sample accounting — behind the
+//! [`DiffLoss`] trait, and parallelizes it across start points.
+//!
+//! ## Determinism
+//!
+//! [`run_gd_search`] produces bit-identical results for a given seed
+//! regardless of the worker-thread count:
+//!
+//! * start points are generated sequentially from the run's seed before
+//!   any parallelism begins;
+//! * each start point descends independently on its **own** [`Tape`]
+//!   (cleared, never reallocated, between steps), its own [`Adam`] state
+//!   and its own RNG seeded `cfg.seed + start_index`, so no worker
+//!   observes another's scheduling;
+//! * per-start results are merged by a deterministic reduction: best EDP
+//!   wins with ties broken by the lowest start index, and histories are
+//!   concatenated in start order with each start's sample counts offset by
+//!   the samples of the starts before it (recovering exactly the
+//!   sequential run's accounting), then re-sorted by cumulative sample
+//!   count and rewritten to the running global minimum.
+
+use crate::adam::Adam;
+use crate::gd::{
+    choose_best_orderings, evaluate_rounded, GdConfig, LoopOrderStrategy, SearchPoint, SearchResult,
+};
+use crate::latency_model::LatencyPredictor;
+use crate::startpoints::StartPoint;
+use dosa_accel::{HardwareConfig, Hierarchy};
+use dosa_autodiff::{sum, Tape, Var};
+use dosa_model::{
+    build_loss, layer_perf_vars, FactorVars, HwVars, LossOptions, RelaxedMapping, PARAMS_PER_LAYER,
+};
+use dosa_timeloop::{evaluate_layer, min_hw_for_all, LoopOrder, Mapping, Stationarity};
+use dosa_workload::{Layer, Problem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Record a best-so-far history point every this many gradient steps (in
+/// addition to every rounding).
+const RECORD_EVERY: usize = 50;
+
+/// A differentiable surrogate loss the GD engine can descend on.
+///
+/// Implementations own everything layer- and model-specific; the engine
+/// owns everything loop-specific. All methods must be deterministic pure
+/// functions of their arguments (plus the RNG handed to
+/// [`prepare_start`](DiffLoss::prepare_start)) — that is what makes the
+/// parallel driver bit-identical across thread counts.
+pub trait DiffLoss: Sync {
+    /// The layers being co-optimized.
+    fn layers(&self) -> &[Layer];
+
+    /// Per-dimension spatial cap applied when rounding relaxed mappings.
+    fn spatial_cap(&self) -> u64;
+
+    /// Adjust a fresh start point before descent begins (e.g. pin loop
+    /// orderings). `rng` is private to this start point and seeded
+    /// `cfg.seed + start_index`, so stochastic adjustments stay
+    /// deterministic under any thread count.
+    fn prepare_start(&self, _relaxed: &mut [RelaxedMapping], _rng: &mut StdRng) {}
+
+    /// Record the loss at the point `relaxed` on `tape`, returning the
+    /// scalar to backpropagate and the leaf variables flattened in
+    /// [`RelaxedMapping::params`] order.
+    fn build<'t>(&self, tape: &'t Tape, relaxed: &[RelaxedMapping]) -> (Var<'t>, Vec<Var<'t>>);
+
+    /// Finish one §5.3.2 rounding: given freshly rounded `mappings`, apply
+    /// this loss's ordering-selection behavior (updating `mappings` and the
+    /// orderings stored in `relaxed` in place) and evaluate the rounded
+    /// point with this loss's reference objective. Returns the hardware
+    /// configuration and the objective EDP used for best-point tracking.
+    fn finish_round(
+        &self,
+        relaxed: &mut [RelaxedMapping],
+        mappings: &mut [Mapping],
+    ) -> (HardwareConfig, f64);
+}
+
+/// The plain differentiable-EDP loss of §5 — the surrogate behind
+/// [`dosa_search`](crate::dosa_search), including the Baseline / Iterate /
+/// Softmax loop-ordering strategies of Figure 6.
+pub struct EdpLoss<'a> {
+    /// Layers being optimized.
+    pub layers: &'a [Layer],
+    /// The memory hierarchy.
+    pub hier: &'a Hierarchy,
+    /// Options of the underlying [`build_loss`].
+    pub opts: LossOptions,
+    /// Loop-ordering strategy applied at each rounding.
+    pub strategy: LoopOrderStrategy,
+    /// Pin the PE array side (Fig. 12); `None` derives it from mappings.
+    pub fixed_pe_side: Option<u64>,
+    /// Spatial cap for rounding.
+    pub spatial_cap: u64,
+}
+
+impl DiffLoss for EdpLoss<'_> {
+    fn layers(&self) -> &[Layer] {
+        self.layers
+    }
+
+    fn spatial_cap(&self) -> u64 {
+        self.spatial_cap
+    }
+
+    fn prepare_start(&self, relaxed: &mut [RelaxedMapping], _rng: &mut StdRng) {
+        if self.strategy == LoopOrderStrategy::Baseline {
+            // "No loop ordering optimization": hold the fixed canonical
+            // weight-stationary ordering throughout (§6.2's Baseline).
+            for r in relaxed.iter_mut() {
+                r.orders = [Stationarity::WeightStationary; dosa_accel::NUM_LEVELS];
+            }
+        }
+    }
+
+    fn build<'t>(&self, tape: &'t Tape, relaxed: &[RelaxedMapping]) -> (Var<'t>, Vec<Var<'t>>) {
+        let built = build_loss(tape, self.layers, relaxed, self.hier, &self.opts);
+        (built.loss, built.leaves.into_iter().flatten().collect())
+    }
+
+    fn finish_round(
+        &self,
+        relaxed: &mut [RelaxedMapping],
+        mappings: &mut [Mapping],
+    ) -> (HardwareConfig, f64) {
+        match self.strategy {
+            LoopOrderStrategy::Iterate => {
+                let (hw, _) =
+                    evaluate_rounded(self.layers, mappings, self.fixed_pe_side, self.hier);
+                let chosen = choose_best_orderings(self.layers, mappings, &hw, self.hier);
+                for (r, s) in relaxed.iter_mut().zip(chosen) {
+                    r.orders = s;
+                }
+            }
+            LoopOrderStrategy::Softmax => {
+                // Select each layer's model-predicted best uniform ordering
+                // (the argmax of the softmax weights).
+                let (hw, _) =
+                    evaluate_rounded(self.layers, mappings, self.fixed_pe_side, self.hier);
+                for ((layer, m), r) in self
+                    .layers
+                    .iter()
+                    .zip(mappings.iter_mut())
+                    .zip(relaxed.iter_mut())
+                {
+                    let mut best = (f64::INFINITY, Stationarity::WeightStationary);
+                    for s in Stationarity::ALL {
+                        let mut cand = m.clone();
+                        cand.orders = [LoopOrder::canonical(s); dosa_accel::NUM_LEVELS];
+                        let perf = evaluate_layer(&layer.problem, &cand, &hw, self.hier);
+                        if perf.edp() < best.0 {
+                            best = (perf.edp(), s);
+                        }
+                    }
+                    m.orders = [LoopOrder::canonical(best.1); dosa_accel::NUM_LEVELS];
+                    r.orders = [best.1; dosa_accel::NUM_LEVELS];
+                }
+            }
+            LoopOrderStrategy::Baseline => {}
+        }
+        let (hw, perf) = evaluate_rounded(self.layers, mappings, self.fixed_pe_side, self.hier);
+        (hw, perf.edp())
+    }
+}
+
+/// The predictor-adjusted latency loss of §6.5 — the surrogate behind
+/// [`dosa_search_rtl`](crate::dosa_search_rtl): analytical energy, latency
+/// passed through a (possibly learned) [`LatencyPredictor`], PE side
+/// pinned, and best points selected by *predicted* EDP.
+pub struct PredictedLatencyLoss<'a> {
+    /// Layers being optimized.
+    pub layers: &'a [Layer],
+    /// The memory hierarchy.
+    pub hier: &'a Hierarchy,
+    /// The latency model driving the search.
+    pub predictor: &'a LatencyPredictor,
+    /// The pinned PE array side.
+    pub pe_side: u64,
+}
+
+impl DiffLoss for PredictedLatencyLoss<'_> {
+    fn layers(&self) -> &[Layer] {
+        self.layers
+    }
+
+    fn spatial_cap(&self) -> u64 {
+        self.pe_side
+    }
+
+    fn build<'t>(&self, tape: &'t Tape, relaxed: &[RelaxedMapping]) -> (Var<'t>, Vec<Var<'t>>) {
+        // Assemble the loss with predictor-adjusted latencies.
+        let mut factor_vars = Vec::with_capacity(self.layers.len());
+        let mut leaves_all = Vec::with_capacity(self.layers.len());
+        for (layer, r) in self.layers.iter().zip(relaxed) {
+            let (fv, lv) = FactorVars::from_relaxed(tape, &layer.problem, r);
+            factor_vars.push(fv);
+            leaves_all.push(lv);
+        }
+        let refs: Vec<(&Problem, &FactorVars<'_>)> = self
+            .layers
+            .iter()
+            .zip(&factor_vars)
+            .map(|(l, fv)| (&l.problem, fv))
+            .collect();
+        let hw = HwVars::derive_with_pe(tape, &refs, Some(self.pe_side));
+        let mut energies = Vec::new();
+        let mut latencies = Vec::new();
+        for ((layer, fv), leaves) in self.layers.iter().zip(&factor_vars).zip(&leaves_all) {
+            let perf = layer_perf_vars(tape, &layer.problem, fv, &hw, self.hier);
+            let lat = self
+                .predictor
+                .latency_var(tape, &layer.problem, leaves, &hw, perf.latency);
+            energies.push(perf.energy_uj * layer.count as f64);
+            latencies.push(lat * layer.count as f64);
+        }
+        let energy = sum(tape, &energies);
+        let latency = sum(tape, &latencies);
+        let mut pen = tape.constant(0.0);
+        for fv in &factor_vars {
+            pen = pen + fv.penalty(tape);
+        }
+        let loss = (energy * latency).ln() + pen;
+        (loss, leaves_all.into_iter().flatten().collect())
+    }
+
+    fn finish_round(
+        &self,
+        relaxed: &mut [RelaxedMapping],
+        mappings: &mut [Mapping],
+    ) -> (HardwareConfig, f64) {
+        let pairs: Vec<(&Problem, &Mapping)> = self
+            .layers
+            .iter()
+            .zip(mappings.iter())
+            .map(|(l, m)| (&l.problem, m))
+            .collect();
+        let min = min_hw_for_all(pairs, self.hier);
+        let hw =
+            HardwareConfig::new(self.pe_side, min.acc_kb(), min.spad_kb()).expect("valid pe side");
+        let chosen = choose_best_orderings(self.layers, mappings, &hw, self.hier);
+        for (r, s) in relaxed.iter_mut().zip(chosen) {
+            r.orders = s;
+        }
+        let perf = self
+            .predictor
+            .predict_model(self.layers, mappings, &hw, self.hier);
+        (hw, perf.edp())
+    }
+}
+
+/// Descend from every start point in parallel and merge the results
+/// deterministically (see the module docs for the exact guarantees).
+///
+/// Worker count follows the global rayon configuration
+/// (`rayon::ThreadPoolBuilder::new().num_threads(n).build_global()`, or
+/// all cores by default); the result is identical for every choice.
+pub fn run_gd_search<L: DiffLoss>(
+    loss: &L,
+    starts: Vec<StartPoint>,
+    cfg: &GdConfig,
+) -> SearchResult {
+    let per_start: Vec<SearchResult> = starts
+        .into_par_iter()
+        .enumerate()
+        .map(|(index, start)| run_single_start(loss, start.relaxed, index, cfg))
+        .collect();
+    merge_start_results(per_start)
+}
+
+/// One start point's full descent: the loop previously duplicated between
+/// `dosa_search` and `dosa_search_rtl`.
+fn run_single_start<L: DiffLoss>(
+    loss: &L,
+    mut relaxed: Vec<RelaxedMapping>,
+    index: usize,
+    cfg: &GdConfig,
+) -> SearchResult {
+    let layers = loss.layers();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(index as u64));
+    loss.prepare_start(&mut relaxed, &mut rng);
+
+    let mut result = SearchResult::empty();
+    // One tape and one adjoint scratch buffer per start point, reused
+    // (never reallocated) across all gradient steps.
+    let tape = Tape::new();
+    let mut adj: Vec<f64> = Vec::new();
+    let mut params: Vec<f64> = relaxed.iter().flat_map(|r| r.params()).collect();
+    let mut adam = Adam::new(params.len(), cfg.learning_rate);
+
+    for step in 1..=cfg.steps_per_start {
+        // One differentiable-model evaluation + gradient step.
+        for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
+            r.set_params(chunk);
+        }
+        tape.clear();
+        let (loss_var, leaves) = loss.build(&tape, &relaxed);
+        let grads = tape.backward_into(loss_var, &mut adj);
+        let flat: Vec<f64> = leaves
+            .iter()
+            .map(|l| {
+                let g = grads.wrt(*l);
+                if g.is_finite() {
+                    g
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        adam.step(&mut params, &flat);
+        result.samples += 1;
+
+        // Periodic rounding + reference evaluation (§5.3.2).
+        if step % cfg.round_every == 0 || step == cfg.steps_per_start {
+            for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
+                r.set_params(chunk);
+            }
+            let mut mappings: Vec<Mapping> = layers
+                .iter()
+                .zip(&relaxed)
+                .map(|(l, r)| r.round_with_cap(&l.problem, loss.spatial_cap()))
+                .collect();
+            let (hw, edp) = loss.finish_round(&mut relaxed, &mut mappings);
+            result.samples += 1;
+            result.consider(edp, &hw, &mappings);
+            result.record();
+
+            // Restart descent from the rounded point (§5.2.1).
+            let rounded: Vec<RelaxedMapping> = mappings
+                .iter()
+                .zip(&relaxed)
+                .map(|(m, prev)| {
+                    let mut r = RelaxedMapping::from_mapping(m);
+                    r.orders = prev.orders;
+                    r
+                })
+                .collect();
+            relaxed = rounded;
+            params = relaxed.iter().flat_map(|r| r.params()).collect();
+            adam.reset();
+        } else if step % RECORD_EVERY == 0 {
+            result.record();
+        }
+    }
+    result
+}
+
+/// Deterministic reduction of per-start results: best EDP wins (ties to
+/// the lowest start index), sample counts are re-offset to the sequential
+/// accounting, and the concatenated history is rewritten to the running
+/// global best.
+fn merge_start_results(per_start: Vec<SearchResult>) -> SearchResult {
+    let mut merged = SearchResult::empty();
+    for r in per_start {
+        let offset = merged.samples;
+        merged.history.extend(r.history.iter().map(|p| SearchPoint {
+            samples: offset + p.samples,
+            best_edp: p.best_edp,
+        }));
+        if r.best_edp < merged.best_edp {
+            merged.best_edp = r.best_edp;
+            merged.best_hw = r.best_hw;
+            merged.best_mappings = r.best_mappings;
+        }
+        merged.samples += r.samples;
+    }
+    // Already ordered by construction; keep the invariant explicit (stable
+    // sort, so equal counts preserve start order).
+    merged.history.sort_by_key(|p| p.samples);
+    let mut best = f64::INFINITY;
+    for p in merged.history.iter_mut() {
+        best = best.min(p.best_edp);
+        p.best_edp = best;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gd::SearchPoint;
+    use dosa_accel::HardwareConfig;
+
+    fn result(samples: usize, best: f64, history: Vec<(usize, f64)>) -> SearchResult {
+        SearchResult {
+            best_edp: best,
+            best_hw: HardwareConfig::gemmini_default(),
+            best_mappings: Vec::new(),
+            history: history
+                .into_iter()
+                .map(|(samples, best_edp)| SearchPoint { samples, best_edp })
+                .collect(),
+            samples,
+        }
+    }
+
+    #[test]
+    fn merge_offsets_samples_and_takes_running_min() {
+        let a = result(10, 5.0, vec![(4, 8.0), (10, 5.0)]);
+        let b = result(6, 3.0, vec![(3, 9.0), (6, 3.0)]);
+        let m = merge_start_results(vec![a, b]);
+        assert_eq!(m.samples, 16);
+        assert_eq!(
+            m.history,
+            vec![
+                SearchPoint {
+                    samples: 4,
+                    best_edp: 8.0
+                },
+                SearchPoint {
+                    samples: 10,
+                    best_edp: 5.0
+                },
+                SearchPoint {
+                    samples: 13,
+                    best_edp: 5.0
+                },
+                SearchPoint {
+                    samples: 16,
+                    best_edp: 3.0
+                },
+            ]
+        );
+        assert_eq!(m.best_edp, 3.0);
+    }
+
+    #[test]
+    fn merge_ties_break_to_lowest_start_index() {
+        let mut a = result(5, 2.0, vec![(5, 2.0)]);
+        a.best_hw = HardwareConfig::new(8, 64.0, 128.0).unwrap();
+        let mut b = result(5, 2.0, vec![(5, 2.0)]);
+        b.best_hw = HardwareConfig::new(32, 64.0, 128.0).unwrap();
+        let m = merge_start_results(vec![a, b]);
+        assert_eq!(m.best_hw.pe_side(), 8);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let m = merge_start_results(Vec::new());
+        assert_eq!(m.samples, 0);
+        assert!(m.history.is_empty());
+        assert!(m.best_edp.is_infinite());
+    }
+}

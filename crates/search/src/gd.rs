@@ -11,11 +11,10 @@
 //! reference evaluation — counts as one *sample*, making the histories
 //! comparable to the black-box baselines (§6.3).
 
-use crate::adam::Adam;
+use crate::engine::{run_gd_search, EdpLoss};
 use crate::startpoints::generate_start_points;
 use dosa_accel::{HardwareConfig, Hierarchy, MAX_PE_SIDE};
-use dosa_autodiff::Tape;
-use dosa_model::{build_loss, LossOptions, RelaxedMapping, PARAMS_PER_LAYER};
+use dosa_model::LossOptions;
 use dosa_timeloop::{
     evaluate_layer, evaluate_model, min_hw_for_all, LoopOrder, Mapping, ModelPerf, Stationarity,
 };
@@ -97,7 +96,7 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
-    fn empty() -> SearchResult {
+    pub(crate) fn empty() -> SearchResult {
         SearchResult {
             best_edp: f64::INFINITY,
             best_hw: HardwareConfig::gemmini_default(),
@@ -107,12 +106,7 @@ impl SearchResult {
         }
     }
 
-    fn consider(
-        &mut self,
-        edp: f64,
-        hw: &HardwareConfig,
-        mappings: &[Mapping],
-    ) {
+    pub(crate) fn consider(&mut self, edp: f64, hw: &HardwareConfig, mappings: &[Mapping]) {
         if edp < self.best_edp {
             self.best_edp = edp;
             self.best_hw = *hw;
@@ -120,7 +114,7 @@ impl SearchResult {
         }
     }
 
-    fn record(&mut self) {
+    pub(crate) fn record(&mut self) {
         self.history.push(SearchPoint {
             samples: self.samples,
             best_edp: self.best_edp,
@@ -160,6 +154,7 @@ pub fn evaluate_rounded(
 /// pick the WS/IS/OS ordering minimizing whole-model EDP given every other
 /// current choice. Returns the chosen stationarity per layer per level and
 /// updates `mappings` in place.
+#[allow(clippy::needless_range_loop)] // (layer, level) coordinate descent reads clearest indexed
 pub fn choose_best_orderings(
     layers: &[Layer],
     mappings: &mut [Mapping],
@@ -230,6 +225,12 @@ pub fn choose_best_orderings(
 
 /// Run the full DOSA one-loop search on `layers`.
 ///
+/// This is a thin wrapper over the shared engine
+/// ([`run_gd_search`](crate::run_gd_search)) with the plain EDP loss
+/// ([`EdpLoss`](crate::EdpLoss)): start points are generated sequentially
+/// from `cfg.seed`, descended in parallel, and merged deterministically —
+/// the result is bit-identical for every worker-thread count.
+///
 /// # Panics
 ///
 /// Panics if `layers` is empty.
@@ -252,111 +253,15 @@ pub fn dosa_search(layers: &[Layer], hier: &Hierarchy, cfg: &GdConfig) -> Search
         cfg.rejection_factor,
     );
 
-    let mut result = SearchResult::empty();
-    let tape = Tape::new();
-
-    for start in starts {
-        let mut relaxed = start.relaxed;
-        if cfg.strategy == LoopOrderStrategy::Baseline {
-            // "No loop ordering optimization": hold the fixed canonical
-            // weight-stationary ordering throughout (§6.2's Baseline).
-            for r in relaxed.iter_mut() {
-                r.orders = [Stationarity::WeightStationary; dosa_accel::NUM_LEVELS];
-            }
-        }
-        let mut params: Vec<f64> = relaxed.iter().flat_map(|r| r.params()).collect();
-        let mut adam = Adam::new(params.len(), cfg.learning_rate);
-
-        for step in 1..=cfg.steps_per_start {
-            // One differentiable-model evaluation + gradient step.
-            for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
-                r.set_params(chunk);
-            }
-            tape.clear();
-            let built = build_loss(&tape, layers, &relaxed, hier, &opts);
-            let grads = tape.backward(built.loss);
-            let flat_grads: Vec<f64> = built
-                .leaves
-                .iter()
-                .flatten()
-                .map(|l| {
-                    let g = grads.wrt(*l);
-                    if g.is_finite() {
-                        g
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            adam.step(&mut params, &flat_grads);
-            result.samples += 1;
-
-            // Periodic rounding + reference evaluation (§5.3.2).
-            if step % cfg.round_every == 0 || step == cfg.steps_per_start {
-                for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
-                    r.set_params(chunk);
-                }
-                let mut mappings: Vec<Mapping> = layers
-                    .iter()
-                    .zip(&relaxed)
-                    .map(|(l, r)| r.round_with_cap(&l.problem, spatial_cap))
-                    .collect();
-
-                match cfg.strategy {
-                    LoopOrderStrategy::Iterate => {
-                        let (hw, _) = evaluate_rounded(layers, &mappings, cfg.fixed_pe_side, hier);
-                        let chosen = choose_best_orderings(layers, &mut mappings, &hw, hier);
-                        for (r, s) in relaxed.iter_mut().zip(chosen) {
-                            r.orders = s;
-                        }
-                    }
-                    LoopOrderStrategy::Softmax => {
-                        // Select each layer's model-predicted best uniform
-                        // ordering (the argmax of the softmax weights).
-                        let (hw, _) = evaluate_rounded(layers, &mappings, cfg.fixed_pe_side, hier);
-                        for ((layer, m), r) in
-                            layers.iter().zip(mappings.iter_mut()).zip(relaxed.iter_mut())
-                        {
-                            let mut best = (f64::INFINITY, Stationarity::WeightStationary);
-                            for s in Stationarity::ALL {
-                                let mut cand = m.clone();
-                                cand.orders =
-                                    [LoopOrder::canonical(s); dosa_accel::NUM_LEVELS];
-                                let perf = evaluate_layer(&layer.problem, &cand, &hw, hier);
-                                if perf.edp() < best.0 {
-                                    best = (perf.edp(), s);
-                                }
-                            }
-                            m.orders = [LoopOrder::canonical(best.1); dosa_accel::NUM_LEVELS];
-                            r.orders = [best.1; dosa_accel::NUM_LEVELS];
-                        }
-                    }
-                    LoopOrderStrategy::Baseline => {}
-                }
-
-                let (hw, perf) = evaluate_rounded(layers, &mappings, cfg.fixed_pe_side, hier);
-                result.samples += 1;
-                result.consider(perf.edp(), &hw, &mappings);
-                result.record();
-
-                // Restart descent from the rounded point (§5.2.1).
-                let rounded_relaxed: Vec<RelaxedMapping> = mappings
-                    .iter()
-                    .zip(&relaxed)
-                    .map(|(m, prev)| {
-                        let mut r = RelaxedMapping::from_mapping(m);
-                        r.orders = prev.orders;
-                        r
-                    })
-                    .collect();
-                relaxed = rounded_relaxed;
-                params = relaxed.iter().flat_map(|r| r.params()).collect();
-                adam.reset();
-            } else if step % 50 == 0 {
-                result.record();
-            }
-        }
-    }
+    let loss = EdpLoss {
+        layers,
+        hier,
+        opts,
+        strategy: cfg.strategy,
+        fixed_pe_side: cfg.fixed_pe_side,
+        spatial_cap,
+    };
+    let mut result = run_gd_search(&loss, starts, cfg);
     result.record();
     result
 }

@@ -3,17 +3,15 @@
 //! DNN-augmented analytical model — plus the one-loop GD search built on
 //! top of them (Figure 12) and the feature extraction they share.
 
-use crate::adam::Adam;
-use crate::gd::{choose_best_orderings, GdConfig, SearchPoint, SearchResult};
+use crate::engine::{run_gd_search, PredictedLatencyLoss};
+use crate::gd::{GdConfig, SearchResult};
 use crate::startpoints::generate_start_points;
 use dosa_accel::{HardwareConfig, Hierarchy, ACC_WORD_BYTES};
-use dosa_autodiff::{sum, Tape, Var};
-use dosa_model::{
-    layer_perf_vars, FactorVars, HwVars, LossOptions, RelaxedMapping, PARAMS_PER_LAYER,
-};
+use dosa_autodiff::{Tape, Var};
+use dosa_model::{HwVars, LossOptions, RelaxedMapping, PARAMS_PER_LAYER};
 use dosa_nn::{train, Dataset, Mlp, TrainConfig};
 use dosa_rtl::{simulate_latency, RtlConfig};
-use dosa_timeloop::{evaluate_layer, fits, min_hw_for_all, random_mapping, Mapping, ModelPerf};
+use dosa_timeloop::{evaluate_layer, fits, random_mapping, Mapping, ModelPerf};
 use dosa_workload::{Dim, Layer, Problem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -217,7 +215,7 @@ impl LatencyPredictor {
     }
 
     /// Tape-recorded latency prediction, differentiable w.r.t. the leaves.
-    fn latency_var<'t>(
+    pub(crate) fn latency_var<'t>(
         &self,
         tape: &'t Tape,
         problem: &Problem,
@@ -235,8 +233,7 @@ impl LatencyPredictor {
                         out.min(tape.constant(40.0)).max(tape.constant(0.0)).exp()
                     }
                     LatencyModelKind::Combined => {
-                        analytical
-                            * out.min(tape.constant(6.0)).max(tape.constant(-2.0)).exp()
+                        analytical * out.min(tape.constant(6.0)).max(tape.constant(-2.0)).exp()
                     }
                     LatencyModelKind::Analytical => unreachable!(),
                 }
@@ -295,6 +292,11 @@ pub fn evaluate_rtl(
 /// PE side pinned and buffer sizes + mappings searched — the Figure 12
 /// flow. Best points are selected by *predicted* EDP (the paper selects
 /// mappings by predicted performance before measuring them on FireSim).
+///
+/// This is a thin wrapper over the shared engine
+/// ([`run_gd_search`](crate::run_gd_search)) with the predictor-adjusted
+/// latency loss ([`PredictedLatencyLoss`](crate::PredictedLatencyLoss));
+/// start points descend in parallel and merge deterministically.
 pub fn dosa_search_rtl(
     layers: &[Layer],
     hier: &Hierarchy,
@@ -318,121 +320,13 @@ pub fn dosa_search_rtl(
         cfg.rejection_factor,
     );
 
-    let mut result = SearchResult {
-        best_edp: f64::INFINITY,
-        best_hw: HardwareConfig::gemmini_default(),
-        best_mappings: Vec::new(),
-        history: Vec::new(),
-        samples: 0,
+    let loss = PredictedLatencyLoss {
+        layers,
+        hier,
+        predictor,
+        pe_side,
     };
-    let tape = Tape::new();
-
-    for start in starts {
-        let mut relaxed = start.relaxed;
-        let mut params: Vec<f64> = relaxed.iter().flat_map(|r| r.params()).collect();
-        let mut adam = Adam::new(params.len(), cfg.learning_rate);
-
-        for step in 1..=cfg.steps_per_start {
-            for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
-                r.set_params(chunk);
-            }
-            tape.clear();
-
-            // Assemble the loss with predictor-adjusted latencies.
-            let mut factor_vars = Vec::with_capacity(layers.len());
-            let mut leaves_all = Vec::with_capacity(layers.len());
-            for (layer, r) in layers.iter().zip(&relaxed) {
-                let (fv, lv) = FactorVars::from_relaxed(&tape, &layer.problem, r);
-                factor_vars.push(fv);
-                leaves_all.push(lv);
-            }
-            let refs: Vec<(&Problem, &FactorVars<'_>)> = layers
-                .iter()
-                .zip(&factor_vars)
-                .map(|(l, fv)| (&l.problem, fv))
-                .collect();
-            let hw = HwVars::derive_with_pe(&tape, &refs, Some(pe_side));
-            let mut energies = Vec::new();
-            let mut latencies = Vec::new();
-            for ((layer, fv), leaves) in layers.iter().zip(&factor_vars).zip(&leaves_all) {
-                let perf = layer_perf_vars(&tape, &layer.problem, fv, &hw, hier);
-                let lat = predictor.latency_var(&tape, &layer.problem, leaves, &hw, perf.latency);
-                energies.push(perf.energy_uj * layer.count as f64);
-                latencies.push(lat * layer.count as f64);
-            }
-            let energy = sum(&tape, &energies);
-            let latency = sum(&tape, &latencies);
-            let mut pen = tape.constant(0.0);
-            for fv in &factor_vars {
-                pen = pen + fv.penalty(&tape);
-            }
-            let loss = (energy * latency).ln() + pen;
-
-            let grads = tape.backward(loss);
-            let flat: Vec<f64> = leaves_all
-                .iter()
-                .flatten()
-                .map(|l| {
-                    let g = grads.wrt(*l);
-                    if g.is_finite() {
-                        g
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            adam.step(&mut params, &flat);
-            result.samples += 1;
-
-            if step % cfg.round_every == 0 || step == cfg.steps_per_start {
-                for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
-                    r.set_params(chunk);
-                }
-                let mut mappings: Vec<Mapping> = layers
-                    .iter()
-                    .zip(&relaxed)
-                    .map(|(l, r)| r.round_with_cap(&l.problem, pe_side))
-                    .collect();
-                let pairs: Vec<(&Problem, &Mapping)> = layers
-                    .iter()
-                    .zip(&mappings)
-                    .map(|(l, m)| (&l.problem, m))
-                    .collect();
-                let min = min_hw_for_all(pairs, hier);
-                let hw_cfg = HardwareConfig::new(pe_side, min.acc_kb(), min.spad_kb())
-                    .expect("valid pe side");
-                let chosen = choose_best_orderings(layers, &mut mappings, &hw_cfg, hier);
-                for (r, s) in relaxed.iter_mut().zip(chosen) {
-                    r.orders = s;
-                }
-                let perf = predictor.predict_model(layers, &mappings, &hw_cfg, hier);
-                result.samples += 1;
-                if perf.edp() < result.best_edp {
-                    result.best_edp = perf.edp();
-                    result.best_hw = hw_cfg;
-                    result.best_mappings = mappings.clone();
-                }
-                result.history.push(SearchPoint {
-                    samples: result.samples,
-                    best_edp: result.best_edp,
-                });
-
-                let rounded: Vec<RelaxedMapping> = mappings
-                    .iter()
-                    .zip(&relaxed)
-                    .map(|(m, prev)| {
-                        let mut r = RelaxedMapping::from_mapping(m);
-                        r.orders = prev.orders;
-                        r
-                    })
-                    .collect();
-                relaxed = rounded;
-                params = relaxed.iter().flat_map(|r| r.params()).collect();
-                adam.reset();
-            }
-        }
-    }
-    result
+    run_gd_search(&loss, starts, cfg)
 }
 
 #[cfg(test)]
@@ -452,7 +346,11 @@ mod tests {
         let hier = Hierarchy::gemmini();
         let ds = generate_rtl_dataset(&layers(), 40, &hier, &RtlConfig::default(), 5);
         assert_eq!(ds.samples.len(), 40);
-        let a_count = ds.samples.iter().filter(|s| s.problem.name() == "a").count();
+        let a_count = ds
+            .samples
+            .iter()
+            .filter(|s| s.problem.name() == "a")
+            .count();
         assert!((15..=25).contains(&a_count), "uneven split: {a_count}");
         let ds2 = generate_rtl_dataset(&layers(), 40, &hier, &RtlConfig::default(), 5);
         assert_eq!(ds.samples.len(), ds2.samples.len());
@@ -484,7 +382,10 @@ mod tests {
         let c_comb = corr(&combined);
         let c_ana = corr(&analytical);
         assert!(c_comb > 0.6, "combined corr {c_comb}");
-        assert!(c_comb >= c_ana - 0.1, "combined {c_comb} vs analytical {c_ana}");
+        assert!(
+            c_comb >= c_ana - 0.1,
+            "combined {c_comb} vs analytical {c_ana}"
+        );
     }
 
     #[test]

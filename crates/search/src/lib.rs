@@ -1,16 +1,41 @@
 //! # dosa-search
 //!
-//! The searchers of the DOSA paper:
+//! The searchers of the DOSA paper, built around one shared
+//! gradient-descent engine.
+//!
+//! ## The engine
+//!
+//! DOSA's one-loop co-search (§3.2, §5) is a single optimization loop —
+//! Adam over all layers' log tiling factors, a tape cleared and reused
+//! every step, periodic rounding to valid integer mappings (§5.3.2), and
+//! per-sample accounting — that the paper instantiates against different
+//! differentiable surrogates. This crate factors the loop into
+//! [`run_gd_search`], driven by the [`DiffLoss`] trait:
+//!
+//! * [`EdpLoss`] — the plain differentiable-EDP loss of §5, including the
+//!   Baseline / Iterate / Softmax loop-ordering strategies of Figure 6,
+//! * [`PredictedLatencyLoss`] — the §6.5 surrogate whose latency term runs
+//!   through an analytical, DNN-only, or DNN-corrected
+//!   [`LatencyPredictor`].
+//!
+//! Start points run **in parallel**: each one descends on its own tape
+//! with its own Adam state, and per-start results merge through a
+//! deterministic reduction, so a run is bit-identical for every
+//! worker-thread count (see the [`engine`] module docs) while scaling
+//! across cores. Configure worker count through
+//! `rayon::ThreadPoolBuilder::new().num_threads(n).build_global()` (the
+//! `repro` binary exposes this as `--threads N`).
+//!
+//! ## The searchers
 //!
 //! * [`dosa_search`] — the one-loop mapping-first gradient-descent
-//!   co-search (§3.2, §5), with the Baseline / Iterate / Softmax
-//!   loop-ordering strategies of Figure 6,
+//!   co-search (§3.2, §5): [`run_gd_search`] + [`EdpLoss`],
+//! * [`dosa_search_rtl`] — the fixed-PE real-hardware flow of §6.5
+//!   (Figure 12): [`run_gd_search`] + [`PredictedLatencyLoss`],
 //! * [`random_search`] — the random-search baseline (10 hardware designs ×
 //!   1000 mapping samples, §6.1),
 //! * [`bayesian_search`] — the two-loop Bayesian-optimization baseline
 //!   (Gaussian-process surrogate with Spotlight-style hyperparameters),
-//! * [`dosa_search_rtl`] — the fixed-PE real-hardware flow of §6.5 driven
-//!   by the analytical, DNN-only, or DNN-augmented latency models,
 //! * the CoSA-substitute constrained mapper ([`cosa_mapping`]) used for
 //!   start points and as the constant mapper of §6.4.
 //!
@@ -31,6 +56,7 @@
 mod adam;
 mod bbbo;
 mod cosa;
+pub mod engine;
 mod gd;
 mod gp;
 mod latency_model;
@@ -40,14 +66,15 @@ mod startpoints;
 pub use adam::Adam;
 pub use bbbo::{bayesian_search, BbboConfig};
 pub use cosa::{cosa_mapping, cosa_mappings, cosa_order};
+pub use engine::{run_gd_search, DiffLoss, EdpLoss, PredictedLatencyLoss};
 pub use gd::{
-    choose_best_orderings, dosa_search, evaluate_rounded, GdConfig, LoopOrderStrategy,
-    SearchPoint, SearchResult,
+    choose_best_orderings, dosa_search, evaluate_rounded, GdConfig, LoopOrderStrategy, SearchPoint,
+    SearchResult,
 };
 pub use gp::GaussianProcess;
 pub use latency_model::{
-    dosa_search_rtl, evaluate_rtl, feature_vars, features, generate_rtl_dataset,
-    LatencyModelKind, LatencyPredictor, RtlDataset, RtlSample, NUM_FEATURES,
+    dosa_search_rtl, evaluate_rtl, feature_vars, features, generate_rtl_dataset, LatencyModelKind,
+    LatencyPredictor, RtlDataset, RtlSample, NUM_FEATURES,
 };
 pub use random_search::{
     evaluate_with_cosa, evaluate_with_random_mapper, random_search, RandomSearchConfig,

@@ -120,11 +120,7 @@ fn search_one_hw(
 }
 
 /// Run the random-search baseline of §6.1/§6.3.
-pub fn random_search(
-    layers: &[Layer],
-    hier: &Hierarchy,
-    cfg: &RandomSearchConfig,
-) -> SearchResult {
+pub fn random_search(layers: &[Layer], hier: &Hierarchy, cfg: &RandomSearchConfig) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut result = SearchResult {
         best_edp: f64::INFINITY,
@@ -177,8 +173,13 @@ pub fn evaluate_with_random_mapper(
     let paired: Vec<(Layer, Mapping)> = layers
         .iter()
         .map(|l| {
-            let found =
-                dosa_timeloop::random_pruned_search(&mut rng, &l.problem, hw, hier, samples_per_layer);
+            let found = dosa_timeloop::random_pruned_search(
+                &mut rng,
+                &l.problem,
+                hw,
+                hier,
+                samples_per_layer,
+            );
             let m = match found {
                 Some(r) => r.mapping,
                 None => cosa_mapping(&l.problem, hw, hier),

@@ -107,14 +107,8 @@ mod tests {
     fn start_points_have_finite_predictions() {
         let mut rng = StdRng::seed_from_u64(1);
         let hier = Hierarchy::gemmini();
-        let pts = generate_start_points(
-            &mut rng,
-            &layers(),
-            &hier,
-            &LossOptions::default(),
-            3,
-            10.0,
-        );
+        let pts =
+            generate_start_points(&mut rng, &layers(), &hier, &LossOptions::default(), 3, 10.0);
         assert_eq!(pts.len(), 3);
         for p in &pts {
             assert!(p.predicted_edp.is_finite() && p.predicted_edp > 0.0);
@@ -126,14 +120,8 @@ mod tests {
     fn rejection_bounds_spread() {
         let mut rng = StdRng::seed_from_u64(2);
         let hier = Hierarchy::gemmini();
-        let pts = generate_start_points(
-            &mut rng,
-            &layers(),
-            &hier,
-            &LossOptions::default(),
-            5,
-            10.0,
-        );
+        let pts =
+            generate_start_points(&mut rng, &layers(), &hier, &LossOptions::default(), 5, 10.0);
         let best = pts
             .iter()
             .map(|p| p.predicted_edp)
@@ -141,10 +129,7 @@ mod tests {
         // All accepted points were within 10x of the best seen *when
         // accepted*; the spread versus the final best stays bounded except
         // for the forced-acceptance fallback.
-        let worst = pts
-            .iter()
-            .map(|p| p.predicted_edp)
-            .fold(0.0f64, f64::max);
+        let worst = pts.iter().map(|p| p.predicted_edp).fold(0.0f64, f64::max);
         assert!(worst / best < 1e4);
     }
 

@@ -24,9 +24,9 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     let mut out = Vec::new();
     let mut p = 2u64;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             let mut e = 0u32;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 e += 1;
             }
@@ -160,7 +160,10 @@ mod tests {
     fn divisors_count_matches_formula() {
         // d(n) = prod (e_i + 1)
         for n in [12u64, 56, 224, 1000, 1024, 25088] {
-            let expected: usize = factorize(n).iter().map(|&(_, e)| (e + 1) as usize).product();
+            let expected: usize = factorize(n)
+                .iter()
+                .map(|&(_, e)| (e + 1) as usize)
+                .product();
             assert_eq!(divisors(n).len(), expected, "n={n}");
         }
     }

@@ -53,11 +53,7 @@ pub fn enumerate_mappings(
     };
 
     // Enumerate per-dimension assignments recursively.
-    fn assignments(
-        n: u64,
-        slots: usize,
-        cap_per_slot: &dyn Fn(usize) -> u64,
-    ) -> Vec<Vec<u64>> {
+    fn assignments(n: u64, slots: usize, cap_per_slot: &dyn Fn(usize) -> u64) -> Vec<Vec<u64>> {
         if slots == 0 {
             return vec![vec![]];
         }

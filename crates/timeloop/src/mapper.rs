@@ -67,7 +67,7 @@ pub fn random_mapping(
 
     let mut orders = [LoopOrder::default(); NUM_LEVELS];
     for o in orders.iter_mut() {
-        let s = Stationarity::ALL[rng.gen_range(0..3)];
+        let s = Stationarity::ALL[rng.gen_range(0..3usize)];
         *o = LoopOrder::canonical(s);
     }
 

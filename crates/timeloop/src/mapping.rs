@@ -3,18 +3,18 @@
 
 use dosa_accel::{Hierarchy, MAX_PE_SIDE, NUM_LEVELS};
 use dosa_workload::{Dim, DimSet, Problem, Tensor, NUM_DIMS};
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// A permutation of the seven problem dimensions, innermost loop first,
 /// fixing the loop ordering at one memory level (§3.1.2 decision 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LoopOrder([Dim; NUM_DIMS]);
 
 /// The three canonical per-level orderings DOSA searches over (§5.2.1):
 /// each keeps one tensor stationary by placing the dimensions irrelevant to
 /// it innermost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stationarity {
     /// Weight-stationary: `{P,Q,N}` innermost.
     WeightStationary,
@@ -201,7 +201,7 @@ impl std::error::Error for MappingError {}
 /// assert!(m.validate(&p, &Hierarchy::gemmini()).is_ok());
 /// # Ok::<(), dosa_workload::ProblemError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Mapping {
     /// Temporal factors per level per dim.
     pub temporal: [[u64; NUM_DIMS]; NUM_LEVELS],
@@ -325,6 +325,9 @@ impl fmt::Display for Mapping {
 }
 
 #[cfg(test)]
+pub(crate) use tests::fig3_mapping;
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use dosa_accel::level;
@@ -365,7 +368,11 @@ mod tests {
         let err = m.validate(&p, &Hierarchy::gemmini()).unwrap_err();
         assert!(matches!(
             err,
-            MappingError::ProductMismatch { dim: Dim::P, product: 28, expected: 56 }
+            MappingError::ProductMismatch {
+                dim: Dim::P,
+                product: 28,
+                expected: 56
+            }
         ));
     }
 
@@ -378,7 +385,13 @@ mod tests {
         m.spatial[level::ACCUMULATOR][Dim::C.index()] = 1;
         m.spatial[level::SCRATCHPAD][Dim::C.index()] = 64;
         let err = m.validate(&p, &Hierarchy::gemmini()).unwrap_err();
-        assert!(matches!(err, MappingError::DisallowedSpatial { level: 2, dim: Dim::C }));
+        assert!(matches!(
+            err,
+            MappingError::DisallowedSpatial {
+                level: 2,
+                dim: Dim::C
+            }
+        ));
     }
 
     #[test]
@@ -388,7 +401,13 @@ mod tests {
         m.temporal[level::DRAM][Dim::C.index()] = 1;
         m.spatial[level::ACCUMULATOR][Dim::C.index()] = 256;
         let err = m.validate(&p, &Hierarchy::gemmini()).unwrap_err();
-        assert!(matches!(err, MappingError::SpatialTooLarge { dim: Dim::C, factor: 256 }));
+        assert!(matches!(
+            err,
+            MappingError::SpatialTooLarge {
+                dim: Dim::C,
+                factor: 256
+            }
+        ));
     }
 
     #[test]
@@ -432,6 +451,3 @@ mod tests {
         assert!(s.contains("Qt14"));
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::fig3_mapping;

@@ -35,8 +35,12 @@ pub fn min_hw(problem: &Problem, mapping: &Mapping, hier: &Hierarchy) -> Hardwar
         + tile_words(problem, mapping, level::SCRATCHPAD, Tensor::Inputs);
     let _ = hier;
 
-    let acc_kb = ((acc_words * ACC_WORD_BYTES) as f64 / 1024.0).ceil().max(1.0);
-    let spad_kb = ((spad_words * SPAD_WORD_BYTES) as f64 / 1024.0).ceil().max(1.0);
+    let acc_kb = ((acc_words * ACC_WORD_BYTES) as f64 / 1024.0)
+        .ceil()
+        .max(1.0);
+    let spad_kb = ((spad_words * SPAD_WORD_BYTES) as f64 / 1024.0)
+        .ceil()
+        .max(1.0);
 
     HardwareConfig::new(side, acc_kb, spad_kb)
         .expect("min-HW inference produces valid configurations")

@@ -3,14 +3,11 @@
 
 use crate::mapping::Mapping;
 use crate::traffic::{compute_traffic, Traffic};
-use dosa_accel::{
-    pj_to_uj, EnergyModel, HardwareConfig, Hierarchy, DRAM_BLOCK_WORDS, NUM_LEVELS,
-};
+use dosa_accel::{pj_to_uj, EnergyModel, HardwareConfig, Hierarchy, DRAM_BLOCK_WORDS, NUM_LEVELS};
 use dosa_workload::{Layer, Problem};
-use serde::{Deserialize, Serialize};
 
 /// Latency and energy of one layer under one mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPerf {
     /// Latency in cycles (Eq. 12).
     pub latency_cycles: f64,
@@ -26,7 +23,7 @@ impl LayerPerf {
 }
 
 /// Performance of a whole model: per-layer sums combined per Eq. 14.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelPerf {
     /// Sum of per-layer latencies (weighted by repeat count), cycles.
     pub latency_cycles: f64,

@@ -167,9 +167,9 @@ pub fn compute_traffic(problem: &Problem, mapping: &Mapping, hier: &Hierarchy) -
         let outermost = *holding.last().expect("DRAM stores everything");
 
         // Per holding level: tile size and refetch counts.
-        let mut tiles = vec![0u64; NUM_LEVELS];
-        let mut rels = vec![1u64; NUM_LEVELS];
-        let mut xs = vec![1u64; NUM_LEVELS];
+        let mut tiles = [0u64; NUM_LEVELS];
+        let mut rels = [1u64; NUM_LEVELS];
+        let mut xs = [1u64; NUM_LEVELS];
         for &i in &holding {
             tiles[i] = tile_words(problem, mapping, i, t);
             let (r, x) = refetch(mapping, i, rel_dims);
@@ -178,7 +178,11 @@ pub fn compute_traffic(problem: &Problem, mapping: &Mapping, hier: &Hierarchy) -
         }
 
         for (pos, &i) in holding.iter().enumerate() {
-            let child = if pos > 0 { Some(holding[pos - 1]) } else { None };
+            let child = if pos > 0 {
+                Some(holding[pos - 1])
+            } else {
+                None
+            };
             let is_outer = i == outermost;
             let f = &mut flows[i][t.index()];
 
@@ -186,7 +190,11 @@ pub fn compute_traffic(problem: &Problem, mapping: &Mapping, hier: &Hierarchy) -
                 Tensor::Weights | Tensor::Inputs => {
                     // Fills from the parent (paper's Writes), zero at the
                     // outermost level where the data originates.
-                    f.fills = if is_outer { 0 } else { tiles[i] * rels[i] * xs[i] };
+                    f.fills = if is_outer {
+                        0
+                    } else {
+                        tiles[i] * rels[i] * xs[i]
+                    };
                     // Reads serving the level below (or the MACs).
                     f.reads = match child {
                         None => macs / spatial_discount(mapping, 0, i, rel_dims),
@@ -351,7 +359,7 @@ mod tests {
     #[test]
     fn refetch_respects_loop_order() {
         let p = Problem::conv("o", 1, 1, 4, 1, 8, 1, 1).unwrap();
-        let h = Hierarchy::gemmini();
+        let _h = Hierarchy::gemmini();
         let mut m = Mapping::all_at_dram(&p);
         // DRAM loops: P=4 (relevant to W? no), C=8 (relevant to W).
         // WS order puts P inner, C outer: innermost relevant nonunit loop is

@@ -9,11 +9,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_problem() -> impl Strategy<Value = Problem> {
-    (1u64..=3, 1u64..=3, 1u64..=28, 1u64..=28, 1u64..=96, 1u64..=96, 1u64..=2).prop_map(
-        |(r, s, p, q, c, k, stride)| {
-            Problem::conv("prop", r, s, p, q, c, k, stride).expect("positive bounds")
-        },
+    (
+        1u64..=3,
+        1u64..=3,
+        1u64..=28,
+        1u64..=28,
+        1u64..=96,
+        1u64..=96,
+        1u64..=2,
     )
+        .prop_map(|(r, s, p, q, c, k, stride)| {
+            Problem::conv("prop", r, s, p, q, c, k, stride).expect("positive bounds")
+        })
 }
 
 proptest! {

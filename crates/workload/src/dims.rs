@@ -6,7 +6,6 @@
 //! `Q` (output width), `C` (input channels), `K` (output channels) and
 //! `N` (batch size).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of problem dimensions.
@@ -22,7 +21,7 @@ pub const NUM_DIMS: usize = 7;
 /// assert_eq!(Dim::C.index(), 4);
 /// assert_eq!(Dim::from_index(4), Some(Dim::C));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dim {
     /// Weight (filter) height.
     R = 0,
@@ -86,7 +85,7 @@ impl fmt::Display for Dim {
 }
 
 /// One of the three data tensors of a layer (§4.1.1, index `t` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tensor {
     /// Weights `W[K, C, R, S]`.
     Weights = 0,
@@ -150,7 +149,7 @@ impl fmt::Display for Tensor {
 /// assert!(s.contains(Dim::C));
 /// assert_eq!(s.complement().len(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct DimSet(u8);
 
 impl DimSet {

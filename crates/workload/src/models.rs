@@ -13,6 +13,7 @@
 
 use crate::problem::{Layer, Problem};
 
+#[allow(clippy::too_many_arguments)] // mirrors Problem::conv's dimension list
 fn conv(name: &str, r: u64, s: u64, p: u64, q: u64, c: u64, k: u64, stride: u64) -> Problem {
     Problem::conv(name, r, s, p, q, c, k, stride).expect("static layer tables are valid")
 }
@@ -56,7 +57,16 @@ pub fn vgg16() -> Vec<Layer> {
 
 /// ResNet-50 (He et al.), bottleneck v1 with stride on the 3x3 convs.
 pub fn resnet50() -> Vec<Layer> {
-    let mut layers = vec![Layer::once(conv("resnet50_conv1", 7, 7, 112, 112, 3, 64, 2))];
+    let mut layers = vec![Layer::once(conv(
+        "resnet50_conv1",
+        7,
+        7,
+        112,
+        112,
+        3,
+        64,
+        2,
+    ))];
     // Stage 2 (56x56, widths 64 -> 256), 3 blocks.
     layers.extend([
         Layer::once(conv("resnet50_s2_b1_1x1a", 1, 1, 56, 56, 64, 64, 1)),
@@ -262,10 +272,7 @@ mod tests {
     #[test]
     fn resnet50_macs_in_expected_range() {
         // ResNet-50 is ~4.1 GMACs at 224x224.
-        let total: u64 = resnet50()
-            .iter()
-            .map(|l| l.problem.macs() * l.count)
-            .sum();
+        let total: u64 = resnet50().iter().map(|l| l.problem.macs() * l.count).sum();
         assert!(
             (3_500_000_000..4_500_000_000).contains(&total),
             "got {total}"

@@ -2,7 +2,7 @@
 //! convolution strides.
 
 use crate::dims::{Dim, DimSet, Tensor, NUM_DIMS};
-use serde::{Deserialize, Serialize};
+
 use std::fmt;
 
 /// Whether a layer is a convolution or a (possibly batched) matrix multiply.
@@ -10,7 +10,7 @@ use std::fmt;
 /// Matrix multiplies are expressed in the same seven-dimensional space with
 /// `R = S = Q = 1`: `P` is the output-row dimension (M), `C` the reduction
 /// dimension, and `K` the output-column dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// A 2-D convolution.
     Conv,
@@ -58,7 +58,7 @@ impl std::error::Error for ProblemError {}
 /// assert_eq!(conv.size(Dim::C), 64);
 /// assert_eq!(conv.macs(), 3 * 3 * 56 * 56 * 64 * 64);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Problem {
     name: String,
     kind: LayerKind,
@@ -82,7 +82,9 @@ impl Problem {
     ) -> Result<Problem, ProblemError> {
         for (i, &s) in sizes.iter().enumerate() {
             if s == 0 {
-                return Err(ProblemError::ZeroDim(Dim::from_index(i).expect("index < 7")));
+                return Err(ProblemError::ZeroDim(
+                    Dim::from_index(i).expect("index < 7"),
+                ));
             }
         }
         if stride_p == 0 || stride_q == 0 {
@@ -193,10 +195,7 @@ impl Problem {
 
     /// Dimensions whose bound exceeds 1 (the ones worth tiling).
     pub fn nontrivial_dims(&self) -> DimSet {
-        Dim::ALL
-            .into_iter()
-            .filter(|&d| self.size(d) > 1)
-            .collect()
+        Dim::ALL.into_iter().filter(|&d| self.size(d) > 1).collect()
     }
 
     /// A stable identity key ignoring the name: two layers with equal shapes
@@ -228,7 +227,7 @@ impl fmt::Display for Problem {
 
 /// A layer together with the number of times it appears in the network
 /// (§4.5: repeated layers share one mapping, weighted by their count).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     /// The layer shape.
     pub problem: Problem,

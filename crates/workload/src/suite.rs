@@ -2,12 +2,12 @@
 
 use crate::models;
 use crate::problem::Layer;
-use serde::{Deserialize, Serialize};
+
 use std::collections::HashMap;
 use std::fmt;
 
 /// One of the eight networks of Table 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Network {
     /// AlexNet (training workload).
     AlexNet,

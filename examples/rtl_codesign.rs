@@ -19,11 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1) "Measure" random mappings of the training workloads on the RTL
     //    simulator (the FireSim role) and train the residual model.
-    let corpus = dedup_layers(
-        Network::TRAINING
-            .into_iter()
-            .flat_map(|n| unique_layers(n)),
-    );
+    let corpus = dedup_layers(Network::TRAINING.into_iter().flat_map(unique_layers));
     println!("generating RTL dataset ({} layers)...", corpus.len());
     let dataset = generate_rtl_dataset(&corpus, 500, &hier, &rtl_cfg, 1);
     let cfg = TrainConfig {
@@ -31,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     };
     let combined = LatencyPredictor::fit(LatencyModelKind::Combined, &dataset, &cfg, 2);
-    println!("trained combined model on {} samples", dataset.samples.len());
+    println!(
+        "trained combined model on {} samples",
+        dataset.samples.len()
+    );
 
     // 2) Optimize BERT's buffer sizes and mappings for a fixed 16x16 array
     //    with both latency models.

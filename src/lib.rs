@@ -36,6 +36,31 @@
 //! assert!(result.best_edp.is_finite());
 //! # Ok::<(), dosa::workload::ProblemError>(())
 //! ```
+//!
+//! ## Parallel search
+//!
+//! Both GD searchers ([`search::dosa_search`] and
+//! [`search::dosa_search_rtl`]) are thin wrappers over one shared engine,
+//! [`search::run_gd_search`], which fans start points out across worker
+//! threads: each start point descends on its own autodiff tape with its
+//! own Adam state, and the per-start results are merged by a
+//! deterministic reduction. Consequences worth relying on:
+//!
+//! * **Bit-identical determinism** — for a fixed `GdConfig::seed`, the
+//!   returned `best_edp`, hardware, mappings, history and sample counts
+//!   are the same whether the search runs on 1 thread or 64.
+//! * **Near-linear scaling in start points** — start points are
+//!   embarrassingly parallel; wall-clock approaches
+//!   `steps × slowest_start / workers`.
+//! * **Configuration** — worker count follows the global rayon pool:
+//!   `rayon::ThreadPoolBuilder::new().num_threads(n).build_global()`, or
+//!   the `repro` binary's `--threads N` flag. By default all cores are
+//!   used.
+//!
+//! Custom surrogates can plug into the same driver by implementing
+//! [`search::DiffLoss`] (build a loss on a tape for the current relaxed
+//! mappings, plus a rounding/evaluation hook) and calling
+//! [`search::run_gd_search`] directly.
 
 #![warn(missing_docs)]
 
@@ -54,9 +79,9 @@ pub mod prelude {
     pub use dosa_accel::{EnergyModel, HardwareConfig, Hierarchy};
     pub use dosa_model::{build_loss, LossOptions, RelaxedMapping};
     pub use dosa_search::{
-        bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search,
-        BbboConfig, GdConfig, LatencyModelKind, LatencyPredictor, LoopOrderStrategy,
-        RandomSearchConfig,
+        bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search, run_gd_search,
+        BbboConfig, DiffLoss, EdpLoss, GdConfig, LatencyModelKind, LatencyPredictor,
+        LoopOrderStrategy, PredictedLatencyLoss, RandomSearchConfig,
     };
     pub use dosa_timeloop::{
         evaluate_layer, evaluate_model, min_hw, min_hw_for_all, Mapping, Stationarity,

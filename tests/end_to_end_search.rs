@@ -65,7 +65,11 @@ fn search_beats_the_trivial_mapping() {
         .iter()
         .map(|l| Mapping::all_at_dram(&l.problem))
         .collect();
-    let pairs: Vec<_> = layers.iter().zip(&trivial).map(|(l, m)| (&l.problem, m)).collect();
+    let pairs: Vec<_> = layers
+        .iter()
+        .zip(&trivial)
+        .map(|(l, m)| (&l.problem, m))
+        .collect();
     let hw = min_hw_for_all(pairs, &hier);
     let paired: Vec<(Layer, Mapping)> = layers.iter().cloned().zip(trivial).collect();
     let trivial_edp = evaluate_model(&paired, &hw, &hier).edp();

@@ -75,7 +75,10 @@ fn optimized_rtl_config_beats_naive_default_mapping() {
     let rtl_cfg = RtlConfig::default();
     let ls = layers();
     // Naive: everything at DRAM on default hardware.
-    let naive: Vec<Mapping> = ls.iter().map(|l| Mapping::all_at_dram(&l.problem)).collect();
+    let naive: Vec<Mapping> = ls
+        .iter()
+        .map(|l| Mapping::all_at_dram(&l.problem))
+        .collect();
     let hw = HardwareConfig::gemmini_default();
     let naive_perf = evaluate_rtl(&ls, &naive, &hw, &hier, &rtl_cfg);
 

@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API
+//! used by this workspace (see `vendor/README.md`): the `Criterion`
+//! builder (`sample_size` / `measurement_time` / `warm_up_time`),
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! It measures wall-clock time with `std::time::Instant` and prints
+//! `name  time: [min mean max]` lines; there is no statistical analysis,
+//! outlier filtering or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        let s = &b.samples;
+        if s.is_empty() {
+            println!("{id:<40} (no samples)");
+            return self;
+        }
+        let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = s.iter().copied().fold(0.0f64, f64::max);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+        self
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, recording one duration per sample. Honors the configured
+    /// sample count but stops early once the measurement-time budget is
+    /// spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run at least once, up to the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed().as_secs_f64());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0usize;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(
+            runs >= 3,
+            "warm-up + samples should run the closure: {runs}"
+        );
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.5e-9).contains("ns"));
+        assert!(fmt_time(2.5e-6).contains("µs"));
+        assert!(fmt_time(2.5e-3).contains("ms"));
+        assert!(fmt_time(2.5).contains(" s") || fmt_time(2.5).ends_with('s'));
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace (see `vendor/README.md`): the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` attribute, `prop_assert!` /
+//! `prop_assert_eq!`, `ProptestConfig::with_cases`, and the strategies the
+//! tests build — numeric ranges, tuples of strategies, `.prop_map`, and
+//! `proptest::collection::vec`.
+//!
+//! Semantics: purely randomized testing with a fixed deterministic seed
+//! per test function; there is no shrinking and no failure persistence.
+//! Each failing case panics with the standard assertion message.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+    {
+        Map {
+            inner: self,
+            f,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F, O> {
+    inner: S,
+    f: F,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F, O> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )+};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeBound, Strategy};
+    use rand::rngs::StdRng;
+
+    /// A strategy producing `Vec`s of `elem` with a length drawn from
+    /// `size` (a fixed `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeBound>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeBound,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub enum SizeBound {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// Uniform in `[lo, hi)`.
+    Half(usize, usize),
+    /// Uniform in `[lo, hi]`.
+    Full(usize, usize),
+}
+
+impl SizeBound {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        match self {
+            SizeBound::Fixed(n) => n,
+            SizeBound::Half(lo, hi) => rng.gen_range(lo..hi),
+            SizeBound::Full(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+impl From<usize> for SizeBound {
+    fn from(n: usize) -> SizeBound {
+        SizeBound::Fixed(n)
+    }
+}
+
+impl From<Range<usize>> for SizeBound {
+    fn from(r: Range<usize>) -> SizeBound {
+        SizeBound::Half(r.start, r.end)
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeBound {
+    fn from(r: RangeInclusive<usize>) -> SizeBound {
+        SizeBound::Full(*r.start(), *r.end())
+    }
+}
+
+/// Internals used by the generated test bodies.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic RNG for one generated test function: seeded from the
+    /// test's name so independent tests draw independent streams, yet every
+    /// run of the suite replays the identical cases.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declare randomized test functions:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..100, y in -1.0f64..1.0) {
+///         prop_assert!(x as f64 + y < 101.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(a in 1u64..=5, b in -1.0f64..1.0, (c, d) in (0usize..4, 0u32..7)) {
+            prop_assert!((1..=5).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!(c < 4 && d < 7);
+        }
+
+        #[test]
+        fn prop_map_transforms(s in (1u64..=3, 1u64..=3).prop_map(|(x, y)| x * y)) {
+            prop_assert!((1..=9).contains(&s));
+        }
+
+        #[test]
+        fn collection_vec_lengths(xs in crate::collection::vec(0.0f64..1.0, 2..6), ys in crate::collection::vec(0u64..9, 4)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert_eq!(ys.len(), 4);
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = crate::test_runner::rng_for("t");
+        let mut b = crate::test_runner::rng_for("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::rng_for("other");
+        let _ = c.next_u64();
+    }
+}

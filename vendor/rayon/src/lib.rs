@@ -1,0 +1,337 @@
+//! Offline stand-in for the subset of the `rayon` API used by this
+//! workspace (see `vendor/README.md`): `Vec::into_par_iter()` followed by
+//! `.enumerate()` / `.map(..)` / `.collect()`, plus the global thread-pool
+//! sizing knobs (`ThreadPoolBuilder::num_threads(..).build_global()`,
+//! [`current_num_threads`]).
+//!
+//! Execution model: combinators stage the items; `collect()` materializes
+//! the pipeline by fanning the items out over `current_num_threads()`
+//! scoped OS threads pulling indices from a shared atomic counter. Results
+//! land at their item's index, so output order — and therefore every
+//! deterministic reduction built on it — is independent of thread count
+//! and scheduling.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread (0 = no override).
+    static INSTALLED_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of worker threads parallel pipelines will use: the
+/// [`ThreadPool::install`] scope's count if inside one, else the value set
+/// via [`ThreadPoolBuilder::build_global`], else the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced here;
+/// kept for upstream signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global worker count, mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Install the configuration globally. Unlike upstream, calling this
+    /// more than once simply overwrites the previous value; portable code
+    /// (code that must also work against real rayon, where a second call
+    /// errors) should prefer [`ThreadPoolBuilder::build`] +
+    /// [`ThreadPool::install`].
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads.unwrap_or(0), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Build a scoped pool handle, mirroring upstream's
+    /// `ThreadPoolBuilder::build`.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or(0),
+        })
+    }
+}
+
+/// A scoped worker-count configuration, mirroring upstream's `ThreadPool`:
+/// parallel pipelines started inside [`ThreadPool::install`] use this
+/// pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count in effect on the calling
+    /// thread (restored afterwards, also on panic-free early return).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads.max(1));
+            prev
+        });
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter;
+    /// Start a parallel pipeline over `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Collection types a parallel pipeline can materialize into.
+pub trait FromParallelIterator<T> {
+    /// Build the collection from the in-order results.
+    fn from_par(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// A staged parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its index (index assignment is sequential and
+    /// therefore deterministic).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Stage a map; the closure runs on worker threads at `collect` time.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, R, F> {
+        ParMap {
+            items: self.items,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Materialize the items unchanged.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par(self.items)
+    }
+}
+
+/// A staged parallel map, executed on `collect`.
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, R, F> {
+    /// Run the map over the worker threads and gather results in item
+    /// order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_par(par_map(self.items, self.f))
+    }
+}
+
+/// Fan `items` out over worker threads, returning results in item order.
+fn par_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each index is claimed once");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map_sees_stable_indices() {
+        let v = vec!["a", "b", "c", "d"];
+        let out: Vec<(usize, &str)> = v.into_par_iter().enumerate().map(|p| p).collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c"), (3, "d")]);
+    }
+
+    #[test]
+    fn runs_on_many_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = v
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            })
+            .collect();
+        if current_num_threads() > 1 {
+            assert!(ids.lock().unwrap().len() > 1, "expected multiple workers");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn builder_is_accepted() {
+        // Not build_global here (tests share the process); just exercise the API.
+        let b = ThreadPoolBuilder::new().num_threads(3);
+        assert!(format!("{b:?}").contains('3'));
+    }
+
+    #[test]
+    fn install_scopes_thread_count_and_restores() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
+        // Nested installs unwind correctly.
+        let pool2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| {
+            let a = current_num_threads();
+            let b = pool2.install(current_num_threads);
+            assert_eq!(current_num_threads(), 3);
+            (a, b)
+        });
+        assert_eq!((a, b), (3, 2));
+    }
+
+    #[test]
+    fn install_controls_parallel_collect() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..16).collect();
+        let out: Vec<usize> = pool.install(|| {
+            v.into_par_iter()
+                .map(|x| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        // num_threads(1) must not spawn workers at all.
+        assert_eq!(ids.lock().unwrap().len(), 1);
+    }
+}
