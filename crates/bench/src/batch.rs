@@ -1,0 +1,214 @@
+//! Batched multi-network co-search through the job service: one
+//! [`SearchService`] job spanning several networks' start points, with
+//! live per-network progress printed while the fleet runs.
+//!
+//! This is the serving-oriented counterpart of Figure 7's per-network
+//! sweeps — the same searches, submitted as one batch. The `--smoke`
+//! variant runs a seconds-scale batch and **asserts** the service's core
+//! guarantee (each batched network's result is bit-identical to a
+//! standalone submission with the same seed), so CI exercises the whole
+//! request → handle → progress path on every push.
+
+use crate::plot::write_csv;
+use crate::scale::Scale;
+use dosa_accel::Hierarchy;
+use dosa_search::{dosa_search, GdConfig, JobHandle, SearchRequest, SearchResult, SearchService};
+use dosa_workload::{unique_layers, Layer, Network, Problem};
+use std::path::Path;
+use std::time::Duration;
+
+/// One network's outcome from a batched job.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Network name as submitted.
+    pub network: String,
+    /// The (bit-identical-to-standalone) search result.
+    pub result: SearchResult,
+}
+
+/// Poll `job` until it completes, printing one progress line per poll.
+fn poll_until_done(job: &JobHandle, poll: Duration) {
+    while !job.status().is_terminal() {
+        let progress = job.progress();
+        let per_net: Vec<String> = progress
+            .networks
+            .iter()
+            .map(|n| {
+                if n.best_edp.is_finite() {
+                    format!(
+                        "{} {:>7} samples, best {:.3e}",
+                        n.network, n.samples, n.best_edp
+                    )
+                } else {
+                    format!("{} {:>7} samples, best -", n.network, n.samples)
+                }
+            })
+            .collect();
+        println!("  [{:?}] {}", progress.status, per_net.join(" | "));
+        std::thread::sleep(poll);
+    }
+}
+
+fn report(outcomes: &[BatchOutcome], out_dir: &Path) {
+    println!("\nper-network results (bit-identical to standalone runs):");
+    for o in outcomes {
+        println!(
+            "  {:<12} best EDP {:.4e} uJ*cycles on {} after {} samples",
+            o.network, o.result.best_edp, o.result.best_hw, o.result.samples
+        );
+    }
+    write_csv(
+        out_dir,
+        "batch.csv",
+        &[
+            "network", "best_edp", "samples", "pe_side", "acc_kb", "spad_kb",
+        ],
+        &outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.network.clone(),
+                    format!("{:.6e}", o.result.best_edp),
+                    o.result.samples.to_string(),
+                    o.result.best_hw.pe_side().to_string(),
+                    format!("{}", o.result.best_hw.acc_kb()),
+                    format!("{}", o.result.best_hw.spad_kb()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Run the target networks as one batched service job (seeds `seed`,
+/// `seed+1`, ... per network, matching Figure 7's standalone runs).
+pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
+    let hier = Hierarchy::gemmini();
+    let threads = rayon::current_num_threads();
+    let service = SearchService::builder().threads(threads).build();
+
+    let mut builder = SearchRequest::builder(hier).config(scale.gd_main(seed));
+    for (i, net) in networks.iter().enumerate() {
+        builder =
+            builder.network_seeded(net.name().to_string(), unique_layers(*net), seed + i as u64);
+    }
+    println!(
+        "batched job: {} networks, {} worker threads",
+        networks.len(),
+        threads
+    );
+    let job = service
+        .submit(builder.build())
+        .expect("scale presets always validate");
+    poll_until_done(&job, Duration::from_millis(500));
+
+    let outcomes: Vec<BatchOutcome> = job
+        .wait()
+        .networks
+        .into_iter()
+        .map(|n| BatchOutcome {
+            network: n.network,
+            result: n.result,
+        })
+        .collect();
+    report(&outcomes, out_dir);
+    outcomes
+}
+
+/// Seconds-scale CI smoke of the batched path: a {ResNet-50 subset, one
+/// matmul} batch, polled live, then checked bit-for-bit against two
+/// standalone submissions with the same seeds.
+///
+/// # Panics
+///
+/// Panics if any per-network result diverges from its standalone run —
+/// that is the point: CI fails if the batching guarantee regresses.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
+    let hier = Hierarchy::gemmini();
+    let resnet_subset: Vec<Layer> = unique_layers(Network::ResNet50)
+        .into_iter()
+        .take(2)
+        .collect();
+    let gemm = vec![Layer::once(
+        Problem::matmul("gemm", 64, 256, 256).expect("valid matmul"),
+    )];
+    let cfg = GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed,
+        ..GdConfig::default()
+    };
+
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
+    let request = SearchRequest::builder(hier.clone())
+        .network_seeded("resnet50-subset", resnet_subset.clone(), seed)
+        .network_seeded("gemm", gemm.clone(), seed + 1)
+        .config(cfg)
+        .build();
+    println!("smoke: batched {{ResNet-50 subset, gemm}} job");
+    let job = service.submit(request).expect("smoke config validates");
+    poll_until_done(&job, Duration::from_millis(50));
+    let batch = job.wait();
+
+    // The service guarantee, enforced: batched == standalone, bit for bit.
+    for (name, layers, net_seed) in [
+        ("resnet50-subset", &resnet_subset, seed),
+        ("gemm", &gemm, seed + 1),
+    ] {
+        let standalone = dosa_search(
+            layers,
+            &hier,
+            &GdConfig {
+                seed: net_seed,
+                ..cfg
+            },
+        );
+        let batched = batch.get(name).expect("network present in batch");
+        assert_eq!(
+            batched.best_edp.to_bits(),
+            standalone.best_edp.to_bits(),
+            "{name}: batched best_edp diverged from standalone"
+        );
+        assert_eq!(
+            batched.samples, standalone.samples,
+            "{name}: sample accounting diverged"
+        );
+        assert_eq!(
+            batched.history, standalone.history,
+            "{name}: history diverged"
+        );
+        println!(
+            "smoke: {name} matches standalone ({:.4e})",
+            standalone.best_edp
+        );
+    }
+
+    let outcomes: Vec<BatchOutcome> = batch
+        .networks
+        .into_iter()
+        .map(|n| BatchOutcome {
+            network: n.network,
+            result: n.result,
+        })
+        .collect();
+    report(&outcomes, out_dir);
+    println!("smoke: OK");
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_checks_its_own_parity_assertions() {
+        let dir = std::env::temp_dir().join("dosa_batch_smoke_test");
+        let outcomes = run_smoke(7, &dir);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.result.best_edp.is_finite());
+        }
+    }
+}

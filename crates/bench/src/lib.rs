@@ -1,14 +1,16 @@
 //! # dosa-bench
 //!
 //! The experiment harness of the DOSA reproduction: one module per table /
-//! figure of the paper's evaluation (§6), shared terminal plotting and CSV
-//! output, and quick/paper scaling presets. The `repro` binary exposes each
-//! experiment as a subcommand; the Criterion benches under `benches/` run
-//! reduced versions of the same code paths.
+//! figure of the paper's evaluation (§6), a batched multi-network service
+//! mode ([`batch`]), shared terminal plotting and CSV output, and
+//! quick/paper scaling presets. The `repro` binary exposes each experiment
+//! as a subcommand; the Criterion benches under `benches/` run reduced
+//! versions of the same code paths.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod batch;
 pub mod fig10_11;
 pub mod fig12;
 pub mod fig4;

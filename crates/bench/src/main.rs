@@ -1,17 +1,20 @@
 //! `repro` — regenerate the tables and figures of the DOSA paper.
 //!
 //! ```text
-//! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] <command> [workload]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | all
+//! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
-//! `--threads N` caps the worker threads the parallel GD search engine
-//! fans start points out over (default: all cores). Results are
-//! bit-identical for every choice; only wall-clock time changes.
+//! `--threads N` caps the worker threads the search service fans start
+//! points out over (default: all cores). Results are bit-identical for
+//! every choice; only wall-clock time changes. `batch` submits all named
+//! workloads (default: the four targets) as **one** batched
+//! `SearchService` job with live progress polling; `--smoke batch` runs a
+//! seconds-scale batch that asserts batched == standalone parity, for CI.
 
 use dosa_accel::HardwareConfig;
-use dosa_bench::{ablation, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, Scale};
+use dosa_bench::{ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, Scale};
 use dosa_workload::Network;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,8 +24,9 @@ struct Args {
     seed: u64,
     out: PathBuf,
     threads: Option<usize>,
+    smoke: bool,
     command: String,
-    network: Option<Network>,
+    networks: Vec<Network>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0u64;
     let mut out = PathBuf::from("output_dir");
     let mut threads = None;
+    let mut smoke = false;
     let mut positional = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,22 +58,24 @@ fn parse_args() -> Result<Args, String> {
                 }
                 threads = Some(n);
             }
+            "--smoke" => smoke = true,
             "--help" | "-h" => return Err(String::new()),
             other => positional.push(other.to_string()),
         }
     }
     let command = positional.first().cloned().unwrap_or_else(|| "help".into());
-    let network = positional.get(1).and_then(|s| Network::parse(s));
-    if positional.len() > 1 && network.is_none() {
-        return Err(format!("unknown workload {}", positional[1]));
+    let mut networks = Vec::new();
+    for name in &positional[1.min(positional.len())..] {
+        networks.push(Network::parse(name).ok_or_else(|| format!("unknown workload {name}"))?);
     }
     Ok(Args {
         scale,
         seed,
         out,
         threads,
+        smoke,
         command,
-        network,
+        networks,
     })
 }
 
@@ -86,10 +93,14 @@ fn usage() {
            fig10   latency-model accuracy (Figures 10 & 11)\n\
            fig12   Gemmini-RTL optimization + Table 7\n\
            ablation  design-choice ablations (rounding, lr, start points)\n\
+           batch   one batched SearchService job over [workload..]\n\
+                   (default: all four targets) with live progress\n\
            all     everything above\n\
          workloads: unet | resnet50 | bert | retinanet\n\
-         --threads N caps the GD engine's worker threads (results are\n\
-         identical for every N; only wall-clock time changes)"
+         --threads N caps the service's worker threads (results are\n\
+         identical for every N; only wall-clock time changes)\n\
+         --smoke batch runs a seconds-scale batch asserting batched ==\n\
+         standalone parity (the CI smoke)"
     );
 }
 
@@ -132,17 +143,17 @@ fn main() -> ExitCode {
         "fig6" => {
             fig6::run(scale, seed, out);
         }
-        "fig7" => match args.network {
+        "fig7" => match args.networks.first() {
             Some(n) => {
-                fig7::run_network(scale, n, seed, out);
+                fig7::run_network(scale, *n, seed, out);
             }
             None => {
                 fig7::run(scale, seed, out);
             }
         },
-        "fig8" => match args.network {
+        "fig8" => match args.networks.first() {
             Some(n) => {
-                fig8::run_network(scale, n, seed, out);
+                fig8::run_network(scale, *n, seed, out);
             }
             None => {
                 fig8::run(scale, seed, out);
@@ -159,6 +170,18 @@ fn main() -> ExitCode {
         }
         "ablation" => {
             ablation::run(scale, seed, out);
+        }
+        "batch" => {
+            if args.smoke {
+                batch::run_smoke(seed, out);
+            } else {
+                let networks = if args.networks.is_empty() {
+                    Network::TARGETS.to_vec()
+                } else {
+                    args.networks.clone()
+                };
+                batch::run(scale, &networks, seed, out);
+            }
         }
         "all" => {
             info::all();

@@ -42,6 +42,7 @@ use dosa_workload::{Layer, Problem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Record a best-so-far history point every this many gradient steps (in
 /// addition to every rounding).
@@ -256,32 +257,148 @@ impl DiffLoss for PredictedLatencyLoss<'_> {
     }
 }
 
+/// Live, lock-free counters one network's descents publish into so a
+/// service job's `progress()` can be observed without blocking the
+/// workers: a sample total and a best-EDP running minimum, both monotone.
+pub(crate) struct ProgressCounters {
+    samples: AtomicUsize,
+    best_edp_bits: AtomicU64,
+}
+
+impl ProgressCounters {
+    pub(crate) fn new() -> ProgressCounters {
+        ProgressCounters {
+            samples: AtomicUsize::new(0),
+            best_edp_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    fn add_samples(&self, n: usize) {
+        self.samples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the published best EDP to `edp` if it improves on it (CAS
+    /// loop, so the published value is monotone non-increasing).
+    fn update_best(&self, edp: f64) {
+        let mut cur = self.best_edp_bits.load(Ordering::Relaxed);
+        while edp < f64::from_bits(cur) {
+            match self.best_edp_bits.compare_exchange_weak(
+                cur,
+                edp.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current `(samples, best_edp)` snapshot (best is `INFINITY` until
+    /// the first rounding evaluation lands).
+    pub(crate) fn snapshot(&self) -> (usize, f64) {
+        (
+            self.samples.load(Ordering::Relaxed),
+            f64::from_bits(self.best_edp_bits.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// Control surface handed to every start-point descent: an optional
+/// cooperative-cancellation flag (checked once per gradient step) and an
+/// optional progress sink. `StartControl::default()` is the uncontrolled
+/// blocking mode used by [`run_gd_search`].
+#[derive(Clone, Copy, Default)]
+pub(crate) struct StartControl<'a> {
+    /// When set, descents return their partial result at the next step
+    /// boundary, and not-yet-started work items return empty results.
+    pub(crate) cancel: Option<&'a AtomicBool>,
+    /// Live observation counters for the network this start belongs to.
+    pub(crate) progress: Option<&'a ProgressCounters>,
+}
+
+impl StartControl<'_> {
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    fn count_samples(&self, n: usize) {
+        if let Some(p) = self.progress {
+            p.add_samples(n);
+        }
+    }
+
+    fn observe_best(&self, edp: f64) {
+        if let Some(p) = self.progress {
+            p.update_best(edp);
+        }
+    }
+}
+
+/// Fan `items` out over a scoped pool of `threads` workers, returning
+/// `f(index, item)` results in item order. Output order — and therefore
+/// every deterministic reduction built on it — is independent of thread
+/// count and scheduling; this is the engine's only parallel primitive,
+/// shared by [`run_gd_search`] and the job service's worker fleet. The
+/// pool is per call, so worker budgets stay scoped to their service and
+/// never touch the global rayon configuration.
+pub(crate) fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("scoped pool");
+    pool.install(|| {
+        items
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect()
+    })
+}
+
 /// Descend from every start point in parallel and merge the results
 /// deterministically (see the module docs for the exact guarantees).
 ///
 /// Worker count follows the global rayon configuration
 /// (`rayon::ThreadPoolBuilder::new().num_threads(n).build_global()`, or
-/// all cores by default); the result is identical for every choice.
-pub fn run_gd_search<L: DiffLoss>(
+/// all cores by default); the result is identical for every choice. For
+/// queued, observable, cancellable or batched runs, submit a
+/// [`SearchRequest`](crate::SearchRequest) to a
+/// [`SearchService`](crate::SearchService) instead — it drives this same
+/// per-start loop through its own worker fleet.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`GdConfig::validate`] (e.g. the
+/// divide-by-zero-prone `round_every == 0`).
+pub fn run_gd_search<L: DiffLoss + ?Sized>(
     loss: &L,
     starts: Vec<StartPoint>,
     cfg: &GdConfig,
 ) -> SearchResult {
-    let per_start: Vec<SearchResult> = starts
-        .into_par_iter()
-        .enumerate()
-        .map(|(index, start)| run_single_start(loss, start.relaxed, index, cfg))
-        .collect();
+    if let Err(e) = cfg.validate() {
+        panic!("invalid GdConfig: {e}");
+    }
+    let threads = rayon::current_num_threads();
+    let per_start = fan_out(starts, threads, |index, start| {
+        run_single_start(loss, start.relaxed, index, cfg, StartControl::default())
+    });
     merge_start_results(per_start)
 }
 
 /// One start point's full descent: the loop previously duplicated between
 /// `dosa_search` and `dosa_search_rtl`.
-fn run_single_start<L: DiffLoss>(
+pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
     loss: &L,
     mut relaxed: Vec<RelaxedMapping>,
     index: usize,
     cfg: &GdConfig,
+    ctrl: StartControl<'_>,
 ) -> SearchResult {
     let layers = loss.layers();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(index as u64));
@@ -296,6 +413,12 @@ fn run_single_start<L: DiffLoss>(
     let mut adam = Adam::new(params.len(), cfg.learning_rate);
 
     for step in 1..=cfg.steps_per_start {
+        // Cooperative cancellation: stop issuing gradient steps at the
+        // next step boundary and return the partial (still monotone)
+        // result.
+        if ctrl.cancelled() {
+            break;
+        }
         // One differentiable-model evaluation + gradient step.
         for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
             r.set_params(chunk);
@@ -316,6 +439,7 @@ fn run_single_start<L: DiffLoss>(
             .collect();
         adam.step(&mut params, &flat);
         result.samples += 1;
+        ctrl.count_samples(1);
 
         // Periodic rounding + reference evaluation (§5.3.2).
         if step % cfg.round_every == 0 || step == cfg.steps_per_start {
@@ -329,8 +453,10 @@ fn run_single_start<L: DiffLoss>(
                 .collect();
             let (hw, edp) = loss.finish_round(&mut relaxed, &mut mappings);
             result.samples += 1;
+            ctrl.count_samples(1);
             result.consider(edp, &hw, &mappings);
             result.record();
+            ctrl.observe_best(result.best_edp);
 
             // Restart descent from the rounded point (§5.2.1).
             let rounded: Vec<RelaxedMapping> = mappings
@@ -356,7 +482,7 @@ fn run_single_start<L: DiffLoss>(
 /// the lowest start index), sample counts are re-offset to the sequential
 /// accounting, and the concatenated history is rewritten to the running
 /// global best.
-fn merge_start_results(per_start: Vec<SearchResult>) -> SearchResult {
+pub(crate) fn merge_start_results(per_start: Vec<SearchResult>) -> SearchResult {
     let mut merged = SearchResult::empty();
     for r in per_start {
         let offset = merged.samples;

@@ -11,16 +11,13 @@
 //! reference evaluation — counts as one *sample*, making the histories
 //! comparable to the black-box baselines (§6.3).
 
-use crate::engine::{run_gd_search, EdpLoss};
-use crate::startpoints::generate_start_points;
-use dosa_accel::{HardwareConfig, Hierarchy, MAX_PE_SIDE};
-use dosa_model::LossOptions;
+use crate::request::SearchRequest;
+use crate::service::SearchService;
+use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_timeloop::{
     evaluate_layer, evaluate_model, min_hw_for_all, LoopOrder, Mapping, ModelPerf, Stationarity,
 };
 use dosa_workload::Layer;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Loop-ordering search strategy (§5.2, Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,47 +220,37 @@ pub fn choose_best_orderings(
     choices
 }
 
-/// Run the full DOSA one-loop search on `layers`.
+/// Run the full DOSA one-loop search on `layers`, blocking until done.
 ///
-/// This is a thin wrapper over the shared engine
-/// ([`run_gd_search`](crate::run_gd_search)) with the plain EDP loss
-/// ([`EdpLoss`](crate::EdpLoss)): start points are generated sequentially
-/// from `cfg.seed`, descended in parallel, and merged deterministically —
-/// the result is bit-identical for every worker-thread count.
+/// This is a thin shim over the job service: it submits one
+/// single-network [`Surrogate::Edp`](crate::Surrogate::Edp) request to a
+/// throwaway [`SearchService`](crate::SearchService) and waits. Start
+/// points are generated sequentially from `cfg.seed`, descended in
+/// parallel, and merged deterministically — the result is bit-identical
+/// for every worker-thread count. The thread budget is read from the
+/// calling thread's rayon configuration (`ThreadPool::install` scopes and
+/// `build_global` both apply), so existing `--threads`-style knobs keep
+/// working. For batching, live progress, or cancellation, use the service
+/// directly.
 ///
 /// # Panics
 ///
-/// Panics if `layers` is empty.
+/// Panics if `layers` is empty or `cfg` fails
+/// [`GdConfig::validate`](GdConfig::validate).
 pub fn dosa_search(layers: &[Layer], hier: &Hierarchy, cfg: &GdConfig) -> SearchResult {
     assert!(!layers.is_empty(), "need at least one layer");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let opts = LossOptions {
-        fixed_pe_side: cfg.fixed_pe_side,
-        softmax_ordering: cfg.strategy == LoopOrderStrategy::Softmax,
-        ..LossOptions::default()
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
+    let request = SearchRequest::builder(hier.clone())
+        .network("network", layers.to_vec())
+        .config(*cfg)
+        .build();
+    let handle = match service.submit(request) {
+        Ok(handle) => handle,
+        Err(e) => panic!("invalid GdConfig: {e}"),
     };
-    let spatial_cap = cfg.fixed_pe_side.unwrap_or(MAX_PE_SIDE);
-
-    let starts = generate_start_points(
-        &mut rng,
-        layers,
-        hier,
-        &opts,
-        cfg.start_points,
-        cfg.rejection_factor,
-    );
-
-    let loss = EdpLoss {
-        layers,
-        hier,
-        opts,
-        strategy: cfg.strategy,
-        fixed_pe_side: cfg.fixed_pe_side,
-        spatial_cap,
-    };
-    let mut result = run_gd_search(&loss, starts, cfg);
-    result.record();
-    result
+    handle.wait().into_single()
 }
 
 #[cfg(test)]
@@ -352,6 +339,18 @@ mod tests {
         let b = dosa_search(&layers, &hier, &tiny_cfg());
         assert_eq!(a.best_edp, b.best_edp);
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GdConfig: round_every must be at least 1")]
+    fn degenerate_round_every_panics_with_a_typed_message() {
+        // Formerly a bare divide-by-zero deep in the gradient loop; now a
+        // ConfigError surfaced at the service boundary.
+        let cfg = GdConfig {
+            round_every: 0,
+            ..tiny_cfg()
+        };
+        dosa_search(&tiny_layers(), &Hierarchy::gemmini(), &cfg);
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! DNN-augmented analytical model — plus the one-loop GD search built on
 //! top of them (Figure 12) and the feature extraction they share.
 
-use crate::engine::{run_gd_search, PredictedLatencyLoss};
 use crate::gd::{GdConfig, SearchResult};
-use crate::startpoints::generate_start_points;
+use crate::request::{SearchRequest, Surrogate};
+use crate::service::SearchService;
 use dosa_accel::{HardwareConfig, Hierarchy, ACC_WORD_BYTES};
 use dosa_autodiff::{Tape, Var};
-use dosa_model::{HwVars, LossOptions, RelaxedMapping, PARAMS_PER_LAYER};
+use dosa_model::{HwVars, RelaxedMapping, PARAMS_PER_LAYER};
 use dosa_nn::{train, Dataset, Mlp, TrainConfig};
 use dosa_rtl::{simulate_latency, RtlConfig};
 use dosa_timeloop::{evaluate_layer, fits, random_mapping, Mapping, ModelPerf};
@@ -293,10 +293,17 @@ pub fn evaluate_rtl(
 /// flow. Best points are selected by *predicted* EDP (the paper selects
 /// mappings by predicted performance before measuring them on FireSim).
 ///
-/// This is a thin wrapper over the shared engine
-/// ([`run_gd_search`](crate::run_gd_search)) with the predictor-adjusted
-/// latency loss ([`PredictedLatencyLoss`](crate::PredictedLatencyLoss));
-/// start points descend in parallel and merge deterministically.
+/// This is a thin blocking shim over the job service: it submits one
+/// single-network
+/// [`Surrogate::PredictedLatency`](crate::Surrogate::PredictedLatency)
+/// request to a throwaway [`SearchService`](crate::SearchService) (thread
+/// budget from the calling thread's rayon configuration) and waits; start
+/// points descend in parallel and merge deterministically.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or `cfg` fails
+/// [`GdConfig::validate`](GdConfig::validate).
 pub fn dosa_search_rtl(
     layers: &[Layer],
     hier: &Hierarchy,
@@ -304,29 +311,19 @@ pub fn dosa_search_rtl(
     predictor: &LatencyPredictor,
 ) -> SearchResult {
     assert!(!layers.is_empty(), "need at least one layer");
-    let pe_side = cfg.fixed_pe_side.unwrap_or(16);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let opts = LossOptions {
-        fixed_pe_side: Some(pe_side),
-        ..LossOptions::default()
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
+    let request = SearchRequest::builder(hier.clone())
+        .network("network", layers.to_vec())
+        .surrogate(Surrogate::PredictedLatency(predictor.clone()))
+        .config(*cfg)
+        .build();
+    let handle = match service.submit(request) {
+        Ok(handle) => handle,
+        Err(e) => panic!("invalid GdConfig: {e}"),
     };
-
-    let starts = generate_start_points(
-        &mut rng,
-        layers,
-        hier,
-        &opts,
-        cfg.start_points,
-        cfg.rejection_factor,
-    );
-
-    let loss = PredictedLatencyLoss {
-        layers,
-        hier,
-        predictor,
-        pe_side,
-    };
-    run_gd_search(&loss, starts, cfg)
+    handle.wait().into_single()
 }
 
 #[cfg(test)]

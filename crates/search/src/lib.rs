@@ -1,37 +1,58 @@
 //! # dosa-search
 //!
-//! The searchers of the DOSA paper, built around one shared
-//! gradient-descent engine.
+//! The searchers of the DOSA paper, served through one job-oriented
+//! search service built on a shared gradient-descent engine.
+//!
+//! ## The service
+//!
+//! DOSA's value is running *many* one-loop co-searches — the paper sweeps
+//! networks × surrogates × loop-ordering strategies (§6.2–6.5). The
+//! public API is therefore a [`SearchService`]: describe a job with the
+//! [`SearchRequest`] builder (one network or a batch of named networks, a
+//! [`Surrogate`], a [`GdConfig`] budget and seed), submit it, and observe
+//! it through the returned [`JobHandle`]:
+//!
+//! * [`JobHandle::status`] / [`JobHandle::progress`] — non-blocking
+//!   lifecycle and live per-network best-EDP + sample counters,
+//! * [`JobHandle::cancel`] — cooperative cancellation at the next
+//!   gradient-step boundary, keeping the partial (still monotone) results,
+//! * [`JobHandle::wait`] — block for the per-network [`BatchResult`].
+//!
+//! Invalid configurations are rejected at the service boundary with a
+//! typed [`ConfigError`] ([`GdConfig::validate`]). The worker-thread
+//! budget is **per service** ([`SearchServiceBuilder::threads`]), not a
+//! global rayon pool, so differently-sized services coexist in one
+//! process.
+//!
+//! A batched request fans all networks' start points into one worker
+//! fleet and demultiplexes per-network results on merge; every network's
+//! result is **bit-identical** to a standalone submission with the same
+//! seed, for any thread budget and batch composition (see the [`service`]
+//! module docs for the exact contract).
 //!
 //! ## The engine
 //!
-//! DOSA's one-loop co-search (§3.2, §5) is a single optimization loop —
-//! Adam over all layers' log tiling factors, a tape cleared and reused
-//! every step, periodic rounding to valid integer mappings (§5.3.2), and
-//! per-sample accounting — that the paper instantiates against different
-//! differentiable surrogates. This crate factors the loop into
-//! [`run_gd_search`], driven by the [`DiffLoss`] trait:
+//! Underneath, one optimization loop — Adam over all layers' log tiling
+//! factors, a tape cleared and reused every step, periodic rounding to
+//! valid integer mappings (§5.3.2), and per-sample accounting — descends
+//! whatever differentiable surrogate a [`DiffLoss`] provides:
 //!
 //! * [`EdpLoss`] — the plain differentiable-EDP loss of §5, including the
-//!   Baseline / Iterate / Softmax loop-ordering strategies of Figure 6,
+//!   Baseline / Iterate / Softmax loop-ordering strategies of Figure 6
+//!   ([`Surrogate::Edp`]),
 //! * [`PredictedLatencyLoss`] — the §6.5 surrogate whose latency term runs
 //!   through an analytical, DNN-only, or DNN-corrected
-//!   [`LatencyPredictor`].
-//!
-//! Start points run **in parallel**: each one descends on its own tape
-//! with its own Adam state, and per-start results merge through a
-//! deterministic reduction, so a run is bit-identical for every
-//! worker-thread count (see the [`engine`] module docs) while scaling
-//! across cores. Configure worker count through
-//! `rayon::ThreadPoolBuilder::new().num_threads(n).build_global()` (the
-//! `repro` binary exposes this as `--threads N`).
+//!   [`LatencyPredictor`] ([`Surrogate::PredictedLatency`]),
+//! * anything else via [`CustomSurrogate`] ([`Surrogate::Custom`]) or, for
+//!   in-process blocking use, [`run_gd_search`] directly.
 //!
 //! ## The searchers
 //!
 //! * [`dosa_search`] — the one-loop mapping-first gradient-descent
-//!   co-search (§3.2, §5): [`run_gd_search`] + [`EdpLoss`],
+//!   co-search (§3.2, §5); a blocking shim that submits one
+//!   [`Surrogate::Edp`] job and waits,
 //! * [`dosa_search_rtl`] — the fixed-PE real-hardware flow of §6.5
-//!   (Figure 12): [`run_gd_search`] + [`PredictedLatencyLoss`],
+//!   (Figure 12); a blocking shim over [`Surrogate::PredictedLatency`],
 //! * [`random_search`] — the random-search baseline (10 hardware designs ×
 //!   1000 mapping samples, §6.1),
 //! * [`bayesian_search`] — the two-loop Bayesian-optimization baseline
@@ -42,13 +63,25 @@
 //! ## Example
 //!
 //! ```no_run
-//! use dosa_search::{dosa_search, GdConfig};
+//! use dosa_search::{GdConfig, SearchRequest, SearchService};
 //! use dosa_accel::Hierarchy;
 //! use dosa_workload::{unique_layers, Network};
 //!
-//! let layers = unique_layers(Network::ResNet50);
-//! let result = dosa_search(&layers, &Hierarchy::gemmini(), &GdConfig::default());
-//! println!("best EDP: {:.3e} on {}", result.best_edp, result.best_hw);
+//! let service = SearchService::builder().threads(4).build();
+//! let request = SearchRequest::builder(Hierarchy::gemmini())
+//!     .network("resnet50", unique_layers(Network::ResNet50))
+//!     .network("bert", unique_layers(Network::Bert))
+//!     .config(GdConfig::default())
+//!     .build();
+//! let job = service.submit(request).expect("valid request");
+//! while !job.status().is_terminal() {
+//!     let p = job.progress();
+//!     println!("{} samples, best EDP {:.3e}", p.total_samples(), p.best_edp());
+//!     std::thread::sleep(std::time::Duration::from_millis(200));
+//! }
+//! for net in job.wait().networks {
+//!     println!("{}: best EDP {:.3e}", net.network, net.result.best_edp);
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -61,6 +94,8 @@ mod gd;
 mod gp;
 mod latency_model;
 mod random_search;
+mod request;
+pub mod service;
 mod startpoints;
 
 pub use adam::Adam;
@@ -78,5 +113,12 @@ pub use latency_model::{
 };
 pub use random_search::{
     evaluate_with_cosa, evaluate_with_random_mapper, random_search, RandomSearchConfig,
+};
+pub use request::{
+    ConfigError, CustomSurrogate, NetworkSpec, SearchRequest, SearchRequestBuilder, Surrogate,
+};
+pub use service::{
+    BatchResult, JobHandle, JobProgress, JobStatus, NetworkProgress, NetworkResult, SearchService,
+    SearchServiceBuilder,
 };
 pub use startpoints::{generate_start_point, generate_start_points, random_hw, StartPoint};

@@ -1,0 +1,385 @@
+//! Search-job descriptions: the [`SearchRequest`] builder submitted to a
+//! [`SearchService`](crate::SearchService), the [`Surrogate`] selecting
+//! which differentiable loss a job descends on, and the typed
+//! [`ConfigError`] validation applied at the service boundary.
+//!
+//! A request owns everything a job needs — the memory hierarchy, one or
+//! more named networks (a *batch*), the surrogate, and the [`GdConfig`]
+//! budget — so jobs can run on the service's background workers with no
+//! borrowed state. Per-network seeds keep every network's result
+//! bit-identical to a standalone submission with the same seed (see
+//! [`SearchService`](crate::SearchService) for the guarantee).
+
+use crate::engine::DiffLoss;
+use crate::gd::GdConfig;
+use crate::latency_model::LatencyPredictor;
+use dosa_accel::Hierarchy;
+use dosa_model::LossOptions;
+use dosa_workload::Layer;
+use std::fmt;
+use std::sync::Arc;
+
+/// A [`GdConfig`] or [`SearchRequest`] rejected at the service boundary.
+///
+/// Returned by [`GdConfig::validate`] and
+/// [`SearchService::submit`](crate::SearchService::submit); the variants
+/// name the field that would otherwise panic (or silently misbehave) deep
+/// inside the engine — most notably `round_every == 0`, which used to hit
+/// a divide-by-zero in the gradient loop.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `start_points` was zero: the search would have nothing to descend.
+    ZeroStartPoints,
+    /// `steps_per_start` was zero: no gradient steps would run.
+    ZeroStepsPerStart,
+    /// `round_every` was zero: the rounding cadence `step % round_every`
+    /// would divide by zero.
+    ZeroRoundEvery,
+    /// `learning_rate` was non-finite or not positive.
+    BadLearningRate(f64),
+    /// The request named no networks.
+    EmptyBatch,
+    /// A network in the request had no layers.
+    EmptyNetwork(String),
+    /// Two networks in one request share a name, making their results
+    /// indistinguishable on demultiplex.
+    DuplicateNetwork(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroStartPoints => write!(f, "start_points must be at least 1"),
+            ConfigError::ZeroStepsPerStart => write!(f, "steps_per_start must be at least 1"),
+            ConfigError::ZeroRoundEvery => {
+                write!(
+                    f,
+                    "round_every must be at least 1 (the rounding cadence divides by it)"
+                )
+            }
+            ConfigError::BadLearningRate(lr) => {
+                write!(f, "learning_rate must be finite and positive, got {lr}")
+            }
+            ConfigError::EmptyBatch => write!(f, "request contains no networks"),
+            ConfigError::EmptyNetwork(name) => write!(f, "network {name:?} has no layers"),
+            ConfigError::DuplicateNetwork(name) => {
+                write!(
+                    f,
+                    "network name {name:?} appears more than once in the batch"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl GdConfig {
+    /// Check this configuration for values the engine cannot run on,
+    /// returning the first offending field as a typed [`ConfigError`].
+    ///
+    /// [`SearchService::submit`](crate::SearchService::submit) calls this
+    /// on every request; the blocking shims
+    /// ([`dosa_search`](crate::dosa_search),
+    /// [`dosa_search_rtl`](crate::dosa_search_rtl)) panic on the error it
+    /// returns.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.start_points == 0 {
+            return Err(ConfigError::ZeroStartPoints);
+        }
+        if self.steps_per_start == 0 {
+            return Err(ConfigError::ZeroStepsPerStart);
+        }
+        if self.round_every == 0 {
+            return Err(ConfigError::ZeroRoundEvery);
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(ConfigError::BadLearningRate(self.learning_rate));
+        }
+        Ok(())
+    }
+}
+
+/// A user-supplied differentiable surrogate, pluggable into the service
+/// where the built-in [`Surrogate`] variants do not fit (area-constrained
+/// EDP, energy-delay², latency-SLO losses, ...).
+///
+/// The factory borrows the job's owned layers and hierarchy for the
+/// duration of one network's descent; the loss it returns must satisfy
+/// the same determinism contract as every [`DiffLoss`].
+pub trait CustomSurrogate: Send + Sync {
+    /// Loss options used when generating this surrogate's start points
+    /// (the §5.3.1 rejection rule predicts with these). The default pins
+    /// the PE side iff the config does.
+    fn loss_options(&self, cfg: &GdConfig) -> LossOptions {
+        LossOptions {
+            fixed_pe_side: cfg.fixed_pe_side,
+            ..LossOptions::default()
+        }
+    }
+
+    /// Build the loss one network descends on.
+    fn make<'a>(
+        &'a self,
+        layers: &'a [Layer],
+        hier: &'a Hierarchy,
+        cfg: &GdConfig,
+    ) -> Box<dyn DiffLoss + 'a>;
+}
+
+/// Which differentiable loss a job descends on.
+#[derive(Clone, Default)]
+pub enum Surrogate {
+    /// The plain differentiable-EDP loss of §5
+    /// ([`EdpLoss`](crate::EdpLoss)), honoring `GdConfig::strategy` and
+    /// `GdConfig::fixed_pe_side` — the surrogate behind
+    /// [`dosa_search`](crate::dosa_search).
+    #[default]
+    Edp,
+    /// The §6.5 predictor-adjusted latency loss
+    /// ([`PredictedLatencyLoss`](crate::PredictedLatencyLoss)) with the PE
+    /// side pinned to `GdConfig::fixed_pe_side` (default 16) — the
+    /// surrogate behind [`dosa_search_rtl`](crate::dosa_search_rtl).
+    PredictedLatency(LatencyPredictor),
+    /// A user-supplied [`CustomSurrogate`].
+    Custom(Arc<dyn CustomSurrogate>),
+}
+
+impl fmt::Debug for Surrogate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Surrogate::Edp => f.write_str("Surrogate::Edp"),
+            Surrogate::PredictedLatency(p) => {
+                write!(f, "Surrogate::PredictedLatency({:?})", p.kind)
+            }
+            Surrogate::Custom(_) => f.write_str("Surrogate::Custom(..)"),
+        }
+    }
+}
+
+/// One named network inside a (possibly batched) request.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    /// Name the per-network result is demultiplexed under.
+    pub name: String,
+    /// The layers being co-optimized (one entry per unique layer).
+    pub layers: Vec<Layer>,
+    /// Seed for this network's start points and descents; `None` inherits
+    /// `GdConfig::seed`. A network's result is bit-identical to a
+    /// standalone submission with the same effective seed.
+    pub seed: Option<u64>,
+}
+
+/// A search job: one network or a batch of named networks, a surrogate,
+/// and a [`GdConfig`] budget, all owned so the job can run on background
+/// workers. Build one with [`SearchRequest::builder`] and submit it with
+/// [`SearchService::submit`](crate::SearchService::submit).
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    pub(crate) hier: Hierarchy,
+    pub(crate) networks: Vec<NetworkSpec>,
+    pub(crate) surrogate: Surrogate,
+    pub(crate) cfg: GdConfig,
+}
+
+impl SearchRequest {
+    /// Start building a request against `hier`.
+    pub fn builder(hier: Hierarchy) -> SearchRequestBuilder {
+        SearchRequestBuilder {
+            request: SearchRequest {
+                hier,
+                networks: Vec::new(),
+                surrogate: Surrogate::Edp,
+                cfg: GdConfig::default(),
+            },
+        }
+    }
+
+    /// The configured budget.
+    pub fn config(&self) -> &GdConfig {
+        &self.cfg
+    }
+
+    /// The networks in submission order.
+    pub fn networks(&self) -> &[NetworkSpec] {
+        &self.networks
+    }
+
+    /// The surrogate the job will descend on.
+    pub fn surrogate(&self) -> &Surrogate {
+        &self.surrogate
+    }
+
+    /// Full service-boundary validation: the [`GdConfig`] plus the batch
+    /// shape (non-empty, non-empty layers, unique names).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cfg.validate()?;
+        if self.networks.is_empty() {
+            return Err(ConfigError::EmptyBatch);
+        }
+        for (i, net) in self.networks.iter().enumerate() {
+            if net.layers.is_empty() {
+                return Err(ConfigError::EmptyNetwork(net.name.clone()));
+            }
+            if self.networks[..i].iter().any(|n| n.name == net.name) {
+                return Err(ConfigError::DuplicateNetwork(net.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective seed of network `index` (its own, or the config's).
+    pub(crate) fn network_seed(&self, index: usize) -> u64 {
+        self.networks[index].seed.unwrap_or(self.cfg.seed)
+    }
+}
+
+/// Builder for [`SearchRequest`]; see [`SearchRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct SearchRequestBuilder {
+    request: SearchRequest,
+}
+
+impl SearchRequestBuilder {
+    /// Add a network to the batch, seeded by the request's
+    /// `GdConfig::seed`.
+    pub fn network(self, name: impl Into<String>, layers: Vec<Layer>) -> SearchRequestBuilder {
+        self.push_network(name.into(), layers, None)
+    }
+
+    /// Add a network with its own seed, decoupling its start points and
+    /// descents from the other networks in the batch.
+    pub fn network_seeded(
+        self,
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        seed: u64,
+    ) -> SearchRequestBuilder {
+        self.push_network(name.into(), layers, Some(seed))
+    }
+
+    fn push_network(
+        mut self,
+        name: String,
+        layers: Vec<Layer>,
+        seed: Option<u64>,
+    ) -> SearchRequestBuilder {
+        self.request
+            .networks
+            .push(NetworkSpec { name, layers, seed });
+        self
+    }
+
+    /// Select the surrogate loss (default: [`Surrogate::Edp`]).
+    pub fn surrogate(mut self, surrogate: Surrogate) -> SearchRequestBuilder {
+        self.request.surrogate = surrogate;
+        self
+    }
+
+    /// Set the search budget and seed (default: [`GdConfig::default`]).
+    pub fn config(mut self, cfg: GdConfig) -> SearchRequestBuilder {
+        self.request.cfg = cfg;
+        self
+    }
+
+    /// Finish building. Validation happens at
+    /// [`SearchService::submit`](crate::SearchService::submit) (or call
+    /// [`SearchRequest::validate`] directly).
+    pub fn build(self) -> SearchRequest {
+        self.request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosa_workload::Problem;
+
+    fn layer() -> Layer {
+        Layer::once(Problem::matmul("m", 8, 32, 32).unwrap())
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        GdConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_field() {
+        let cases = [
+            (
+                GdConfig {
+                    start_points: 0,
+                    ..GdConfig::default()
+                },
+                ConfigError::ZeroStartPoints,
+            ),
+            (
+                GdConfig {
+                    steps_per_start: 0,
+                    ..GdConfig::default()
+                },
+                ConfigError::ZeroStepsPerStart,
+            ),
+            (
+                GdConfig {
+                    round_every: 0,
+                    ..GdConfig::default()
+                },
+                ConfigError::ZeroRoundEvery,
+            ),
+            (
+                GdConfig {
+                    learning_rate: f64::NAN,
+                    ..GdConfig::default()
+                },
+                ConfigError::BadLearningRate(f64::NAN),
+            ),
+            (
+                GdConfig {
+                    learning_rate: -0.5,
+                    ..GdConfig::default()
+                },
+                ConfigError::BadLearningRate(-0.5),
+            ),
+        ];
+        for (cfg, expected) in cases {
+            let err = cfg.validate().unwrap_err();
+            // NaN != NaN; compare the discriminants via Debug.
+            assert_eq!(format!("{err:?}"), format!("{expected:?}"));
+        }
+    }
+
+    #[test]
+    fn request_validation_covers_batch_shape() {
+        let hier = Hierarchy::gemmini();
+        let empty = SearchRequest::builder(hier.clone()).build();
+        assert_eq!(empty.validate(), Err(ConfigError::EmptyBatch));
+
+        let no_layers = SearchRequest::builder(hier.clone())
+            .network("empty", Vec::new())
+            .build();
+        assert_eq!(
+            no_layers.validate(),
+            Err(ConfigError::EmptyNetwork("empty".into()))
+        );
+
+        let dup = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .network("a", vec![layer()])
+            .build();
+        assert_eq!(
+            dup.validate(),
+            Err(ConfigError::DuplicateNetwork("a".into()))
+        );
+
+        let ok = SearchRequest::builder(hier)
+            .network("a", vec![layer()])
+            .network_seeded("b", vec![layer()], 9)
+            .build();
+        ok.validate().unwrap();
+        assert_eq!(ok.network_seed(0), ok.config().seed);
+        assert_eq!(ok.network_seed(1), 9);
+    }
+}

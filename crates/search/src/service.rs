@@ -1,0 +1,646 @@
+//! The job-oriented search service: a [`SearchService`] accepts
+//! [`SearchRequest`]s on a FIFO queue and runs each job on its own worker
+//! fleet, returning a [`JobHandle`] with non-blocking
+//! [`status()`](JobHandle::status) / [`progress()`](JobHandle::progress),
+//! cooperative [`cancel()`](JobHandle::cancel), and blocking
+//! [`wait()`](JobHandle::wait).
+//!
+//! ## Execution model
+//!
+//! One background scheduler thread owns the queue and executes jobs one at
+//! a time, fanning **all networks' start points of a batched request into
+//! a single worker fleet** of the service's thread budget (start points
+//! are independent work items, so a batch saturates the fleet even when
+//! individual networks have few starts). Per-item results land at fixed
+//! `(network, start)` slots and are demultiplexed per network on merge.
+//!
+//! ## Determinism
+//!
+//! For every network in a request, start points are generated sequentially
+//! from that network's effective seed and each descent is seeded
+//! `seed + start_index` — exactly what a standalone
+//! [`dosa_search`](crate::dosa_search) call does. Combined with the
+//! slot-indexed fleet, a network's `SearchResult` is **bit-identical** to
+//! a separate submission with the same seed, for every service thread
+//! budget and any batch composition.
+//!
+//! ## Cancellation
+//!
+//! [`JobHandle::cancel`] sets a flag every descent checks once per
+//! gradient step: running starts return their partial results at the next
+//! step boundary, queued work items come back empty, and the merged
+//! best-so-far histories stay monotone non-increasing. A job cancelled
+//! while still queued completes immediately with empty results.
+
+use crate::engine::{
+    fan_out, merge_start_results, run_single_start, DiffLoss, EdpLoss, PredictedLatencyLoss,
+    ProgressCounters, StartControl,
+};
+use crate::gd::{GdConfig, LoopOrderStrategy, SearchResult};
+use crate::request::{ConfigError, SearchRequest, Surrogate};
+use crate::startpoints::{generate_start_points, StartPoint};
+use dosa_accel::{Hierarchy, MAX_PE_SIDE};
+use dosa_model::LossOptions;
+use dosa_workload::Layer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifecycle state of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the service's FIFO queue.
+    Queued,
+    /// Its worker fleet is descending.
+    Running,
+    /// Finished normally; full results are available.
+    Completed,
+    /// Cancelled; partial (possibly empty) results are available.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the job has reached a terminal state (results available).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Completed | JobStatus::Cancelled)
+    }
+}
+
+/// One network's result inside a [`BatchResult`].
+#[derive(Debug, Clone)]
+pub struct NetworkResult {
+    /// The network's name from the request.
+    pub network: String,
+    /// Its search result, bit-identical to a standalone run with the same
+    /// seed (partial if the job was cancelled).
+    pub result: SearchResult,
+}
+
+/// Per-network results of one job, in request order.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One entry per network, in submission order.
+    pub networks: Vec<NetworkResult>,
+}
+
+impl BatchResult {
+    /// Look a network's result up by name.
+    pub fn get(&self, network: &str) -> Option<&SearchResult> {
+        self.networks
+            .iter()
+            .find(|n| n.network == network)
+            .map(|n| &n.result)
+    }
+
+    /// Unwrap the result of a single-network job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job held more or fewer than one network.
+    pub fn into_single(mut self) -> SearchResult {
+        assert_eq!(
+            self.networks.len(),
+            1,
+            "into_single on a batch of {} networks",
+            self.networks.len()
+        );
+        self.networks.pop().expect("length checked").result
+    }
+}
+
+/// Live observation of one network's share of a running job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProgress {
+    /// The network's name from the request.
+    pub network: String,
+    /// Model evaluations consumed so far (monotone non-decreasing).
+    pub samples: usize,
+    /// Best reference-evaluated EDP so far (monotone non-increasing;
+    /// `INFINITY` until the first rounding evaluation lands).
+    pub best_edp: f64,
+}
+
+/// A non-blocking snapshot of a job's lifecycle state and per-network
+/// progress, drawn live from the descents' lock-free counters.
+#[derive(Debug, Clone)]
+pub struct JobProgress {
+    /// Lifecycle state at snapshot time.
+    pub status: JobStatus,
+    /// One entry per network, in submission order.
+    pub networks: Vec<NetworkProgress>,
+}
+
+impl JobProgress {
+    /// Total model evaluations consumed across the batch.
+    pub fn total_samples(&self) -> usize {
+        self.networks.iter().map(|n| n.samples).sum()
+    }
+
+    /// Best EDP across the batch (`INFINITY` until something landed).
+    pub fn best_edp(&self) -> f64 {
+        self.networks
+            .iter()
+            .map(|n| n.best_edp)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+struct JobState {
+    status: JobStatus,
+    results: Option<BatchResult>,
+}
+
+struct JobShared {
+    id: u64,
+    request: SearchRequest,
+    cancel: AtomicBool,
+    /// One live counter pair per network, in request order.
+    progress: Vec<ProgressCounters>,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl JobShared {
+    fn empty_results(&self) -> BatchResult {
+        BatchResult {
+            networks: self
+                .request
+                .networks()
+                .iter()
+                .map(|n| NetworkResult {
+                    network: n.name.clone(),
+                    result: SearchResult::empty(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Handle to a submitted job. Cheap to clone; all clones observe the same
+/// job. Dropping every handle does **not** cancel the job.
+#[derive(Clone)]
+pub struct JobHandle {
+    job: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// Service-unique id of this job (submission order).
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// Current lifecycle state (non-blocking).
+    pub fn status(&self) -> JobStatus {
+        self.job.state.lock().expect("job state poisoned").status
+    }
+
+    /// Live per-network progress (non-blocking): sample totals and
+    /// best-so-far EDP drawn from the descents' lock-free counters.
+    /// Successive snapshots are monotone — samples never decrease and
+    /// `best_edp` never increases.
+    pub fn progress(&self) -> JobProgress {
+        // Read the status *before* the counters: if it is terminal, all
+        // workers have stopped and the counters read below are final, so
+        // a terminal-labeled snapshot never underreports. (The other
+        // direction — a `Running` snapshot carrying slightly newer
+        // counters — is harmless and still monotone.)
+        let status = self.status();
+        let networks = self
+            .job
+            .request
+            .networks()
+            .iter()
+            .zip(&self.job.progress)
+            .map(|(net, counters)| {
+                let (samples, best_edp) = counters.snapshot();
+                NetworkProgress {
+                    network: net.name.clone(),
+                    samples,
+                    best_edp,
+                }
+            })
+            .collect();
+        JobProgress { status, networks }
+    }
+
+    /// Request cooperative cancellation. A queued job completes
+    /// immediately with empty results; a running job stops issuing
+    /// gradient steps at the next step boundary and keeps its partial
+    /// (still monotone) per-network results. Idempotent; never blocks on
+    /// the descent itself.
+    pub fn cancel(&self) {
+        self.job.cancel.store(true, Ordering::Relaxed);
+        let mut state = self.job.state.lock().expect("job state poisoned");
+        if state.status == JobStatus::Queued {
+            state.status = JobStatus::Cancelled;
+            state.results = Some(self.job.empty_results());
+            self.job.done.notify_all();
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return its
+    /// per-network results ([`JobStatus::Cancelled`] jobs return their
+    /// partial results).
+    pub fn wait(&self) -> BatchResult {
+        let mut state = self.job.state.lock().expect("job state poisoned");
+        while !state.status.is_terminal() {
+            state = self.job.done.wait(state).expect("job state poisoned");
+        }
+        state
+            .results
+            .clone()
+            .expect("terminal job always stores results")
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.job.id)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+struct ServiceShared {
+    queue: Mutex<VecDeque<Arc<JobShared>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// The job currently executing, for shutdown-time cancellation.
+    running: Mutex<Option<Arc<JobShared>>>,
+    threads: usize,
+    next_id: AtomicU64,
+}
+
+/// Builder for [`SearchService`]; see [`SearchService::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct SearchServiceBuilder {
+    threads: Option<usize>,
+}
+
+impl SearchServiceBuilder {
+    /// Worker-thread budget per job (default: all cores). The budget is
+    /// owned by this service instance — it does not touch the global
+    /// rayon pool, so services with different budgets coexist in one
+    /// process. Results are bit-identical for every budget.
+    pub fn threads(mut self, n: usize) -> SearchServiceBuilder {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Spawn the service's scheduler thread and return the service.
+    pub fn build(self) -> SearchService {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            running: Mutex::new(None),
+            threads,
+            next_id: AtomicU64::new(0),
+        });
+        let scheduler_shared = Arc::clone(&shared);
+        let scheduler = std::thread::spawn(move || scheduler_loop(scheduler_shared));
+        SearchService {
+            shared,
+            scheduler: Some(scheduler),
+        }
+    }
+}
+
+/// An async search-job service: submit [`SearchRequest`]s, observe and
+/// cancel them through [`JobHandle`]s. See the [module docs](self) for the
+/// execution, determinism, and cancellation contracts.
+///
+/// Dropping the service requests cancellation of the in-flight job, fails
+/// the queued ones over to [`JobStatus::Cancelled`] with empty results,
+/// and joins the scheduler — keep the service alive until the jobs you
+/// care about have been waited on.
+pub struct SearchService {
+    shared: Arc<ServiceShared>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl SearchService {
+    /// Start configuring a service.
+    pub fn builder() -> SearchServiceBuilder {
+        SearchServiceBuilder::default()
+    }
+
+    /// This service's per-job worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Validate `request` and enqueue it, returning a handle immediately.
+    /// Jobs execute in submission order.
+    pub fn submit(&self, request: SearchRequest) -> Result<JobHandle, ConfigError> {
+        request.validate()?;
+        let progress = request
+            .networks()
+            .iter()
+            .map(|_| ProgressCounters::new())
+            .collect();
+        let job = Arc::new(JobShared {
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            request,
+            cancel: AtomicBool::new(false),
+            progress,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                results: None,
+            }),
+            done: Condvar::new(),
+        });
+        let handle = JobHandle {
+            job: Arc::clone(&job),
+        };
+        self.shared
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .push_back(job);
+        self.shared.available.notify_one();
+        Ok(handle)
+    }
+}
+
+impl Drop for SearchService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Fail queued jobs over to Cancelled so their waiters return.
+        let queued: Vec<Arc<JobShared>> = self
+            .shared
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .drain(..)
+            .collect();
+        for job in queued {
+            JobHandle { job }.cancel();
+        }
+        // Ask the in-flight job (if any) to wind down promptly.
+        if let Some(job) = self
+            .shared
+            .running
+            .lock()
+            .expect("running slot poisoned")
+            .as_ref()
+        {
+            job.cancel.store(true, Ordering::Relaxed);
+        }
+        self.shared.available.notify_all();
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
+    }
+}
+
+fn scheduler_loop(shared: Arc<ServiceShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("service queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    // Publish the pop into the running slot while still
+                    // holding the queue lock: shutdown drains the queue
+                    // and reads this slot under the same lock ordering,
+                    // so a popped job can never escape its cancellation.
+                    *shared.running.lock().expect("running slot poisoned") = Some(Arc::clone(&job));
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("service queue poisoned");
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        // Queued -> Running, unless cancel() already retired the job.
+        let skip = {
+            let mut state = job.state.lock().expect("job state poisoned");
+            if state.status == JobStatus::Cancelled {
+                true
+            } else {
+                state.status = JobStatus::Running;
+                false
+            }
+        };
+        if skip {
+            *shared.running.lock().expect("running slot poisoned") = None;
+            continue;
+        }
+        let results = execute_job(&job, shared.threads);
+        *shared.running.lock().expect("running slot poisoned") = None;
+        let mut state = job.state.lock().expect("job state poisoned");
+        state.status = if job.cancel.load(Ordering::Relaxed) {
+            JobStatus::Cancelled
+        } else {
+            JobStatus::Completed
+        };
+        state.results = Some(results);
+        job.done.notify_all();
+    }
+}
+
+/// Instantiate the surrogate for one network, returning the loss the
+/// descents run on and the [`LossOptions`] its start-point generation
+/// predicts with. The `Edp` and `PredictedLatency` arms mirror what the
+/// blocking shims have always done, which is what keeps a batched
+/// network's result bit-identical to a standalone run.
+fn build_surrogate<'a>(
+    surrogate: &'a Surrogate,
+    layers: &'a [Layer],
+    hier: &'a Hierarchy,
+    cfg: &GdConfig,
+) -> (Box<dyn DiffLoss + 'a>, LossOptions) {
+    match surrogate {
+        Surrogate::Edp => {
+            let opts = LossOptions {
+                fixed_pe_side: cfg.fixed_pe_side,
+                softmax_ordering: cfg.strategy == LoopOrderStrategy::Softmax,
+                ..LossOptions::default()
+            };
+            let loss = EdpLoss {
+                layers,
+                hier,
+                opts,
+                strategy: cfg.strategy,
+                fixed_pe_side: cfg.fixed_pe_side,
+                spatial_cap: cfg.fixed_pe_side.unwrap_or(MAX_PE_SIDE),
+            };
+            (Box::new(loss), opts)
+        }
+        Surrogate::PredictedLatency(predictor) => {
+            let pe_side = cfg.fixed_pe_side.unwrap_or(16);
+            let opts = LossOptions {
+                fixed_pe_side: Some(pe_side),
+                ..LossOptions::default()
+            };
+            let loss = PredictedLatencyLoss {
+                layers,
+                hier,
+                predictor,
+                pe_side,
+            };
+            (Box::new(loss), opts)
+        }
+        Surrogate::Custom(custom) => (custom.make(layers, hier, cfg), custom.loss_options(cfg)),
+    }
+}
+
+/// Run one job: plan every network, fan all `(network, start)` work items
+/// into one fleet of `threads` workers, and demultiplex the per-network
+/// merges.
+fn execute_job(job: &JobShared, threads: usize) -> BatchResult {
+    let request = &job.request;
+    let hier = &request.hier;
+
+    // Per-network plan: the owned loss and the network-seeded config.
+    // Start points are generated sequentially per network before any
+    // parallelism, exactly as the blocking path does.
+    let mut plans: Vec<(Box<dyn DiffLoss + '_>, GdConfig)> = Vec::new();
+    let mut items: Vec<(usize, usize, StartPoint)> = Vec::new();
+    for (net_index, net) in request.networks().iter().enumerate() {
+        let mut net_cfg = request.cfg;
+        net_cfg.seed = request.network_seed(net_index);
+        let (loss, opts) = build_surrogate(&request.surrogate, &net.layers, hier, &net_cfg);
+        let mut rng = StdRng::seed_from_u64(net_cfg.seed);
+        let starts = generate_start_points(
+            &mut rng,
+            &net.layers,
+            hier,
+            &opts,
+            net_cfg.start_points,
+            net_cfg.rejection_factor,
+        );
+        for (start_index, start) in starts.into_iter().enumerate() {
+            items.push((net_index, start_index, start));
+        }
+        plans.push((loss, net_cfg));
+    }
+
+    // One fleet over all networks' starts. Results land at fixed item
+    // slots, so the demultiplexed per-network order matches a standalone
+    // run regardless of thread count or batch composition.
+    let per_item: Vec<(usize, SearchResult)> =
+        fan_out(items, threads, |_slot, (net_index, start_index, start)| {
+            let (loss, net_cfg) = &plans[net_index];
+            let ctrl = StartControl {
+                cancel: Some(&job.cancel),
+                progress: Some(&job.progress[net_index]),
+            };
+            let result = run_single_start(&**loss, start.relaxed, start_index, net_cfg, ctrl);
+            (net_index, result)
+        });
+
+    let mut per_network: Vec<Vec<SearchResult>> =
+        request.networks().iter().map(|_| Vec::new()).collect();
+    for (net_index, result) in per_item {
+        per_network[net_index].push(result);
+    }
+    let networks = request
+        .networks()
+        .iter()
+        .zip(per_network)
+        .map(|(net, results)| {
+            let mut merged = merge_start_results(results);
+            merged.record();
+            NetworkResult {
+                network: net.name.clone(),
+                result: merged,
+            }
+        })
+        .collect();
+    BatchResult { networks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosa_workload::{Layer, Problem};
+
+    fn tiny_request(seed: u64) -> SearchRequest {
+        let layers = vec![Layer::once(Problem::matmul("m", 16, 32, 32).unwrap())];
+        SearchRequest::builder(Hierarchy::gemmini())
+            .network("m", layers)
+            .config(GdConfig {
+                start_points: 1,
+                steps_per_start: 20,
+                round_every: 10,
+                seed,
+                ..GdConfig::default()
+            })
+            .build()
+    }
+
+    #[test]
+    fn submit_rejects_invalid_config_at_the_boundary() {
+        let service = SearchService::builder().threads(1).build();
+        let mut request = tiny_request(0);
+        request.cfg.round_every = 0;
+        assert_eq!(
+            service.submit(request).unwrap_err(),
+            ConfigError::ZeroRoundEvery
+        );
+    }
+
+    #[test]
+    fn jobs_complete_in_submission_order_with_distinct_ids() {
+        let service = SearchService::builder().threads(2).build();
+        let a = service.submit(tiny_request(1)).unwrap();
+        let b = service.submit(tiny_request(2)).unwrap();
+        assert_ne!(a.id(), b.id());
+        let ra = a.wait();
+        let rb = b.wait();
+        assert_eq!(a.status(), JobStatus::Completed);
+        assert_eq!(b.status(), JobStatus::Completed);
+        assert!(ra.get("m").unwrap().best_edp.is_finite());
+        assert!(rb.get("m").unwrap().best_edp.is_finite());
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_completes_it_empty() {
+        let service = SearchService::builder().threads(1).build();
+        // Enough submissions that the tail of the queue is still pending.
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|s| service.submit(tiny_request(s)).unwrap())
+            .collect();
+        let last = handles.last().unwrap();
+        last.cancel();
+        let result = last.wait();
+        assert_eq!(last.status(), JobStatus::Cancelled);
+        // Either it never ran (empty) or cancellation raced the scheduler
+        // and it wound down early; both keep the result well-formed.
+        assert_eq!(result.networks.len(), 1);
+        for h in &handles[..5] {
+            h.wait();
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_retires_queued_jobs() {
+        let service = SearchService::builder().threads(1).build();
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|s| service.submit(tiny_request(s)).unwrap())
+            .collect();
+        drop(service);
+        for h in &handles {
+            let result = h.wait(); // must not hang
+            assert!(h.status().is_terminal());
+            assert_eq!(result.networks.len(), 1);
+        }
+    }
+}

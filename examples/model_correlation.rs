@@ -1,6 +1,8 @@
 //! Validate the differentiable model against the reference (Timeloop-role)
 //! model on random mappings, and inspect where the two diverge — a
 //! miniature of the paper's Figure 4 study with a per-layer breakdown.
+//! This is the model that `Surrogate::Edp` service jobs descend on (see
+//! `examples/batched_service.rs` for the search side).
 //!
 //! ```text
 //! cargo run --release --example model_correlation

@@ -1,5 +1,6 @@
-//! Quickstart: co-search hardware and mappings for a small DNN with DOSA's
-//! one-loop gradient descent, then inspect the result.
+//! Quickstart: co-search hardware and mappings for a small DNN through
+//! the search service — build a request, submit it, wait for the result —
+//! then inspect what the one-loop gradient descent found.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -16,15 +17,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let hier = Hierarchy::gemmini();
 
-    // Run a reduced one-loop search: gradient descent over all layers'
-    // tiling factors simultaneously, hardware inferred from the mappings.
+    // A reduced one-loop search: gradient descent over all layers' tiling
+    // factors simultaneously, hardware inferred from the mappings. The
+    // budget is validated at submit() — a typed ConfigError propagates
+    // through `?` instead of panicking deep in the engine.
     let cfg = GdConfig {
         start_points: 2,
         steps_per_start: 300,
         round_every: 100,
         ..GdConfig::default()
     };
-    let result = dosa_search(&layers, &hier, &cfg);
+    let service = SearchService::builder().build();
+    let job = service.submit(
+        SearchRequest::builder(hier.clone())
+            .network("toy", layers.clone())
+            .config(cfg)
+            .build(),
+    )?;
+    let result = job.wait().into_single();
 
     println!("samples used:   {}", result.samples);
     println!("best EDP:       {:.4e} uJ x cycles", result.best_edp);

@@ -1,13 +1,15 @@
 //! Full-model design-space exploration for ResNet-50: DOSA's one-loop
 //! search against the random-search baseline, with the best design compared
 //! to Gemmini's hand-tuned default (the Figure 7 / Figure 8 workflow on one
-//! workload).
+//! workload). The DOSA run goes through the search service so its best-EDP
+//! trajectory can be watched live while the worker fleet descends.
 //!
 //! ```text
 //! cargo run --release --example resnet50_dse [-- steps]
 //! ```
 
 use dosa::prelude::*;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steps: usize = std::env::args()
@@ -27,14 +29,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             / 1e9
     );
 
-    // DOSA one-loop gradient descent.
+    // DOSA one-loop gradient descent, submitted as a service job and
+    // observed while it runs (progress() is non-blocking and monotone).
     let cfg = GdConfig {
         start_points: 2,
         steps_per_start: steps,
         round_every: (steps / 3).max(1),
         ..GdConfig::default()
     };
-    let dosa = dosa_search(&layers, &hier, &cfg);
+    let service = SearchService::builder().build();
+    let job = service.submit(
+        SearchRequest::builder(hier.clone())
+            .network("resnet50", layers.clone())
+            .config(cfg)
+            .build(),
+    )?;
+    while !job.status().is_terminal() {
+        let p = job.progress();
+        if p.total_samples() > 0 {
+            let best = p.best_edp();
+            if best.is_finite() {
+                println!(
+                    "  live: {:>6} samples, best EDP {best:.4e}",
+                    p.total_samples()
+                );
+            } else {
+                println!(
+                    "  live: {:>6} samples, first rounding pending",
+                    p.total_samples()
+                );
+            }
+        }
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    let dosa = job.wait().into_single();
     println!(
         "\nDOSA:   best EDP {:.4e} after {} samples on {}",
         dosa.best_edp, dosa.samples, dosa.best_hw

@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2) Optimize BERT's buffer sizes and mappings for a fixed 16x16 array
-    //    with both latency models.
+    //    with both latency models: two jobs with different
+    //    PredictedLatency surrogates, queued on one service and executed
+    //    in submission order.
     let layers = unique_layers(Network::Bert);
     let gd = GdConfig {
         start_points: 2,
@@ -42,8 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fixed_pe_side: Some(16),
         ..GdConfig::default()
     };
-    let analytical_run = dosa_search_rtl(&layers, &hier, &gd, &LatencyPredictor::analytical());
-    let combined_run = dosa_search_rtl(&layers, &hier, &gd, &combined);
+    let service = SearchService::builder().build();
+    let submit = |predictor: LatencyPredictor| {
+        service.submit(
+            SearchRequest::builder(hier.clone())
+                .network("bert", layers.clone())
+                .surrogate(Surrogate::PredictedLatency(predictor))
+                .config(gd)
+                .build(),
+        )
+    };
+    let analytical_job = submit(LatencyPredictor::analytical())?;
+    let combined_job = submit(combined)?;
+    let analytical_run = analytical_job.wait().into_single();
+    let combined_run = combined_job.wait().into_single();
 
     // 3) Measure everything on the RTL simulator (energy stays analytical,
     //    like the paper's FireSim + Accelergy evaluation).

@@ -18,7 +18,8 @@
 //! * [`nn`] — the learned latency-correction MLP,
 //! * [`rtl`] — the Gemmini-RTL simulator substitute,
 //! * [`search`] — DOSA's one-loop GD search and the baselines,
-//! * [`bench`] — the experiment harness behind the `repro` binary.
+//! * [`bench`](mod@bench) — the experiment harness behind the `repro`
+//!   binary.
 //!
 //! ## Quickstart
 //!
@@ -37,30 +38,62 @@
 //! # Ok::<(), dosa::workload::ProblemError>(())
 //! ```
 //!
-//! ## Parallel search
+//! ## The search service
 //!
-//! Both GD searchers ([`search::dosa_search`] and
-//! [`search::dosa_search_rtl`]) are thin wrappers over one shared engine,
-//! [`search::run_gd_search`], which fans start points out across worker
-//! threads: each start point descends on its own autodiff tape with its
-//! own Adam state, and the per-start results are merged by a
-//! deterministic reduction. Consequences worth relying on:
+//! Searches are jobs submitted to a [`search::SearchService`]. A job is
+//! described by the [`search::SearchRequest`] builder — one network or a
+//! batch of named networks, a [`search::Surrogate`] (plain EDP, the §6.5
+//! predictor-adjusted latency, or a custom
+//! [`search::CustomSurrogate`]), and a [`search::GdConfig`] budget — and
+//! observed through the returned [`search::JobHandle`]:
 //!
-//! * **Bit-identical determinism** — for a fixed `GdConfig::seed`, the
-//!   returned `best_edp`, hardware, mappings, history and sample counts
-//!   are the same whether the search runs on 1 thread or 64.
-//! * **Near-linear scaling in start points** — start points are
-//!   embarrassingly parallel; wall-clock approaches
-//!   `steps × slowest_start / workers`.
-//! * **Configuration** — worker count follows the global rayon pool:
-//!   `rayon::ThreadPoolBuilder::new().num_threads(n).build_global()`, or
-//!   the `repro` binary's `--threads N` flag. By default all cores are
-//!   used.
+//! ```no_run
+//! use dosa::prelude::*;
 //!
-//! Custom surrogates can plug into the same driver by implementing
-//! [`search::DiffLoss`] (build a loss on a tape for the current relaxed
-//! mappings, plus a rounding/evaluation hook) and calling
-//! [`search::run_gd_search`] directly.
+//! let service = SearchService::builder().threads(4).build();
+//! let request = SearchRequest::builder(Hierarchy::gemmini())
+//!     .network("resnet50", unique_layers(Network::ResNet50))
+//!     .network("bert", unique_layers(Network::Bert))
+//!     .config(GdConfig::default())
+//!     .build();
+//! let job = service.submit(request).expect("validated at the boundary");
+//! while !job.status().is_terminal() {
+//!     let p = job.progress(); // non-blocking, monotone
+//!     println!("{} samples, best {:.3e}", p.total_samples(), p.best_edp());
+//!     std::thread::sleep(std::time::Duration::from_millis(200));
+//! }
+//! for net in job.wait().networks {
+//!     println!("{}: {:.4e} on {}", net.network, net.result.best_edp, net.result.best_hw);
+//! }
+//! ```
+//!
+//! The request → handle → progress lifecycle comes with contracts worth
+//! relying on:
+//!
+//! * **Bit-identical determinism** — each network's result is identical
+//!   for every service thread budget *and* batch composition: a batched
+//!   network equals a standalone submission with the same seed, bit for
+//!   bit.
+//! * **Live observation** — [`search::JobHandle::progress`] reads
+//!   lock-free per-network counters (samples, best-so-far EDP) without
+//!   perturbing the workers; successive snapshots are monotone.
+//! * **Cooperative cancellation** — [`search::JobHandle::cancel`] stops
+//!   gradient stepping at the next step boundary and keeps the partial
+//!   (still monotone) results.
+//! * **Typed validation** — [`search::GdConfig::validate`] rejects
+//!   degenerate budgets (`round_every == 0`, zero steps or starts,
+//!   non-finite learning rates) with a [`search::ConfigError`] at
+//!   [`search::SearchService::submit`].
+//! * **Per-service thread budget** — [`search::SearchServiceBuilder::threads`]
+//!   scopes parallelism to the service instance; no global pool.
+//!
+//! The blocking searchers [`search::dosa_search`] and
+//! [`search::dosa_search_rtl`] remain as thin shims that submit one job
+//! and wait (thread budget from the calling thread's rayon
+//! configuration, so `repro --threads N` still applies). In-process
+//! custom surrogates can also drive the engine directly via
+//! [`search::DiffLoss`] + [`search::run_gd_search`]; see
+//! `examples/batched_service.rs` for the service lifecycle end to end.
 
 #![warn(missing_docs)]
 
@@ -80,8 +113,9 @@ pub mod prelude {
     pub use dosa_model::{build_loss, LossOptions, RelaxedMapping};
     pub use dosa_search::{
         bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search, run_gd_search,
-        BbboConfig, DiffLoss, EdpLoss, GdConfig, LatencyModelKind, LatencyPredictor,
-        LoopOrderStrategy, PredictedLatencyLoss, RandomSearchConfig,
+        BatchResult, BbboConfig, ConfigError, CustomSurrogate, DiffLoss, EdpLoss, GdConfig,
+        JobHandle, JobProgress, JobStatus, LatencyModelKind, LatencyPredictor, LoopOrderStrategy,
+        PredictedLatencyLoss, RandomSearchConfig, SearchRequest, SearchService, Surrogate,
     };
     pub use dosa_timeloop::{
         evaluate_layer, evaluate_model, min_hw, min_hw_for_all, Mapping, Stationarity,
