@@ -26,8 +26,9 @@ pub struct BatchOutcome {
     pub result: SearchResult,
 }
 
-/// Poll `job` until it completes, printing one progress line per poll.
-fn poll_until_done(job: &JobHandle, poll: Duration) {
+/// Poll `job` until it completes, printing one `label`ed progress line
+/// per poll. Shared with the [`strategies`](crate::strategies) mode.
+pub(crate) fn poll_until_done(label: &str, job: &JobHandle, poll: Duration) {
     while !job.status().is_terminal() {
         let progress = job.progress();
         let per_net: Vec<String> = progress
@@ -44,9 +45,36 @@ fn poll_until_done(job: &JobHandle, poll: Duration) {
                 }
             })
             .collect();
-        println!("  [{:?}] {}", progress.status, per_net.join(" | "));
+        println!("  [{label} {:?}] {}", progress.status, per_net.join(" | "));
         std::thread::sleep(poll);
     }
+}
+
+/// Assert the service guarantee a smoke run enforces: a batched network's
+/// result is bit-identical to its standalone run. Shared with the
+/// [`strategies`](crate::strategies) smoke.
+pub(crate) fn assert_parity(batched: &SearchResult, standalone: &SearchResult, what: &str) {
+    assert_eq!(
+        batched.best_edp.to_bits(),
+        standalone.best_edp.to_bits(),
+        "{what}: batched best_edp diverged from standalone"
+    );
+    assert_eq!(
+        batched.best_hw, standalone.best_hw,
+        "{what}: best_hw diverged"
+    );
+    assert_eq!(
+        batched.samples, standalone.samples,
+        "{what}: sample accounting diverged"
+    );
+    assert_eq!(
+        batched.history, standalone.history,
+        "{what}: history diverged"
+    );
+    println!(
+        "smoke: {what} matches standalone ({:.4e})",
+        standalone.best_edp
+    );
 }
 
 fn report(outcomes: &[BatchOutcome], out_dir: &Path) {
@@ -99,7 +127,7 @@ pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec
     let job = service
         .submit(builder.build())
         .expect("scale presets always validate");
-    poll_until_done(&job, Duration::from_millis(500));
+    poll_until_done("batch", &job, Duration::from_millis(500));
 
     let outcomes: Vec<BatchOutcome> = job
         .wait()
@@ -149,7 +177,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
         .build();
     println!("smoke: batched {{ResNet-50 subset, gemm}} job");
     let job = service.submit(request).expect("smoke config validates");
-    poll_until_done(&job, Duration::from_millis(50));
+    poll_until_done("batch", &job, Duration::from_millis(50));
     let batch = job.wait();
 
     // The service guarantee, enforced: batched == standalone, bit for bit.
@@ -166,23 +194,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
             },
         );
         let batched = batch.get(name).expect("network present in batch");
-        assert_eq!(
-            batched.best_edp.to_bits(),
-            standalone.best_edp.to_bits(),
-            "{name}: batched best_edp diverged from standalone"
-        );
-        assert_eq!(
-            batched.samples, standalone.samples,
-            "{name}: sample accounting diverged"
-        );
-        assert_eq!(
-            batched.history, standalone.history,
-            "{name}: history diverged"
-        );
-        println!(
-            "smoke: {name} matches standalone ({:.4e})",
-            standalone.best_edp
-        );
+        assert_parity(batched, &standalone, name);
     }
 
     let outcomes: Vec<BatchOutcome> = batch

@@ -9,8 +9,8 @@ use crate::fig6::mean_curve;
 use crate::plot::{ascii_log_chart, geomean, write_csv, Series};
 use crate::scale::Scale;
 use dosa_accel::Hierarchy;
-use dosa_search::{bayesian_search, dosa_search, random_search, SearchResult};
-use dosa_workload::{unique_layers, Network};
+use dosa_search::{JobHandle, SearchRequest, SearchResult, SearchService, Strategy};
+use dosa_workload::{unique_layers, Layer, Network};
 use std::path::Path;
 
 /// Aggregated outcome of one searcher on one workload.
@@ -49,21 +49,66 @@ impl Fig7Result {
     }
 }
 
-/// Run Figure 7 for one workload.
+/// Submit one searcher's repeated runs as a single batched service job
+/// (entries `run0..runN`, seeded `base_seed + r` — the same per-run seeds
+/// the standalone drivers used).
+fn submit_runs(
+    service: &SearchService,
+    layers: &[Layer],
+    strategy: Strategy,
+    runs: usize,
+    base_seed: u64,
+) -> JobHandle {
+    let mut builder = SearchRequest::builder(Hierarchy::gemmini()).strategy(strategy);
+    for r in 0..runs {
+        builder = builder.network_seeded(format!("run{r}"), layers.to_vec(), base_seed + r as u64);
+    }
+    service
+        .submit(builder.build())
+        .expect("scale presets always validate")
+}
+
+fn collect_runs(job: JobHandle) -> Vec<SearchResult> {
+    job.wait().networks.into_iter().map(|n| n.result).collect()
+}
+
+/// Run Figure 7 for one workload: the three searchers are three batched
+/// [`Strategy`] jobs queued on one service (each run a batch entry), not
+/// three hand-rolled loops. Every run is bit-identical to a standalone
+/// submission with the same seed.
 pub fn run_network(scale: Scale, network: Network, seed: u64, out_dir: &Path) -> Fig7Result {
     let layers = unique_layers(network);
-    let hier = Hierarchy::gemmini();
     let runs = scale.runs(5);
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
 
-    let dosa_runs: Vec<SearchResult> = (0..runs)
-        .map(|r| dosa_search(&layers, &hier, &scale.gd_main(seed + r as u64)))
-        .collect();
-    let random_runs: Vec<SearchResult> = (0..runs)
-        .map(|r| random_search(&layers, &hier, &scale.random_search(seed + 100 + r as u64)))
-        .collect();
-    let bbbo_runs: Vec<SearchResult> = (0..runs)
-        .map(|r| bayesian_search(&layers, &hier, &scale.bbbo(seed + 200 + r as u64)))
-        .collect();
+    // All three jobs queue immediately; the service executes them FIFO,
+    // fanning each job's runs across the worker fleet.
+    let dosa_job = submit_runs(
+        &service,
+        &layers,
+        Strategy::GradientDescent(scale.gd_main(seed)),
+        runs,
+        seed,
+    );
+    let random_job = submit_runs(
+        &service,
+        &layers,
+        Strategy::Random(scale.random_search(seed)),
+        runs,
+        seed + 100,
+    );
+    let bbbo_job = submit_runs(
+        &service,
+        &layers,
+        Strategy::BayesOpt(scale.bbbo(seed)),
+        runs,
+        seed + 200,
+    );
+    let dosa_runs = collect_runs(dosa_job);
+    let random_runs = collect_runs(random_job);
+    let bbbo_runs = collect_runs(bbbo_job);
 
     let mut outcomes = Vec::new();
     let mut csv_rows = Vec::new();

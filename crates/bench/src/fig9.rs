@@ -15,7 +15,8 @@ use crate::scale::Scale;
 use dosa_accel::Hierarchy;
 use dosa_model::{round_all, LossOptions};
 use dosa_search::{
-    dosa_search, evaluate_with_cosa, evaluate_with_random_mapper, generate_start_point, GdConfig,
+    evaluate_with_cosa, evaluate_with_random_mapper, generate_start_point, GdConfig, SearchRequest,
+    SearchResult, SearchService, Strategy,
 };
 use dosa_timeloop::evaluate_model;
 use dosa_workload::{unique_layers, Network};
@@ -70,7 +71,31 @@ pub fn run_network(scale: Scale, network: Network, seed: u64) -> Fig9Result {
     let mut hw_random_edps = Vec::new();
     let mut full_edps = Vec::new();
 
+    // All GD restarts run as one batched service job (entries
+    // `restart0..restartN`, each seeded like the old standalone runs and
+    // bit-identical to them), fanning into one worker fleet.
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
+    let mut builder =
+        SearchRequest::builder(hier.clone()).strategy(Strategy::GradientDescent(GdConfig {
+            start_points: 1,
+            ..scale.gd_main(seed)
+        }));
     for r in 0..restarts {
+        builder =
+            builder.network_seeded(format!("restart{r}"), layers.clone(), seed + 31 * r as u64);
+    }
+    let dosa_runs: Vec<SearchResult> = service
+        .submit(builder.build())
+        .expect("scale presets always validate")
+        .wait()
+        .networks
+        .into_iter()
+        .map(|n| n.result)
+        .collect();
+
+    for (r, dosa) in dosa_runs.iter().enumerate() {
         let run_seed = seed + 31 * r as u64;
         // Start point: random hardware + CoSA mappings (evaluated with the
         // reference model, like every bar here).
@@ -80,14 +105,6 @@ pub fn run_network(scale: Scale, network: Network, seed: u64) -> Fig9Result {
         let paired: Vec<_> = layers.iter().cloned().zip(start_mappings).collect();
         let start_perf = evaluate_model(&paired, &start.seed_hw, &hier);
         start_edps.push(start_perf.edp());
-
-        // One GD instance from the same seed.
-        let cfg = GdConfig {
-            start_points: 1,
-            seed: run_seed,
-            ..scale.gd_main(run_seed)
-        };
-        let dosa = dosa_search(&layers, &hier, &cfg);
         full_edps.push(dosa.best_edp);
 
         // DOSA hardware under constant mappers.

@@ -2,19 +2,23 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | all
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
-//! `--threads N` caps the worker threads the search service fans start
-//! points out over (default: all cores). Results are bit-identical for
+//! `--threads N` caps the worker threads the search service fans work
+//! items out over (default: all cores). Results are bit-identical for
 //! every choice; only wall-clock time changes. `batch` submits all named
 //! workloads (default: the four targets) as **one** batched
-//! `SearchService` job with live progress polling; `--smoke batch` runs a
-//! seconds-scale batch that asserts batched == standalone parity, for CI.
+//! `SearchService` job with live progress polling; `strategies` runs all
+//! three search strategies (GD, random, BB-BO) as three batched jobs on
+//! one service. `--smoke batch` / `--smoke strategies` run seconds-scale
+//! versions that assert batched == standalone bit-parity, for CI.
 
 use dosa_accel::HardwareConfig;
-use dosa_bench::{ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, Scale};
+use dosa_bench::{
+    ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, strategies, Scale,
+};
 use dosa_workload::Network;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -95,12 +99,14 @@ fn usage() {
            ablation  design-choice ablations (rounding, lr, start points)\n\
            batch   one batched SearchService job over [workload..]\n\
                    (default: all four targets) with live progress\n\
+           strategies  all three search strategies (GD, random, BB-BO)\n\
+                   as three batched service jobs over [workload..]\n\
            all     everything above\n\
          workloads: unet | resnet50 | bert | retinanet\n\
          --threads N caps the service's worker threads (results are\n\
          identical for every N; only wall-clock time changes)\n\
-         --smoke batch runs a seconds-scale batch asserting batched ==\n\
-         standalone parity (the CI smoke)"
+         --smoke batch / --smoke strategies run seconds-scale jobs\n\
+         asserting batched == standalone parity (the CI smokes)"
     );
 }
 
@@ -181,6 +187,18 @@ fn main() -> ExitCode {
                     args.networks.clone()
                 };
                 batch::run(scale, &networks, seed, out);
+            }
+        }
+        "strategies" => {
+            if args.smoke {
+                strategies::run_smoke(seed, out);
+            } else {
+                let networks = if args.networks.is_empty() {
+                    Network::TARGETS.to_vec()
+                } else {
+                    args.networks.clone()
+                };
+                strategies::run(scale, &networks, seed, out);
             }
         }
         "all" => {

@@ -1,0 +1,287 @@
+//! Strategy comparison through one service: `repro strategies` submits
+//! all three [`Strategy`] variants — gradient descent, random search,
+//! BB-BO — as three batched jobs over the target workloads (the
+//! serving-oriented counterpart of Figure 7, with every network of every
+//! searcher flowing through the same request → handle → progress
+//! lifecycle). `repro --smoke strategies` runs a seconds-scale version
+//! that **asserts** service == free-function bit-parity for the
+//! black-box strategies, so CI exercises the strategy dispatch on every
+//! push.
+
+use crate::batch::{assert_parity, poll_until_done};
+use crate::plot::write_csv;
+use crate::scale::Scale;
+use dosa_accel::Hierarchy;
+use dosa_search::{
+    bayesian_search, random_search, BbboConfig, JobHandle, RandomSearchConfig, SearchRequest,
+    SearchResult, SearchService, Strategy,
+};
+use dosa_workload::{unique_layers, Layer, Network, Problem};
+use std::path::Path;
+use std::time::Duration;
+
+/// One (network, strategy) outcome of the comparison.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// Network name as submitted.
+    pub network: String,
+    /// Strategy name ("gradient-descent" / "random" / "bayes-opt").
+    pub strategy: &'static str,
+    /// The (bit-identical-to-standalone) search result.
+    pub result: SearchResult,
+}
+
+/// Submit one strategy's batched job over `networks` (entries seeded
+/// `seed + i`, matching Figure 7's standalone runs).
+fn submit(
+    service: &SearchService,
+    networks: &[Network],
+    strategy: Strategy,
+    seed: u64,
+) -> JobHandle {
+    let mut builder = SearchRequest::builder(Hierarchy::gemmini()).strategy(strategy);
+    for (i, net) in networks.iter().enumerate() {
+        builder =
+            builder.network_seeded(net.name().to_string(), unique_layers(*net), seed + i as u64);
+    }
+    service
+        .submit(builder.build())
+        .expect("scale presets always validate")
+}
+
+fn drain(job: JobHandle, strategy: &'static str, poll: Duration) -> Vec<StrategyOutcome> {
+    poll_until_done(strategy, &job, poll);
+    job.wait()
+        .networks
+        .into_iter()
+        .map(|n| StrategyOutcome {
+            network: n.network,
+            strategy,
+            result: n.result,
+        })
+        .collect()
+}
+
+/// Run all three strategies over `networks` as three batched jobs queued
+/// on one service, with live progress, and report final EDPs plus the
+/// baseline-over-DOSA ratios (a service-run Figure 7).
+pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec<StrategyOutcome> {
+    let threads = rayon::current_num_threads();
+    let service = SearchService::builder().threads(threads).build();
+    println!(
+        "strategy comparison: {} networks x 3 strategies, {} worker threads",
+        networks.len(),
+        threads
+    );
+
+    // All three jobs queue immediately and execute FIFO on the fleet.
+    let gd = submit(
+        &service,
+        networks,
+        Strategy::GradientDescent(scale.gd_main(seed)),
+        seed,
+    );
+    let random = submit(
+        &service,
+        networks,
+        Strategy::Random(scale.random_search(seed)),
+        seed + 100,
+    );
+    let bayes = submit(
+        &service,
+        networks,
+        Strategy::BayesOpt(scale.bbbo(seed)),
+        seed + 200,
+    );
+
+    let poll = Duration::from_millis(500);
+    let mut outcomes = drain(gd, "gradient-descent", poll);
+    outcomes.extend(drain(random, "random", poll));
+    outcomes.extend(drain(bayes, "bayes-opt", poll));
+
+    println!("\nfinal EDP per (network, strategy):");
+    for net in networks {
+        let get = |strategy: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.network == net.name() && o.strategy == strategy)
+                .map(|o| o.result.best_edp)
+                .unwrap_or(f64::NAN)
+        };
+        let dosa = get("gradient-descent");
+        let rand = get("random");
+        let bo = get("bayes-opt");
+        println!(
+            "  {:<12} DOSA {:.3e} | Random {:.3e} (x{:.2}) | BB-BO {:.3e} (x{:.2})",
+            net.name(),
+            dosa,
+            rand,
+            rand / dosa,
+            bo,
+            bo / dosa
+        );
+    }
+    write_csv(
+        out_dir,
+        "strategies.csv",
+        &["network", "strategy", "best_edp", "samples"],
+        &outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.network.clone(),
+                    o.strategy.to_string(),
+                    format!("{:.6e}", o.result.best_edp),
+                    o.result.samples.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    outcomes
+}
+
+/// Seconds-scale CI smoke of the strategy dispatch: batched
+/// [`Strategy::Random`] and [`Strategy::BayesOpt`] jobs over a
+/// {ResNet-50 subset, one matmul} pair, polled live, then checked
+/// bit-for-bit against the `random_search` / `bayesian_search` free
+/// functions with the same seeds — on two differently-sized services, so
+/// thread-budget invariance is covered too.
+///
+/// # Panics
+///
+/// Panics if any per-network result diverges from its standalone run —
+/// that is the point: CI fails if a strategy's service path regresses.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<StrategyOutcome> {
+    let hier = Hierarchy::gemmini();
+    let resnet_subset: Vec<Layer> = unique_layers(Network::ResNet50)
+        .into_iter()
+        .take(2)
+        .collect();
+    let gemm = vec![Layer::once(
+        Problem::matmul("gemm", 64, 256, 256).expect("valid matmul"),
+    )];
+    let random_cfg = RandomSearchConfig {
+        num_hw: 3,
+        samples_per_hw: 40,
+        seed,
+    };
+    let bbbo_cfg = BbboConfig {
+        num_hw: 5,
+        init_random: 2,
+        samples_per_hw: 12,
+        candidates: 25,
+        seed,
+    };
+
+    // Degenerate configurations must be rejected at the boundary.
+    let reject = SearchRequest::builder(hier.clone())
+        .network("gemm", gemm.clone())
+        .strategy(Strategy::Random(RandomSearchConfig {
+            num_hw: 0,
+            ..random_cfg
+        }))
+        .build();
+    let small = SearchService::builder().threads(1).build();
+    assert!(
+        small.submit(reject).is_err(),
+        "smoke: num_hw == 0 must be rejected at submit()"
+    );
+
+    let mut outcomes = Vec::new();
+    for (label, strategy) in [
+        ("random", Strategy::Random(random_cfg)),
+        ("bayes-opt", Strategy::BayesOpt(bbbo_cfg)),
+    ] {
+        // Standalone free functions, re-seeded like the batch entries.
+        let (solo_resnet, solo_gemm) = match &strategy {
+            Strategy::Random(cfg) => (
+                random_search(&resnet_subset, &hier, &RandomSearchConfig { seed, ..*cfg }),
+                random_search(
+                    &gemm,
+                    &hier,
+                    &RandomSearchConfig {
+                        seed: seed + 1,
+                        ..*cfg
+                    },
+                ),
+            ),
+            Strategy::BayesOpt(cfg) => (
+                bayesian_search(&resnet_subset, &hier, &BbboConfig { seed, ..*cfg }),
+                bayesian_search(
+                    &gemm,
+                    &hier,
+                    &BbboConfig {
+                        seed: seed + 1,
+                        ..*cfg
+                    },
+                ),
+            ),
+            _ => unreachable!("smoke covers the black-box strategies"),
+        };
+        for threads in [1, rayon::current_num_threads().max(2)] {
+            let service = SearchService::builder().threads(threads).build();
+            let request = SearchRequest::builder(hier.clone())
+                .network_seeded("resnet50-subset", resnet_subset.clone(), seed)
+                .network_seeded("gemm", gemm.clone(), seed + 1)
+                .strategy(strategy.clone())
+                .build();
+            println!("smoke: batched {label} job on {threads} worker thread(s)");
+            let job = service.submit(request).expect("smoke config validates");
+            poll_until_done(label, &job, Duration::from_millis(50));
+            let batch = job.wait();
+            assert_parity(
+                batch.get("resnet50-subset").expect("network present"),
+                &solo_resnet,
+                &format!("{label}/resnet50-subset @ {threads} threads"),
+            );
+            assert_parity(
+                batch.get("gemm").expect("network present"),
+                &solo_gemm,
+                &format!("{label}/gemm @ {threads} threads"),
+            );
+            if threads == 1 {
+                outcomes.extend(batch.networks.into_iter().map(|n| StrategyOutcome {
+                    network: n.network,
+                    strategy: match strategy {
+                        Strategy::Random(_) => "random",
+                        _ => "bayes-opt",
+                    },
+                    result: n.result,
+                }));
+            }
+        }
+    }
+    write_csv(
+        out_dir,
+        "strategies_smoke.csv",
+        &["network", "strategy", "best_edp", "samples"],
+        &outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.network.clone(),
+                    o.strategy.to_string(),
+                    format!("{:.6e}", o.result.best_edp),
+                    o.result.samples.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("smoke: OK");
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_checks_its_own_parity_assertions() {
+        let dir = std::env::temp_dir().join("dosa_strategies_smoke_test");
+        let outcomes = run_smoke(3, &dir);
+        assert_eq!(outcomes.len(), 4, "2 networks x 2 black-box strategies");
+        for o in &outcomes {
+            assert!(o.result.best_edp.is_finite());
+        }
+    }
+}

@@ -3,22 +3,42 @@
 //! following Spotlight's hyperparameters — 100 hardware designs, 100
 //! mapping samples per layer per design, candidates selected from 1000
 //! random proposals by expected improvement.
+//!
+//! The searcher runs as [`Strategy::BayesOpt`] on the
+//! [`SearchService`](crate::SearchService)'s worker fleet. The outer GP
+//! loop stays sequential and seed-deterministic (design proposals come
+//! off one RNG stream in a fixed order), while the two hot inner loops
+//! fan out: every joint mapping sample of a design's inner search draws
+//! from its own RNG stream and is evaluated in parallel, and the
+//! per-step EI scoring of the candidate designs is fleet-parallel with a
+//! first-maximum (lowest-index) deterministic argmax. Results are
+//! bit-identical for every thread budget and batch composition.
+//! [`bayesian_search`] is the blocking single-network shim.
 
-use crate::gd::{SearchPoint, SearchResult};
+use crate::engine::{Fleet, StartControl};
+use crate::gd::SearchResult;
 use crate::gp::GaussianProcess;
+use crate::request::SearchRequest;
+use crate::service::SearchService;
 use crate::startpoints::random_hw;
+use crate::strategy::{stream_seed, Strategy};
 use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_timeloop::{evaluate_layer, fits, random_mapping, Mapping};
 use dosa_workload::Layer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Configuration of the BB-BO baseline.
+/// Configuration of the BB-BO baseline ([`Strategy::BayesOpt`]).
+/// Validated by [`BbboConfig::validate`] at
+/// [`SearchService::submit`](crate::SearchService::submit).
 #[derive(Debug, Clone, Copy)]
 pub struct BbboConfig {
     /// Total hardware designs to evaluate (paper: 100).
     pub num_hw: usize,
-    /// Initial random designs before the surrogate takes over.
+    /// Initial random designs before the surrogate takes over (must be
+    /// in `1..=num_hw`; values below 2 are raised to `min(2, num_hw)` at
+    /// runtime, since a Gaussian process fit on a single observation has
+    /// a degenerate posterior).
     pub init_random: usize,
     /// Joint mapping samples per hardware design (paper: 100).
     pub samples_per_hw: usize,
@@ -48,62 +68,102 @@ fn hw_features(hw: &HardwareConfig) -> Vec<f64> {
     ]
 }
 
-/// Inner loop: random-mapper search of one hardware design. Returns
-/// `(ln best model EDP, best mappings)` and updates the global result.
-fn inner_search(
-    rng: &mut impl Rng,
-    layers: &[Layer],
-    hw: &HardwareConfig,
-    hier: &Hierarchy,
+/// One evaluated layer candidate of a joint sample: the mapping and its
+/// count-scaled energy / latency, or `None` if the mapping did not fit.
+type LayerCandidate = Option<(Mapping, f64, f64)>;
+
+/// The inner random-mapper loop of one BB-BO design, shared by every
+/// outer step: joint samples are drawn from per-sample RNG streams and
+/// evaluated across the fleet, then folded sequentially in sample order —
+/// bit-identical to a serial run for every worker count.
+struct InnerLoop<'a> {
+    layers: &'a [Layer],
+    hier: &'a Hierarchy,
     samples: usize,
-    result: &mut SearchResult,
     record_every: usize,
-) -> f64 {
-    let mut best: Vec<Option<(Mapping, f64, f64)>> = vec![None; layers.len()];
-    for s in 0..samples {
-        for (i, layer) in layers.iter().enumerate() {
-            let m = random_mapping(rng, &layer.problem, hier, hw.pe_side());
-            if fits(&layer.problem, &m, hw, hier) {
-                let perf = evaluate_layer(&layer.problem, &m, hw, hier);
-                let e = perf.energy_uj * layer.count as f64;
-                let l = perf.latency_cycles * layer.count as f64;
-                let better = match &best[i] {
-                    None => true,
-                    Some((_, be, bl)) => e * l < be * bl,
-                };
-                if better {
-                    best[i] = Some((m, e, l));
+    fleet: &'a Fleet,
+    ctrl: StartControl<'a>,
+}
+
+impl InnerLoop<'_> {
+    /// Search `hw` with `self.samples` random joint samples, updating the
+    /// global `result`. Returns `ln(best model EDP)` for the GP (or a
+    /// large finite penalty when no sample fit, so the GP learns to avoid
+    /// the region).
+    fn search(&self, hw: &HardwareConfig, design_seed: u64, result: &mut SearchResult) -> f64 {
+        let evaluated: Vec<Option<Vec<LayerCandidate>>> =
+            self.fleet.run((0..self.samples).collect(), |_, s: usize| {
+                if self.ctrl.cancelled() {
+                    return None;
+                }
+                let mut rng = StdRng::seed_from_u64(stream_seed(design_seed, s as u64));
+                let row = self
+                    .layers
+                    .iter()
+                    .map(|layer| {
+                        let m = random_mapping(&mut rng, &layer.problem, self.hier, hw.pe_side());
+                        if fits(&layer.problem, &m, hw, self.hier) {
+                            let perf = evaluate_layer(&layer.problem, &m, hw, self.hier);
+                            Some((
+                                m,
+                                perf.energy_uj * layer.count as f64,
+                                perf.latency_cycles * layer.count as f64,
+                            ))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                Some(row)
+            });
+
+        let mut best: Vec<LayerCandidate> = vec![None; self.layers.len()];
+        for (s, row) in evaluated.into_iter().enumerate() {
+            // A `None` row was skipped by cancellation; everything after
+            // it is dropped so the fold stays a prefix of the serial run.
+            // Samples are counted here, not in the parallel items, so the
+            // live progress counter never exceeds the returned
+            // `result.samples` even when cancellation drops in-flight rows.
+            let Some(row) = row else { break };
+            for (i, cand) in row.into_iter().enumerate() {
+                if let Some((m, e, l)) = cand {
+                    let better = match &best[i] {
+                        None => true,
+                        Some((_, be, bl)) => e * l < be * bl,
+                    };
+                    if better {
+                        best[i] = Some((m, e, l));
+                    }
                 }
             }
+            result.samples += 1;
+            self.ctrl.count_samples(1);
+            let edp = model_edp(&best);
+            if edp < result.best_edp {
+                result.best_edp = edp;
+                result.best_hw = *hw;
+                result.best_mappings = best
+                    .iter()
+                    .filter_map(|b| b.as_ref().map(|(m, _, _)| m.clone()))
+                    .collect();
+                self.ctrl.observe_best(edp);
+            }
+            if s % self.record_every == 0 {
+                result.record();
+            }
         }
-        result.samples += 1;
         let edp = model_edp(&best);
-        if edp < result.best_edp {
-            result.best_edp = edp;
-            result.best_hw = *hw;
-            result.best_mappings = best
-                .iter()
-                .filter_map(|b| b.as_ref().map(|(m, _, _)| m.clone()))
-                .collect();
+        if edp.is_finite() {
+            edp.ln()
+        } else {
+            // Penalize infeasible designs with a large but finite score so
+            // the GP learns to avoid the region.
+            1e3
         }
-        if s % record_every == 0 {
-            result.history.push(SearchPoint {
-                samples: result.samples,
-                best_edp: result.best_edp,
-            });
-        }
-    }
-    let edp = model_edp(&best);
-    if edp.is_finite() {
-        edp.ln()
-    } else {
-        // Penalize infeasible designs with a large but finite score so the
-        // GP learns to avoid the region.
-        1e3
     }
 }
 
-fn model_edp(best: &[Option<(Mapping, f64, f64)>]) -> f64 {
+fn model_edp(best: &[LayerCandidate]) -> f64 {
     let mut energy = 0.0;
     let mut latency = 0.0;
     for b in best {
@@ -118,57 +178,104 @@ fn model_edp(best: &[Option<(Mapping, f64, f64)>]) -> f64 {
     energy * latency
 }
 
-/// Run the BB-BO baseline on `layers`.
-pub fn bayesian_search(layers: &[Layer], hier: &Hierarchy, cfg: &BbboConfig) -> SearchResult {
+/// One BO step's design proposal: fit the GP, draw `candidates` random
+/// designs sequentially off the outer RNG (keeping the outer loop
+/// seed-deterministic), score their expected improvement across the
+/// fleet, and take the first maximum (ties and all-NaN scores resolve to
+/// the lowest candidate index, matching a serial scan).
+fn propose_by_ei(
+    rng: &mut impl Rng,
+    observed_x: &[Vec<f64>],
+    observed_y: &[f64],
+    candidates: usize,
+    fleet: &Fleet,
+) -> HardwareConfig {
+    let gp = GaussianProcess::fit(observed_x.to_vec(), observed_y.to_vec(), 1.0, 0.05);
+    let best_y = observed_y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let cands: Vec<HardwareConfig> = (0..candidates).map(|_| random_hw(rng)).collect();
+    let scores: Vec<f64> = fleet.run(cands.iter().map(hw_features).collect(), |_, feat| {
+        gp.expected_improvement(&feat, best_y)
+    });
+    let mut best_index = 0;
+    let mut best_ei = f64::NEG_INFINITY;
+    for (i, ei) in scores.iter().enumerate() {
+        if *ei > best_ei {
+            best_ei = *ei;
+            best_index = i;
+        }
+    }
+    cands[best_index]
+}
+
+/// Run the BB-BO baseline on `layers` for one network of a
+/// [`Strategy::BayesOpt`] job: a sequential outer GP loop over
+/// `cfg.num_hw` designs with fleet-parallel inner loops.
+pub(crate) fn run_bayesian_search(
+    layers: &[Layer],
+    hier: &Hierarchy,
+    cfg: &BbboConfig,
+    fleet: &Fleet,
+    ctrl: StartControl<'_>,
+) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut result = SearchResult {
-        best_edp: f64::INFINITY,
-        best_hw: HardwareConfig::gemmini_default(),
-        best_mappings: Vec::new(),
-        history: Vec::new(),
-        samples: 0,
+    let mut result = SearchResult::empty();
+    let inner = InnerLoop {
+        layers,
+        hier,
+        samples: cfg.samples_per_hw,
+        record_every: (cfg.samples_per_hw / 4).max(1),
+        fleet,
+        ctrl,
     };
-    let record_every = (cfg.samples_per_hw / 4).max(1);
 
     let mut observed_x: Vec<Vec<f64>> = Vec::new();
     let mut observed_y: Vec<f64> = Vec::new();
 
+    // At least two random designs before the GP takes over (a one-point
+    // fit has near-zero posterior variance everywhere, making EI
+    // useless), bounded by the total budget.
+    let init_random = cfg.init_random.max(2).min(cfg.num_hw);
     for step in 0..cfg.num_hw {
-        let hw = if step < cfg.init_random.max(2) {
+        if ctrl.cancelled() {
+            break;
+        }
+        let hw = if step < init_random {
             random_hw(&mut rng)
         } else {
-            // Fit the surrogate and pick the best candidate by EI.
-            let gp = GaussianProcess::fit(observed_x.clone(), observed_y.clone(), 1.0, 0.05);
-            let best_y = observed_y.iter().cloned().fold(f64::INFINITY, f64::min);
-            let mut best_candidate = random_hw(&mut rng);
-            let mut best_ei = f64::NEG_INFINITY;
-            for _ in 0..cfg.candidates {
-                let cand = random_hw(&mut rng);
-                let ei = gp.expected_improvement(&hw_features(&cand), best_y);
-                if ei > best_ei {
-                    best_ei = ei;
-                    best_candidate = cand;
-                }
-            }
-            best_candidate
+            propose_by_ei(&mut rng, &observed_x, &observed_y, cfg.candidates, fleet)
         };
-        let score = inner_search(
-            &mut rng,
-            layers,
-            &hw,
-            hier,
-            cfg.samples_per_hw,
-            &mut result,
-            record_every,
-        );
+        let score = inner.search(&hw, stream_seed(cfg.seed, step as u64), &mut result);
         observed_x.push(hw_features(&hw));
         observed_y.push(score);
     }
-    result.history.push(SearchPoint {
-        samples: result.samples,
-        best_edp: result.best_edp,
-    });
     result
+}
+
+/// Run the BB-BO baseline on `layers`, blocking until done.
+///
+/// This is a thin shim over the job service: it submits one
+/// single-network [`Strategy::BayesOpt`] request to a throwaway
+/// [`SearchService`](crate::SearchService) and waits. The worker-thread
+/// budget is read from the calling thread's rayon configuration, and the
+/// result is bit-identical for every budget (the outer GP loop is
+/// sequential; only the inner sampling and EI scoring fan out). For
+/// batching, live progress, or cancellation, use the service directly.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or `cfg` fails [`BbboConfig::validate`].
+pub fn bayesian_search(layers: &[Layer], hier: &Hierarchy, cfg: &BbboConfig) -> SearchResult {
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
+    let request = SearchRequest::builder(hier.clone())
+        .network("network", layers.to_vec())
+        .strategy(Strategy::BayesOpt(*cfg))
+        .build();
+    match service.submit(request) {
+        Ok(handle) => handle.wait().into_single(),
+        Err(e) => panic!("invalid BB-BO request: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +321,29 @@ mod tests {
         let a = bayesian_search(&layers(), &hier, &cfg);
         let b = bayesian_search(&layers(), &hier, &cfg);
         assert_eq!(a.best_edp, b.best_edp);
+    }
+
+    #[test]
+    fn history_samples_increase_strictly_with_no_duplicated_tail() {
+        let hier = Hierarchy::gemmini();
+        // samples_per_hw = 5 makes the record cadence (every sample) land
+        // on the final sample — the duplicated-tail case before dedup.
+        let cfg = BbboConfig {
+            num_hw: 3,
+            init_random: 2,
+            samples_per_hw: 5,
+            candidates: 20,
+            seed: 3,
+        };
+        let res = bayesian_search(&layers(), &hier, &cfg);
+        for w in res.history.windows(2) {
+            assert!(
+                w[1].samples > w[0].samples,
+                "history samples not strictly increasing: {} then {}",
+                w[0].samples,
+                w[1].samples
+            );
+        }
+        assert_eq!(res.history.last().unwrap().samples, res.samples);
     }
 }

@@ -318,47 +318,70 @@ pub(crate) struct StartControl<'a> {
 }
 
 impl StartControl<'_> {
-    fn cancelled(&self) -> bool {
+    pub(crate) fn cancelled(&self) -> bool {
         self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
-    fn count_samples(&self, n: usize) {
+    pub(crate) fn count_samples(&self, n: usize) {
         if let Some(p) = self.progress {
             p.add_samples(n);
         }
     }
 
-    fn observe_best(&self, edp: f64) {
+    pub(crate) fn observe_best(&self, edp: f64) {
         if let Some(p) = self.progress {
             p.update_best(edp);
         }
     }
 }
 
-/// Fan `items` out over a scoped pool of `threads` workers, returning
-/// `f(index, item)` results in item order. Output order — and therefore
-/// every deterministic reduction built on it — is independent of thread
-/// count and scheduling; this is the engine's only parallel primitive,
-/// shared by [`run_gd_search`] and the job service's worker fleet. The
-/// pool is per call, so worker budgets stay scoped to their service and
+/// A scoped pool of workers every strategy fans its work items out over:
+/// GD start points, random-search hardware designs, BB-BO's inner mapping
+/// samples and EI candidate scores. One fleet is built per job (or per
+/// blocking run), so worker budgets stay scoped to their service and
 /// never touch the global rayon configuration.
+pub(crate) struct Fleet {
+    pool: rayon::ThreadPool,
+}
+
+impl Fleet {
+    pub(crate) fn new(threads: usize) -> Fleet {
+        Fleet {
+            pool: rayon::ThreadPoolBuilder::new()
+                .num_threads(threads.max(1))
+                .build()
+                .expect("scoped pool"),
+        }
+    }
+
+    /// Fan `items` out over the fleet, returning `f(index, item)` results
+    /// in item order. Output order — and therefore every deterministic
+    /// reduction built on it — is independent of thread count and
+    /// scheduling; this is the engine's only parallel primitive.
+    pub(crate) fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.pool.install(|| {
+            items
+                .into_par_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect()
+        })
+    }
+}
+
+/// One-shot [`Fleet::run`] on a throwaway fleet of `threads` workers.
 pub(crate) fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("scoped pool");
-    pool.install(|| {
-        items
-            .into_par_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
-            .collect()
-    })
+    Fleet::new(threads).run(items, f)
 }
 
 /// Descend from every start point in parallel and merge the results
@@ -505,6 +528,13 @@ pub(crate) fn merge_start_results(per_start: Vec<SearchResult>) -> SearchResult 
         best = best.min(p.best_edp);
         p.best_edp = best;
     }
+    debug_assert!(
+        merged
+            .history
+            .windows(2)
+            .all(|w| w[0].samples < w[1].samples),
+        "merged history must have strictly increasing sample counts"
+    );
     merged
 }
 

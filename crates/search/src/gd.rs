@@ -117,6 +117,24 @@ impl SearchResult {
             best_edp: self.best_edp,
         });
     }
+
+    /// Record the final best-so-far point unless the last record already
+    /// captured the current sample count — the black-box searchers used
+    /// to push a duplicated trailing `SearchPoint` whenever the
+    /// `record_every` cadence landed on the last sample. Keeps the
+    /// history's `samples` axis strictly increasing.
+    pub(crate) fn record_final(&mut self) {
+        if self.samples == 0 {
+            return;
+        }
+        if self.history.last().is_none_or(|p| p.samples < self.samples) {
+            self.record();
+        }
+        debug_assert!(
+            self.history.windows(2).all(|w| w[0].samples < w[1].samples),
+            "history must have strictly increasing sample counts"
+        );
+    }
 }
 
 /// Evaluate rounded mappings with the reference model on their minimal

@@ -1,41 +1,130 @@
 //! # dosa-search
 //!
-//! The searchers of the DOSA paper, served through one job-oriented
-//! search service built on a shared gradient-descent engine.
+//! The searchers of the DOSA paper — the differentiable one-loop gradient
+//! descent *and* the black-box baselines it is compared against — served
+//! through one job-oriented search service with a pluggable [`Strategy`].
 //!
 //! ## The service
 //!
-//! DOSA's value is running *many* one-loop co-searches — the paper sweeps
-//! networks × surrogates × loop-ordering strategies (§6.2–6.5). The
-//! public API is therefore a [`SearchService`]: describe a job with the
-//! [`SearchRequest`] builder (one network or a batch of named networks, a
-//! [`Surrogate`], a [`GdConfig`] budget and seed), submit it, and observe
-//! it through the returned [`JobHandle`]:
+//! DOSA's headline results are comparisons: the one-loop co-search versus
+//! random search and Bayesian optimization, across networks, surrogates
+//! and loop-ordering strategies (§6.2–6.5). The public API therefore
+//! treats the search algorithm as data: describe a job with the
+//! [`SearchRequest`] builder (one network or a batch of named networks
+//! plus a [`Strategy`] carrying the algorithm, budget and seed), submit
+//! it to a [`SearchService`], and observe it through the returned
+//! [`JobHandle`]:
 //!
 //! * [`JobHandle::status`] / [`JobHandle::progress`] — non-blocking
 //!   lifecycle and live per-network best-EDP + sample counters,
 //! * [`JobHandle::cancel`] — cooperative cancellation at the next
-//!   gradient-step boundary, keeping the partial (still monotone) results,
+//!   gradient-step or mapping-sample boundary, keeping the partial (still
+//!   monotone) results,
 //! * [`JobHandle::wait`] — block for the per-network [`BatchResult`].
 //!
 //! Invalid configurations are rejected at the service boundary with a
-//! typed [`ConfigError`] ([`GdConfig::validate`]). The worker-thread
-//! budget is **per service** ([`SearchServiceBuilder::threads`]), not a
-//! global rayon pool, so differently-sized services coexist in one
-//! process.
+//! typed [`ConfigError`] ([`GdConfig::validate`],
+//! [`RandomSearchConfig::validate`], [`BbboConfig::validate`]). The
+//! worker-thread budget is **per service**
+//! ([`SearchServiceBuilder::threads`]), not a global rayon pool, so
+//! differently-sized services coexist in one process.
 //!
-//! A batched request fans all networks' start points into one worker
-//! fleet and demultiplexes per-network results on merge; every network's
+//! A batched request fans all networks' work items into one worker fleet
+//! and demultiplexes per-network results on merge; every network's
 //! result is **bit-identical** to a standalone submission with the same
-//! seed, for any thread budget and batch composition (see the [`service`]
-//! module docs for the exact contract).
+//! seed, for any thread budget and batch composition and for every
+//! strategy (see the [`service`] module docs for the exact contract).
+//!
+//! ## Search strategies
+//!
+//! [`Strategy`] selects the algorithm a job runs; all three share the
+//! request lifecycle above, so the paper's baseline comparison (Fig. 7)
+//! is three submissions to one service instead of three hand-rolled
+//! loops.
+//!
+//! ### Gradient descent (the default)
+//!
+//! DOSA's one-loop mapping-first co-search (§3.2, §5): start points fan
+//! out across the fleet, each descending the request's [`Surrogate`].
+//!
+//! ```
+//! use dosa_search::{GdConfig, SearchRequest, SearchService, Strategy};
+//! use dosa_accel::Hierarchy;
+//! use dosa_workload::{Layer, Problem};
+//!
+//! let layers = vec![Layer::once(Problem::matmul("m", 8, 32, 32)?)];
+//! let service = SearchService::builder().threads(2).build();
+//! let job = service.submit(
+//!     SearchRequest::builder(Hierarchy::gemmini())
+//!         .network("gemm", layers)
+//!         .strategy(Strategy::GradientDescent(GdConfig {
+//!             start_points: 1, steps_per_start: 6, round_every: 3,
+//!             ..GdConfig::default()
+//!         }))
+//!         .build(),
+//! )?;
+//! assert!(job.wait().into_single().best_edp.is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ### Random search
+//!
+//! The §6.1 baseline (10 hardware designs × 1000 joint mapping samples):
+//! designs fan out across the fleet, each searched by a private RNG
+//! stream derived from the seed.
+//!
+//! ```
+//! use dosa_search::{RandomSearchConfig, SearchRequest, SearchService, Strategy};
+//! use dosa_accel::Hierarchy;
+//! use dosa_workload::{Layer, Problem};
+//!
+//! let layers = vec![Layer::once(Problem::matmul("m", 8, 32, 32)?)];
+//! let service = SearchService::builder().threads(2).build();
+//! let job = service.submit(
+//!     SearchRequest::builder(Hierarchy::gemmini())
+//!         .network("gemm", layers)
+//!         .strategy(Strategy::Random(RandomSearchConfig {
+//!             num_hw: 2, samples_per_hw: 10, seed: 0,
+//!         }))
+//!         .build(),
+//! )?;
+//! let result = job.wait().into_single();
+//! assert_eq!(result.samples, 2 * 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ### Bayesian optimization (BB-BO)
+//!
+//! The Spotlight-style two-loop baseline: a sequential, seed-deterministic
+//! outer Gaussian-process loop whose inner random-mapper samples and
+//! expected-improvement candidate scores fan out across the fleet.
+//!
+//! ```
+//! use dosa_search::{BbboConfig, SearchRequest, SearchService, Strategy};
+//! use dosa_accel::Hierarchy;
+//! use dosa_workload::{Layer, Problem};
+//!
+//! let layers = vec![Layer::once(Problem::matmul("m", 8, 32, 32)?)];
+//! let service = SearchService::builder().threads(2).build();
+//! let job = service.submit(
+//!     SearchRequest::builder(Hierarchy::gemmini())
+//!         .network("gemm", layers)
+//!         .strategy(Strategy::BayesOpt(BbboConfig {
+//!             num_hw: 3, init_random: 2, samples_per_hw: 6, candidates: 10, seed: 0,
+//!         }))
+//!         .build(),
+//! )?;
+//! assert!(job.wait().into_single().best_edp.is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! ## The engine
 //!
-//! Underneath, one optimization loop — Adam over all layers' log tiling
-//! factors, a tape cleared and reused every step, periodic rounding to
-//! valid integer mappings (§5.3.2), and per-sample accounting — descends
-//! whatever differentiable surrogate a [`DiffLoss`] provides:
+//! Underneath the gradient-descent strategy, one optimization loop — Adam
+//! over all layers' log tiling factors, a tape cleared and reused every
+//! step, periodic rounding to valid integer mappings (§5.3.2), and
+//! per-sample accounting — descends whatever differentiable surrogate a
+//! [`DiffLoss`] provides:
 //!
 //! * [`EdpLoss`] — the plain differentiable-EDP loss of §5, including the
 //!   Baseline / Iterate / Softmax loop-ordering strategies of Figure 6
@@ -46,43 +135,20 @@
 //! * anything else via [`CustomSurrogate`] ([`Surrogate::Custom`]) or, for
 //!   in-process blocking use, [`run_gd_search`] directly.
 //!
-//! ## The searchers
+//! ## Blocking shims
 //!
-//! * [`dosa_search`] — the one-loop mapping-first gradient-descent
-//!   co-search (§3.2, §5); a blocking shim that submits one
-//!   [`Surrogate::Edp`] job and waits,
-//! * [`dosa_search_rtl`] — the fixed-PE real-hardware flow of §6.5
-//!   (Figure 12); a blocking shim over [`Surrogate::PredictedLatency`],
-//! * [`random_search`] — the random-search baseline (10 hardware designs ×
-//!   1000 mapping samples, §6.1),
-//! * [`bayesian_search`] — the two-loop Bayesian-optimization baseline
-//!   (Gaussian-process surrogate with Spotlight-style hyperparameters),
-//! * the CoSA-substitute constrained mapper ([`cosa_mapping`]) used for
-//!   start points and as the constant mapper of §6.4.
+//! Every strategy keeps a blocking free function that submits one
+//! single-network job to a throwaway service and waits (the worker
+//! budget follows the calling thread's rayon configuration):
 //!
-//! ## Example
-//!
-//! ```no_run
-//! use dosa_search::{GdConfig, SearchRequest, SearchService};
-//! use dosa_accel::Hierarchy;
-//! use dosa_workload::{unique_layers, Network};
-//!
-//! let service = SearchService::builder().threads(4).build();
-//! let request = SearchRequest::builder(Hierarchy::gemmini())
-//!     .network("resnet50", unique_layers(Network::ResNet50))
-//!     .network("bert", unique_layers(Network::Bert))
-//!     .config(GdConfig::default())
-//!     .build();
-//! let job = service.submit(request).expect("valid request");
-//! while !job.status().is_terminal() {
-//!     let p = job.progress();
-//!     println!("{} samples, best EDP {:.3e}", p.total_samples(), p.best_edp());
-//!     std::thread::sleep(std::time::Duration::from_millis(200));
-//! }
-//! for net in job.wait().networks {
-//!     println!("{}: best EDP {:.3e}", net.network, net.result.best_edp);
-//! }
-//! ```
+//! * [`dosa_search`] — [`Strategy::GradientDescent`] with
+//!   [`Surrogate::Edp`],
+//! * [`dosa_search_rtl`] — the fixed-PE real-hardware flow of §6.5 over
+//!   [`Surrogate::PredictedLatency`],
+//! * [`random_search`] — [`Strategy::Random`],
+//! * [`bayesian_search`] — [`Strategy::BayesOpt`],
+//! * plus the CoSA-substitute constrained mapper ([`cosa_mapping`]) used
+//!   for start points and as the constant mapper of §6.4.
 
 #![warn(missing_docs)]
 
@@ -97,6 +163,7 @@ mod random_search;
 mod request;
 pub mod service;
 mod startpoints;
+mod strategy;
 
 pub use adam::Adam;
 pub use bbbo::{bayesian_search, BbboConfig};
@@ -122,3 +189,4 @@ pub use service::{
     SearchServiceBuilder,
 };
 pub use startpoints::{generate_start_point, generate_start_points, random_hw, StartPoint};
+pub use strategy::Strategy;

@@ -2,17 +2,31 @@
 //! (§6.1: "the random search baseline evaluates 10 hardware designs with
 //! 1000 mappings per layer per hardware design"; §6.4's CoSA / random
 //! constant mappers).
+//!
+//! The searcher runs as [`Strategy::Random`] on the
+//! [`SearchService`](crate::SearchService)'s worker fleet: hardware
+//! designs are drawn sequentially from the seed, then each design is
+//! searched as an independent work item with a private RNG stream, so
+//! the result is bit-identical for every thread budget and batch
+//! composition. [`random_search`] is the blocking single-network shim.
 
 use crate::cosa::cosa_mapping;
-use crate::gd::{SearchPoint, SearchResult};
+use crate::engine::StartControl;
+use crate::gd::SearchResult;
+use crate::request::SearchRequest;
+use crate::service::SearchService;
 use crate::startpoints::random_hw;
+use crate::strategy::{stream_seed, Strategy};
 use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_timeloop::{evaluate_layer, fits, random_mapping, LayerPerf, Mapping, ModelPerf};
 use dosa_workload::Layer;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-/// Configuration of the random-search baseline.
+/// Configuration of the random-search baseline
+/// ([`Strategy::Random`]). Validated by
+/// [`RandomSearchConfig::validate`] at
+/// [`SearchService::submit`](crate::SearchService::submit).
 #[derive(Debug, Clone, Copy)]
 pub struct RandomSearchConfig {
     /// Number of hardware designs to sample (paper: 10).
@@ -81,72 +95,99 @@ impl PerLayerBest {
     }
 }
 
-/// Search one hardware design with random mappings, offering each joint
-/// sample to `result` and returning the per-layer bests.
-fn search_one_hw(
-    rng: &mut impl Rng,
+/// One hardware design's share of a [`Strategy::Random`] job: the design
+/// itself and the seed of its private mapping-RNG stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RandomDesign {
+    pub(crate) hw: HardwareConfig,
+    pub(crate) rng_seed: u64,
+}
+
+/// Draw the job's hardware designs sequentially from `cfg.seed` (exactly
+/// like GD start points are generated before any parallelism) and derive
+/// one private RNG stream per design, so the per-design searches can fan
+/// out over any number of workers bit-identically.
+pub(crate) fn plan_random_designs(cfg: &RandomSearchConfig) -> Vec<RandomDesign> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.num_hw)
+        .map(|i| RandomDesign {
+            hw: random_hw(&mut rng),
+            rng_seed: stream_seed(cfg.seed, i as u64),
+        })
+        .collect()
+}
+
+/// Search one hardware design with random mappings: one work item of a
+/// [`Strategy::Random`] job. Returns a design-local [`SearchResult`]
+/// whose history offsets and running minima are restored by the
+/// deterministic merge
+/// ([`merge_start_results`](crate::engine::merge_start_results)).
+pub(crate) fn run_random_design(
     layers: &[Layer],
-    hw: &HardwareConfig,
     hier: &Hierarchy,
+    design: &RandomDesign,
     samples: usize,
-    result: &mut SearchResult,
-    record_every: usize,
-) {
+    ctrl: StartControl<'_>,
+) -> SearchResult {
+    let record_every = (samples / 20).max(1);
+    let mut rng = StdRng::seed_from_u64(design.rng_seed);
     let mut best = PerLayerBest::new(layers.len());
+    let mut result = SearchResult::empty();
     for s in 0..samples {
+        if ctrl.cancelled() {
+            break;
+        }
         for (i, layer) in layers.iter().enumerate() {
-            let m = random_mapping(rng, &layer.problem, hier, hw.pe_side());
-            if fits(&layer.problem, &m, hw, hier) {
-                let perf = evaluate_layer(&layer.problem, &m, hw, hier);
+            let m = random_mapping(&mut rng, &layer.problem, hier, design.hw.pe_side());
+            if fits(&layer.problem, &m, &design.hw, hier) {
+                let perf = evaluate_layer(&layer.problem, &m, &design.hw, hier);
                 best.offer(i, m, perf);
             }
         }
         result.samples += 1;
+        ctrl.count_samples(1);
         let edp = best.model_edp(layers);
         if edp < result.best_edp {
             if let Some(mappings) = best.mappings() {
                 result.best_edp = edp;
-                result.best_hw = *hw;
+                result.best_hw = design.hw;
                 result.best_mappings = mappings;
+                ctrl.observe_best(edp);
             }
         }
         if s % record_every == 0 {
-            result.history.push(SearchPoint {
-                samples: result.samples,
-                best_edp: result.best_edp,
-            });
+            result.record();
         }
     }
+    result
 }
 
-/// Run the random-search baseline of §6.1/§6.3.
+/// Run the random-search baseline of §6.1/§6.3, blocking until done.
+///
+/// This is a thin shim over the job service: it submits one
+/// single-network [`Strategy::Random`] request to a throwaway
+/// [`SearchService`](crate::SearchService) and waits. The worker-thread
+/// budget is read from the calling thread's rayon configuration, and the
+/// result is bit-identical for every budget (each hardware design is
+/// searched by a private RNG stream derived from the seed). For
+/// batching, live progress, or cancellation, use the service directly.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or `cfg` fails
+/// [`RandomSearchConfig::validate`].
 pub fn random_search(layers: &[Layer], hier: &Hierarchy, cfg: &RandomSearchConfig) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut result = SearchResult {
-        best_edp: f64::INFINITY,
-        best_hw: HardwareConfig::gemmini_default(),
-        best_mappings: Vec::new(),
-        history: Vec::new(),
-        samples: 0,
-    };
-    let record_every = (cfg.samples_per_hw / 20).max(1);
-    for _ in 0..cfg.num_hw {
-        let hw = random_hw(&mut rng);
-        search_one_hw(
-            &mut rng,
-            layers,
-            &hw,
-            hier,
-            cfg.samples_per_hw,
-            &mut result,
-            record_every,
-        );
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .build();
+    let request = SearchRequest::builder(hier.clone())
+        .network("network", layers.to_vec())
+        .strategy(Strategy::Random(*cfg))
+        .build();
+    match service.submit(request) {
+        Ok(handle) => handle.wait().into_single(),
+        Err(e) => panic!("invalid random-search request: {e}"),
     }
-    result.history.push(SearchPoint {
-        samples: result.samples,
-        best_edp: result.best_edp,
-    });
-    result
 }
 
 /// Evaluate `layers` on fixed hardware with CoSA as a constant mapper
@@ -216,6 +257,35 @@ mod tests {
         assert_eq!(res.best_mappings.len(), 2);
         for w in res.history.windows(2) {
             assert!(w[1].best_edp <= w[0].best_edp);
+        }
+    }
+
+    #[test]
+    fn history_samples_increase_strictly_with_no_duplicated_tail() {
+        let hier = Hierarchy::gemmini();
+        // samples_per_hw chosen so the record cadence lands exactly on the
+        // final sample — the case that used to produce a duplicated
+        // trailing history point.
+        for samples_per_hw in [21, 40] {
+            let cfg = RandomSearchConfig {
+                num_hw: 2,
+                samples_per_hw,
+                seed: 4,
+            };
+            let res = random_search(&layers(), &hier, &cfg);
+            for w in res.history.windows(2) {
+                assert!(
+                    w[1].samples > w[0].samples,
+                    "history samples not strictly increasing: {} then {}",
+                    w[0].samples,
+                    w[1].samples
+                );
+            }
+            assert_eq!(
+                res.history.last().unwrap().samples,
+                res.samples,
+                "history must end at the final sample count"
+            );
         }
     }
 

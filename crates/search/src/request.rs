@@ -1,31 +1,37 @@
 //! Search-job descriptions: the [`SearchRequest`] builder submitted to a
 //! [`SearchService`](crate::SearchService), the [`Surrogate`] selecting
-//! which differentiable loss a job descends on, and the typed
-//! [`ConfigError`] validation applied at the service boundary.
+//! which differentiable loss a gradient-descent job descends on, and the
+//! typed [`ConfigError`] validation applied at the service boundary.
 //!
 //! A request owns everything a job needs — the memory hierarchy, one or
-//! more named networks (a *batch*), the surrogate, and the [`GdConfig`]
-//! budget — so jobs can run on the service's background workers with no
-//! borrowed state. Per-network seeds keep every network's result
-//! bit-identical to a standalone submission with the same seed (see
-//! [`SearchService`](crate::SearchService) for the guarantee).
+//! more named networks (a *batch*), and a [`Strategy`] carrying the
+//! search algorithm and its budget — so jobs can run on the service's
+//! background workers with no borrowed state. Per-network seeds keep
+//! every network's result bit-identical to a standalone submission with
+//! the same seed (see [`SearchService`](crate::SearchService) for the
+//! guarantee).
 
 use crate::engine::DiffLoss;
 use crate::gd::GdConfig;
 use crate::latency_model::LatencyPredictor;
+use crate::strategy::Strategy;
 use dosa_accel::Hierarchy;
 use dosa_model::LossOptions;
 use dosa_workload::Layer;
 use std::fmt;
 use std::sync::Arc;
 
-/// A [`GdConfig`] or [`SearchRequest`] rejected at the service boundary.
+/// A strategy configuration or [`SearchRequest`] rejected at the service
+/// boundary.
 ///
-/// Returned by [`GdConfig::validate`] and
+/// Returned by [`GdConfig::validate`],
+/// [`RandomSearchConfig::validate`](crate::RandomSearchConfig::validate),
+/// [`BbboConfig::validate`](crate::BbboConfig::validate) and
 /// [`SearchService::submit`](crate::SearchService::submit); the variants
 /// name the field that would otherwise panic (or silently misbehave) deep
-/// inside the engine — most notably `round_every == 0`, which used to hit
-/// a divide-by-zero in the gradient loop.
+/// inside a searcher — most notably `round_every == 0`, which used to hit
+/// a divide-by-zero in the gradient loop, and `init_random == 0`, which
+/// used to let BB-BO's Gaussian process fit on an empty design set.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ConfigError {
@@ -38,6 +44,25 @@ pub enum ConfigError {
     ZeroRoundEvery,
     /// `learning_rate` was non-finite or not positive.
     BadLearningRate(f64),
+    /// `num_hw` was zero: a black-box search would evaluate no designs.
+    ZeroHwDesigns,
+    /// `samples_per_hw` was zero: every design would go unsampled.
+    ZeroSamplesPerHw,
+    /// `candidates` was zero: a BB-BO step would have no candidate
+    /// designs to score by expected improvement.
+    ZeroCandidates,
+    /// `init_random` was zero or exceeded `num_hw`: BB-BO's Gaussian
+    /// process would fit on an empty (or impossibly short) design set.
+    BadInitRandom {
+        /// The rejected `init_random` value.
+        init_random: usize,
+        /// The configured total number of hardware designs.
+        num_hw: usize,
+    },
+    /// A non-default [`Surrogate`] was combined with a black-box strategy
+    /// (named by the payload) that cannot descend on it; surrogates apply
+    /// to [`Strategy::GradientDescent`] only.
+    SurrogateNotApplicable(&'static str),
     /// The request named no networks.
     EmptyBatch,
     /// A network in the request had no layers.
@@ -60,6 +85,26 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadLearningRate(lr) => {
                 write!(f, "learning_rate must be finite and positive, got {lr}")
+            }
+            ConfigError::ZeroHwDesigns => write!(f, "num_hw must be at least 1"),
+            ConfigError::ZeroSamplesPerHw => write!(f, "samples_per_hw must be at least 1"),
+            ConfigError::ZeroCandidates => write!(f, "candidates must be at least 1"),
+            ConfigError::BadInitRandom {
+                init_random,
+                num_hw,
+            } => {
+                write!(
+                    f,
+                    "init_random must be in 1..=num_hw (got {init_random} with num_hw {num_hw}); \
+                     the GP would fit on an empty or short design set"
+                )
+            }
+            ConfigError::SurrogateNotApplicable(strategy) => {
+                write!(
+                    f,
+                    "a non-default surrogate was set but the {strategy} strategy cannot use one \
+                     (surrogates apply to gradient descent only)"
+                )
             }
             ConfigError::EmptyBatch => write!(f, "request contains no networks"),
             ConfigError::EmptyNetwork(name) => write!(f, "network {name:?} has no layers"),
@@ -171,16 +216,17 @@ pub struct NetworkSpec {
     pub seed: Option<u64>,
 }
 
-/// A search job: one network or a batch of named networks, a surrogate,
-/// and a [`GdConfig`] budget, all owned so the job can run on background
-/// workers. Build one with [`SearchRequest::builder`] and submit it with
-/// [`SearchService::submit`](crate::SearchService::submit).
+/// A search job: one network or a batch of named networks, a
+/// [`Strategy`] (the algorithm plus its budget and seed), and — for
+/// gradient descent — a surrogate, all owned so the job can run on
+/// background workers. Build one with [`SearchRequest::builder`] and
+/// submit it with [`SearchService::submit`](crate::SearchService::submit).
 #[derive(Debug, Clone)]
 pub struct SearchRequest {
     pub(crate) hier: Hierarchy,
     pub(crate) networks: Vec<NetworkSpec>,
     pub(crate) surrogate: Surrogate,
-    pub(crate) cfg: GdConfig,
+    pub(crate) strategy: Strategy,
 }
 
 impl SearchRequest {
@@ -191,14 +237,23 @@ impl SearchRequest {
                 hier,
                 networks: Vec::new(),
                 surrogate: Surrogate::Edp,
-                cfg: GdConfig::default(),
+                strategy: Strategy::default(),
             },
         }
     }
 
-    /// The configured budget.
-    pub fn config(&self) -> &GdConfig {
-        &self.cfg
+    /// The search strategy this job runs.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The gradient-descent budget, if this is a
+    /// [`Strategy::GradientDescent`] request.
+    pub fn gd_config(&self) -> Option<&GdConfig> {
+        match &self.strategy {
+            Strategy::GradientDescent(cfg) => Some(cfg),
+            _ => None,
+        }
     }
 
     /// The networks in submission order.
@@ -206,15 +261,22 @@ impl SearchRequest {
         &self.networks
     }
 
-    /// The surrogate the job will descend on.
+    /// The surrogate a gradient-descent job will descend on.
     pub fn surrogate(&self) -> &Surrogate {
         &self.surrogate
     }
 
-    /// Full service-boundary validation: the [`GdConfig`] plus the batch
+    /// Full service-boundary validation: the strategy configuration
+    /// ([`Strategy::validate`]), surrogate applicability (non-default
+    /// surrogates require [`Strategy::GradientDescent`]), plus the batch
     /// shape (non-empty, non-empty layers, unique names).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.cfg.validate()?;
+        self.strategy.validate()?;
+        if !matches!(self.strategy, Strategy::GradientDescent(_))
+            && !matches!(self.surrogate, Surrogate::Edp)
+        {
+            return Err(ConfigError::SurrogateNotApplicable(self.strategy.name()));
+        }
         if self.networks.is_empty() {
             return Err(ConfigError::EmptyBatch);
         }
@@ -229,9 +291,10 @@ impl SearchRequest {
         Ok(())
     }
 
-    /// The effective seed of network `index` (its own, or the config's).
+    /// The effective seed of network `index` (its own, or the
+    /// strategy's).
     pub(crate) fn network_seed(&self, index: usize) -> u64 {
-        self.networks[index].seed.unwrap_or(self.cfg.seed)
+        self.networks[index].seed.unwrap_or(self.strategy.seed())
     }
 }
 
@@ -271,15 +334,27 @@ impl SearchRequestBuilder {
         self
     }
 
-    /// Select the surrogate loss (default: [`Surrogate::Edp`]).
+    /// Select the surrogate loss a gradient-descent job descends on
+    /// (default: [`Surrogate::Edp`]). Rejected at validation if the
+    /// request's strategy is not [`Strategy::GradientDescent`] and the
+    /// surrogate is not the default.
     pub fn surrogate(mut self, surrogate: Surrogate) -> SearchRequestBuilder {
         self.request.surrogate = surrogate;
         self
     }
 
-    /// Set the search budget and seed (default: [`GdConfig::default`]).
+    /// Select the search algorithm and its budget (default:
+    /// gradient descent with [`GdConfig::default`]).
+    pub fn strategy(mut self, strategy: Strategy) -> SearchRequestBuilder {
+        self.request.strategy = strategy;
+        self
+    }
+
+    /// Set a gradient-descent budget and seed — shorthand for
+    /// `.strategy(Strategy::GradientDescent(cfg))`, kept so existing
+    /// GD-only callers read naturally.
     pub fn config(mut self, cfg: GdConfig) -> SearchRequestBuilder {
-        self.request.cfg = cfg;
+        self.request.strategy = Strategy::GradientDescent(cfg);
         self
     }
 
@@ -379,7 +454,58 @@ mod tests {
             .network_seeded("b", vec![layer()], 9)
             .build();
         ok.validate().unwrap();
-        assert_eq!(ok.network_seed(0), ok.config().seed);
+        assert_eq!(ok.network_seed(0), ok.strategy().seed());
         assert_eq!(ok.network_seed(1), 9);
+    }
+
+    #[test]
+    fn request_validation_dispatches_to_the_strategy_config() {
+        use crate::{BbboConfig, RandomSearchConfig};
+        let hier = Hierarchy::gemmini();
+        let bad_random = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .strategy(Strategy::Random(RandomSearchConfig {
+                num_hw: 0,
+                ..RandomSearchConfig::default()
+            }))
+            .build();
+        assert_eq!(bad_random.validate(), Err(ConfigError::ZeroHwDesigns));
+
+        let bad_bbbo = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .strategy(Strategy::BayesOpt(BbboConfig {
+                init_random: 0,
+                ..BbboConfig::default()
+            }))
+            .build();
+        assert_eq!(
+            bad_bbbo.validate(),
+            Err(ConfigError::BadInitRandom {
+                init_random: 0,
+                num_hw: 100
+            })
+        );
+
+        let ok = SearchRequest::builder(hier)
+            .network("a", vec![layer()])
+            .strategy(Strategy::Random(RandomSearchConfig::default()))
+            .build();
+        ok.validate().unwrap();
+        assert!(ok.gd_config().is_none());
+    }
+
+    #[test]
+    fn non_default_surrogate_requires_gradient_descent() {
+        use crate::{LatencyPredictor, RandomSearchConfig};
+        let hier = Hierarchy::gemmini();
+        let mixed = SearchRequest::builder(hier)
+            .network("a", vec![layer()])
+            .surrogate(Surrogate::PredictedLatency(LatencyPredictor::analytical()))
+            .strategy(Strategy::Random(RandomSearchConfig::default()))
+            .build();
+        assert_eq!(
+            mixed.validate(),
+            Err(ConfigError::SurrogateNotApplicable("random"))
+        );
     }
 }

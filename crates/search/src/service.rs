@@ -1,44 +1,63 @@
 //! The job-oriented search service: a [`SearchService`] accepts
-//! [`SearchRequest`]s on a FIFO queue and runs each job on its own worker
-//! fleet, returning a [`JobHandle`] with non-blocking
-//! [`status()`](JobHandle::status) / [`progress()`](JobHandle::progress),
-//! cooperative [`cancel()`](JobHandle::cancel), and blocking
+//! [`SearchRequest`]s on a FIFO queue and runs each job — whatever its
+//! [`Strategy`] — on its own worker fleet, returning a [`JobHandle`] with
+//! non-blocking [`status()`](JobHandle::status) /
+//! [`progress()`](JobHandle::progress), cooperative
+//! [`cancel()`](JobHandle::cancel), and blocking
 //! [`wait()`](JobHandle::wait).
 //!
 //! ## Execution model
 //!
 //! One background scheduler thread owns the queue and executes jobs one at
-//! a time, fanning **all networks' start points of a batched request into
-//! a single worker fleet** of the service's thread budget (start points
-//! are independent work items, so a batch saturates the fleet even when
-//! individual networks have few starts). Per-item results land at fixed
-//! `(network, start)` slots and are demultiplexed per network on merge.
+//! a time on a single worker fleet of the service's thread budget. What
+//! fans out depends on the strategy:
+//!
+//! * [`Strategy::GradientDescent`] — **all networks' start points** of a
+//!   batched request become independent work items (a batch saturates the
+//!   fleet even when individual networks have few starts);
+//! * [`Strategy::Random`] — **all networks' hardware designs** become the
+//!   work items, each searched by a private RNG stream;
+//! * [`Strategy::BayesOpt`] — networks run sequentially (the outer GP
+//!   loop is inherently serial), but each step's inner mapping samples
+//!   and EI candidate scores fan out across the fleet.
+//!
+//! Per-item results land at fixed slots and are demultiplexed per network
+//! on merge.
 //!
 //! ## Determinism
 //!
-//! For every network in a request, start points are generated sequentially
-//! from that network's effective seed and each descent is seeded
-//! `seed + start_index` — exactly what a standalone
-//! [`dosa_search`](crate::dosa_search) call does. Combined with the
+//! For every network in a request, the sequential skeleton of its search
+//! (GD start points, random-search design draws, BB-BO's outer GP loop)
+//! is generated from that network's effective seed before any
+//! parallelism, and every parallel work item owns an RNG stream derived
+//! from that seed — exactly what the standalone shims
+//! ([`dosa_search`](crate::dosa_search),
+//! [`random_search`](crate::random_search),
+//! [`bayesian_search`](crate::bayesian_search)) do. Combined with the
 //! slot-indexed fleet, a network's `SearchResult` is **bit-identical** to
 //! a separate submission with the same seed, for every service thread
 //! budget and any batch composition.
 //!
 //! ## Cancellation
 //!
-//! [`JobHandle::cancel`] sets a flag every descent checks once per
-//! gradient step: running starts return their partial results at the next
-//! step boundary, queued work items come back empty, and the merged
-//! best-so-far histories stay monotone non-increasing. A job cancelled
-//! while still queued completes immediately with empty results.
+//! [`JobHandle::cancel`] sets a flag every work item checks once per
+//! gradient step (GD) or joint mapping sample (black-box strategies):
+//! running items return their partial results at the next boundary,
+//! queued work items come back empty, and the merged best-so-far
+//! histories stay monotone non-increasing with strictly increasing
+//! sample counts. A job cancelled while still queued completes
+//! immediately with empty results.
 
+use crate::bbbo::{run_bayesian_search, BbboConfig};
 use crate::engine::{
-    fan_out, merge_start_results, run_single_start, DiffLoss, EdpLoss, PredictedLatencyLoss,
+    merge_start_results, run_single_start, DiffLoss, EdpLoss, Fleet, PredictedLatencyLoss,
     ProgressCounters, StartControl,
 };
 use crate::gd::{GdConfig, LoopOrderStrategy, SearchResult};
+use crate::random_search::{plan_random_designs, run_random_design, RandomSearchConfig};
 use crate::request::{ConfigError, SearchRequest, Surrogate};
 use crate::startpoints::{generate_start_points, StartPoint};
+use crate::strategy::Strategy;
 use dosa_accel::{Hierarchy, MAX_PE_SIDE};
 use dosa_model::LossOptions;
 use dosa_workload::Layer;
@@ -501,10 +520,53 @@ fn build_surrogate<'a>(
     }
 }
 
-/// Run one job: plan every network, fan all `(network, start)` work items
-/// into one fleet of `threads` workers, and demultiplex the per-network
-/// merges.
+/// Run one job: dispatch on the request's [`Strategy`], fan the
+/// strategy's work items into one fleet of `threads` workers, and
+/// demultiplex the per-network results.
 fn execute_job(job: &JobShared, threads: usize) -> BatchResult {
+    let fleet = Fleet::new(threads);
+    let results = match job.request.strategy() {
+        Strategy::GradientDescent(cfg) => execute_gd(job, &fleet, cfg),
+        Strategy::Random(cfg) => execute_random(job, &fleet, cfg),
+        Strategy::BayesOpt(cfg) => execute_bayes(job, &fleet, cfg),
+    };
+    let networks = job
+        .request
+        .networks()
+        .iter()
+        .zip(results)
+        .map(|(net, mut result)| {
+            result.record_final();
+            NetworkResult {
+                network: net.name.clone(),
+                result,
+            }
+        })
+        .collect();
+    BatchResult { networks }
+}
+
+/// The per-network cancellation/progress control surface of `job`.
+fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
+    StartControl {
+        cancel: Some(&job.cancel),
+        progress: Some(&job.progress[net_index]),
+    }
+}
+
+/// Demultiplex slot-indexed `(network, result)` items back into one
+/// deterministically merged result per network.
+fn demux_merge(networks: usize, per_item: Vec<(usize, SearchResult)>) -> Vec<SearchResult> {
+    let mut per_network: Vec<Vec<SearchResult>> = (0..networks).map(|_| Vec::new()).collect();
+    for (net_index, result) in per_item {
+        per_network[net_index].push(result);
+    }
+    per_network.into_iter().map(merge_start_results).collect()
+}
+
+/// Gradient descent: plan every network, then fan all `(network, start)`
+/// work items into the fleet.
+fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResult> {
     let request = &job.request;
     let hier = &request.hier;
 
@@ -514,7 +576,7 @@ fn execute_job(job: &JobShared, threads: usize) -> BatchResult {
     let mut plans: Vec<(Box<dyn DiffLoss + '_>, GdConfig)> = Vec::new();
     let mut items: Vec<(usize, usize, StartPoint)> = Vec::new();
     for (net_index, net) in request.networks().iter().enumerate() {
-        let mut net_cfg = request.cfg;
+        let mut net_cfg = *cfg;
         net_cfg.seed = request.network_seed(net_index);
         let (loss, opts) = build_surrogate(&request.surrogate, &net.layers, hier, &net_cfg);
         let mut rng = StdRng::seed_from_u64(net_cfg.seed);
@@ -536,35 +598,68 @@ fn execute_job(job: &JobShared, threads: usize) -> BatchResult {
     // slots, so the demultiplexed per-network order matches a standalone
     // run regardless of thread count or batch composition.
     let per_item: Vec<(usize, SearchResult)> =
-        fan_out(items, threads, |_slot, (net_index, start_index, start)| {
+        fleet.run(items, |_slot, (net_index, start_index, start)| {
             let (loss, net_cfg) = &plans[net_index];
-            let ctrl = StartControl {
-                cancel: Some(&job.cancel),
-                progress: Some(&job.progress[net_index]),
-            };
-            let result = run_single_start(&**loss, start.relaxed, start_index, net_cfg, ctrl);
+            let result = run_single_start(
+                &**loss,
+                start.relaxed,
+                start_index,
+                net_cfg,
+                network_ctrl(job, net_index),
+            );
             (net_index, result)
         });
+    demux_merge(request.networks().len(), per_item)
+}
 
-    let mut per_network: Vec<Vec<SearchResult>> =
-        request.networks().iter().map(|_| Vec::new()).collect();
-    for (net_index, result) in per_item {
-        per_network[net_index].push(result);
+/// Random search: draw every network's hardware designs sequentially from
+/// its seed, then fan all `(network, design)` work items into the fleet —
+/// each design searched by its own RNG stream.
+fn execute_random(job: &JobShared, fleet: &Fleet, cfg: &RandomSearchConfig) -> Vec<SearchResult> {
+    let request = &job.request;
+    let mut items: Vec<(usize, crate::random_search::RandomDesign)> = Vec::new();
+    for net_index in 0..request.networks().len() {
+        let mut net_cfg = *cfg;
+        net_cfg.seed = request.network_seed(net_index);
+        for design in plan_random_designs(&net_cfg) {
+            items.push((net_index, design));
+        }
     }
-    let networks = request
+    let per_item: Vec<(usize, SearchResult)> = fleet.run(items, |_slot, (net_index, design)| {
+        let net = &request.networks()[net_index];
+        let result = run_random_design(
+            &net.layers,
+            &request.hier,
+            &design,
+            cfg.samples_per_hw,
+            network_ctrl(job, net_index),
+        );
+        (net_index, result)
+    });
+    demux_merge(request.networks().len(), per_item)
+}
+
+/// BB-BO: each network's outer GP loop is inherently sequential, so
+/// networks run one after another — but every step's inner mapping
+/// samples and EI candidate scores fan out across the fleet.
+fn execute_bayes(job: &JobShared, fleet: &Fleet, cfg: &BbboConfig) -> Vec<SearchResult> {
+    let request = &job.request;
+    request
         .networks()
         .iter()
-        .zip(per_network)
-        .map(|(net, results)| {
-            let mut merged = merge_start_results(results);
-            merged.record();
-            NetworkResult {
-                network: net.name.clone(),
-                result: merged,
-            }
+        .enumerate()
+        .map(|(net_index, net)| {
+            let mut net_cfg = *cfg;
+            net_cfg.seed = request.network_seed(net_index);
+            run_bayesian_search(
+                &net.layers,
+                &request.hier,
+                &net_cfg,
+                fleet,
+                network_ctrl(job, net_index),
+            )
         })
-        .collect();
-    BatchResult { networks }
+        .collect()
 }
 
 #[cfg(test)]
@@ -590,10 +685,38 @@ mod tests {
     fn submit_rejects_invalid_config_at_the_boundary() {
         let service = SearchService::builder().threads(1).build();
         let mut request = tiny_request(0);
-        request.cfg.round_every = 0;
+        request.strategy = Strategy::GradientDescent(GdConfig {
+            round_every: 0,
+            ..GdConfig::default()
+        });
         assert_eq!(
             service.submit(request).unwrap_err(),
             ConfigError::ZeroRoundEvery
+        );
+    }
+
+    #[test]
+    fn submit_rejects_invalid_black_box_configs_at_the_boundary() {
+        let service = SearchService::builder().threads(1).build();
+        let mut request = tiny_request(0);
+        request.strategy = Strategy::Random(RandomSearchConfig {
+            samples_per_hw: 0,
+            ..RandomSearchConfig::default()
+        });
+        assert_eq!(
+            service.submit(request.clone()).unwrap_err(),
+            ConfigError::ZeroSamplesPerHw
+        );
+        request.strategy = Strategy::BayesOpt(BbboConfig {
+            init_random: 0,
+            ..BbboConfig::default()
+        });
+        assert_eq!(
+            service.submit(request).unwrap_err(),
+            ConfigError::BadInitRandom {
+                init_random: 0,
+                num_hw: 100
+            }
         );
     }
 

@@ -6,8 +6,9 @@
 
 use dosa_accel::Hierarchy;
 use dosa_search::{
-    dosa_search, dosa_search_rtl, GdConfig, JobStatus, LatencyPredictor, SearchRequest,
-    SearchResult, SearchService, Surrogate,
+    bayesian_search, dosa_search, dosa_search_rtl, random_search, BbboConfig, GdConfig, JobStatus,
+    LatencyPredictor, RandomSearchConfig, SearchRequest, SearchResult, SearchService, Strategy,
+    Surrogate,
 };
 use dosa_workload::{unique_layers, Layer, Network, Problem};
 use std::time::{Duration, Instant};
@@ -272,6 +273,242 @@ fn cancel_stops_promptly_with_monotone_partial_history() {
     // Cancelling a terminal job is a no-op.
     job.cancel();
     assert_eq!(job.status(), JobStatus::Cancelled);
+}
+
+/// The strategy guarantee for random search: a batched
+/// [`Strategy::Random`] job returns per-network results bit-identical to
+/// the standalone `random_search` free function, for every service
+/// thread budget.
+#[test]
+fn random_strategy_batches_bit_identically_across_thread_budgets() {
+    let hier = Hierarchy::gemmini();
+    let cfg = RandomSearchConfig {
+        num_hw: 3,
+        samples_per_hw: 40,
+        seed: 0,
+    };
+    let request = || {
+        SearchRequest::builder(hier.clone())
+            .network_seeded("resnet50", resnet_subset(), 5)
+            .network_seeded("gemm", matmul_net(), 9)
+            .strategy(Strategy::Random(cfg))
+            .build()
+    };
+    let solo_resnet = random_search(
+        &resnet_subset(),
+        &hier,
+        &RandomSearchConfig { seed: 5, ..cfg },
+    );
+    let solo_gemm = random_search(&matmul_net(), &hier, &RandomSearchConfig { seed: 9, ..cfg });
+    for threads in [1, 4, 8] {
+        let service = SearchService::builder().threads(threads).build();
+        let batch = service.submit(request()).unwrap().wait();
+        assert_bit_identical(
+            batch.get("resnet50").unwrap(),
+            &solo_resnet,
+            &format!("random resnet50 @ {threads} threads"),
+        );
+        assert_bit_identical(
+            batch.get("gemm").unwrap(),
+            &solo_gemm,
+            &format!("random gemm @ {threads} threads"),
+        );
+    }
+}
+
+/// The strategy guarantee for BB-BO: a batched [`Strategy::BayesOpt`]
+/// job matches the standalone `bayesian_search` free function bit for
+/// bit, for every service thread budget (the outer GP loop is
+/// sequential; only the inner loops fan out).
+#[test]
+fn bayes_strategy_batches_bit_identically_across_thread_budgets() {
+    let hier = Hierarchy::gemmini();
+    let cfg = BbboConfig {
+        num_hw: 5,
+        init_random: 2,
+        samples_per_hw: 12,
+        candidates: 25,
+        seed: 0,
+    };
+    let request = || {
+        SearchRequest::builder(hier.clone())
+            .network_seeded("resnet50", resnet_subset(), 3)
+            .network_seeded("gemm", matmul_net(), 4)
+            .strategy(Strategy::BayesOpt(cfg))
+            .build()
+    };
+    let solo_resnet = bayesian_search(&resnet_subset(), &hier, &BbboConfig { seed: 3, ..cfg });
+    let solo_gemm = bayesian_search(&matmul_net(), &hier, &BbboConfig { seed: 4, ..cfg });
+    for threads in [1, 8] {
+        let service = SearchService::builder().threads(threads).build();
+        let batch = service.submit(request()).unwrap().wait();
+        assert_bit_identical(
+            batch.get("resnet50").unwrap(),
+            &solo_resnet,
+            &format!("bayes resnet50 @ {threads} threads"),
+        );
+        assert_bit_identical(
+            batch.get("gemm").unwrap(),
+            &solo_gemm,
+            &format!("bayes gemm @ {threads} threads"),
+        );
+    }
+}
+
+/// Every strategy's history must be strictly increasing in samples (the
+/// duplicated trailing point is gone) and monotone non-increasing in
+/// best-EDP, through the service path.
+#[test]
+fn all_strategy_histories_are_strict_and_monotone() {
+    let hier = Hierarchy::gemmini();
+    let service = SearchService::builder().threads(4).build();
+    let strategies = [
+        Strategy::GradientDescent(tiny_cfg(1)),
+        Strategy::Random(RandomSearchConfig {
+            num_hw: 2,
+            samples_per_hw: 40,
+            seed: 1,
+        }),
+        Strategy::BayesOpt(BbboConfig {
+            num_hw: 4,
+            init_random: 2,
+            samples_per_hw: 10,
+            candidates: 20,
+            seed: 1,
+        }),
+    ];
+    for strategy in strategies {
+        let name = strategy.name();
+        let result = service
+            .submit(
+                SearchRequest::builder(hier.clone())
+                    .network("gemm", matmul_net())
+                    .strategy(strategy)
+                    .build(),
+            )
+            .unwrap()
+            .wait()
+            .into_single();
+        assert!(!result.history.is_empty(), "{name}: empty history");
+        for w in result.history.windows(2) {
+            assert!(
+                w[1].samples > w[0].samples,
+                "{name}: samples not strictly increasing ({} then {})",
+                w[0].samples,
+                w[1].samples
+            );
+            assert!(
+                w[1].best_edp <= w[0].best_edp,
+                "{name}: best-EDP went up ({} then {})",
+                w[0].best_edp,
+                w[1].best_edp
+            );
+        }
+        assert_eq!(
+            result.history.last().unwrap().samples,
+            result.samples,
+            "{name}: history must end at the final sample count"
+        );
+    }
+}
+
+/// Cancelling a running random-search job stops sampling promptly and
+/// leaves a monotone partial history.
+#[test]
+fn random_cancel_stops_promptly_with_monotone_partial_history() {
+    let hier = Hierarchy::gemmini();
+    let service = SearchService::builder().threads(2).build();
+    let cfg = RandomSearchConfig {
+        num_hw: 4,
+        samples_per_hw: 500_000, // would take minutes uncancelled
+        seed: 2,
+    };
+    let budget = cfg.num_hw * cfg.samples_per_hw;
+    let job = service
+        .submit(
+            SearchRequest::builder(hier)
+                .network("gemm", matmul_net())
+                .strategy(Strategy::Random(cfg))
+                .build(),
+        )
+        .unwrap();
+
+    let t0 = Instant::now();
+    while job.progress().total_samples() < 1_000 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "job never made progress"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    job.cancel();
+    let result = job.wait().into_single();
+    assert_eq!(job.status(), JobStatus::Cancelled);
+    assert!(
+        result.samples < budget / 4,
+        "cancelled random job consumed {} of {budget} samples — not prompt",
+        result.samples
+    );
+    for w in result.history.windows(2) {
+        assert!(w[1].samples > w[0].samples, "partial history not strict");
+        assert!(
+            w[1].best_edp <= w[0].best_edp,
+            "partial history not monotone"
+        );
+    }
+}
+
+/// Cancelling a running BB-BO job winds down at the next inner-loop
+/// boundary with a monotone partial history.
+#[test]
+fn bayes_cancel_leaves_monotone_partial_history() {
+    let hier = Hierarchy::gemmini();
+    let service = SearchService::builder().threads(2).build();
+    let cfg = BbboConfig {
+        num_hw: 10_000, // would take a very long time uncancelled
+        init_random: 10,
+        samples_per_hw: 50,
+        candidates: 100,
+        seed: 6,
+    };
+    let job = service
+        .submit(
+            SearchRequest::builder(hier)
+                .network("gemm", matmul_net())
+                .strategy(Strategy::BayesOpt(cfg))
+                .build(),
+        )
+        .unwrap();
+    let t0 = Instant::now();
+    while job.progress().total_samples() < 100 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "job never made progress"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    job.cancel();
+    let result = job.wait().into_single();
+    assert_eq!(job.status(), JobStatus::Cancelled);
+    assert!(
+        result.samples < cfg.num_hw * cfg.samples_per_hw / 4,
+        "cancelled BB-BO job consumed {} samples — not prompt",
+        result.samples
+    );
+    // The terminal progress snapshot must agree with the returned result
+    // even though cancellation dropped in-flight inner-loop rows.
+    assert_eq!(
+        job.progress().total_samples(),
+        result.samples,
+        "terminal progress must not exceed the returned sample count"
+    );
+    for w in result.history.windows(2) {
+        assert!(w[1].samples > w[0].samples, "partial history not strict");
+        assert!(
+            w[1].best_edp <= w[0].best_edp,
+            "partial history not monotone"
+        );
+    }
 }
 
 /// Jobs queue FIFO behind a running job and report `Queued` until the

@@ -42,10 +42,21 @@
 //!
 //! Searches are jobs submitted to a [`search::SearchService`]. A job is
 //! described by the [`search::SearchRequest`] builder — one network or a
-//! batch of named networks, a [`search::Surrogate`] (plain EDP, the §6.5
-//! predictor-adjusted latency, or a custom
-//! [`search::CustomSurrogate`]), and a [`search::GdConfig`] budget — and
-//! observed through the returned [`search::JobHandle`]:
+//! batch of named networks plus a [`search::Strategy`] selecting the
+//! algorithm and its budget — and observed through the returned
+//! [`search::JobHandle`]. All of the paper's searchers run through the
+//! same lifecycle:
+//!
+//! * [`search::Strategy::GradientDescent`] — DOSA's differentiable
+//!   one-loop co-search (the default), descending a
+//!   [`search::Surrogate`] (plain EDP, the §6.5 predictor-adjusted
+//!   latency, or a custom [`search::CustomSurrogate`]); start points fan
+//!   out across the worker fleet,
+//! * [`search::Strategy::Random`] — the random-search baseline; hardware
+//!   designs fan out, each with a private RNG stream,
+//! * [`search::Strategy::BayesOpt`] — Spotlight-style BB-BO; the outer
+//!   GP loop stays sequential while its inner sampling and EI scoring
+//!   fan out.
 //!
 //! ```no_run
 //! use dosa::prelude::*;
@@ -54,7 +65,7 @@
 //! let request = SearchRequest::builder(Hierarchy::gemmini())
 //!     .network("resnet50", unique_layers(Network::ResNet50))
 //!     .network("bert", unique_layers(Network::Bert))
-//!     .config(GdConfig::default())
+//!     .strategy(Strategy::GradientDescent(GdConfig::default()))
 //!     .build();
 //! let job = service.submit(request).expect("validated at the boundary");
 //! while !job.status().is_terminal() {
@@ -67,8 +78,31 @@
 //! }
 //! ```
 //!
+//! Swapping `Strategy::GradientDescent(..)` for `Strategy::Random(..)`
+//! or `Strategy::BayesOpt(..)` reruns the same batch under a baseline
+//! searcher — the paper's Figure 7 comparison is three submissions to
+//! one service (see `examples/strategy_comparison.rs` and
+//! `repro strategies`). A runnable miniature:
+//!
+//! ```
+//! use dosa::prelude::*;
+//!
+//! let layers = vec![Layer::once(Problem::matmul("m", 8, 32, 32)?)];
+//! let service = SearchService::builder().threads(2).build();
+//! let job = service.submit(
+//!     SearchRequest::builder(Hierarchy::gemmini())
+//!         .network("gemm", layers)
+//!         .strategy(Strategy::Random(RandomSearchConfig {
+//!             num_hw: 2, samples_per_hw: 10, seed: 0,
+//!         }))
+//!         .build(),
+//! ).expect("validated at the boundary");
+//! assert_eq!(job.wait().into_single().samples, 20);
+//! # Ok::<(), dosa::workload::ProblemError>(())
+//! ```
+//!
 //! The request → handle → progress lifecycle comes with contracts worth
-//! relying on:
+//! relying on, for **every strategy**:
 //!
 //! * **Bit-identical determinism** — each network's result is identical
 //!   for every service thread budget *and* batch composition: a batched
@@ -78,22 +112,25 @@
 //!   lock-free per-network counters (samples, best-so-far EDP) without
 //!   perturbing the workers; successive snapshots are monotone.
 //! * **Cooperative cancellation** — [`search::JobHandle::cancel`] stops
-//!   gradient stepping at the next step boundary and keeps the partial
-//!   (still monotone) results.
-//! * **Typed validation** — [`search::GdConfig::validate`] rejects
-//!   degenerate budgets (`round_every == 0`, zero steps or starts,
-//!   non-finite learning rates) with a [`search::ConfigError`] at
+//!   work at the next gradient-step or mapping-sample boundary and keeps
+//!   the partial (still monotone) results.
+//! * **Typed validation** — [`search::Strategy::validate`] rejects
+//!   degenerate budgets (`round_every == 0`, zero steps, designs or
+//!   samples, `init_random` outside `1..=num_hw`, non-finite learning
+//!   rates) with a [`search::ConfigError`] at
 //!   [`search::SearchService::submit`].
 //! * **Per-service thread budget** — [`search::SearchServiceBuilder::threads`]
 //!   scopes parallelism to the service instance; no global pool.
 //!
-//! The blocking searchers [`search::dosa_search`] and
-//! [`search::dosa_search_rtl`] remain as thin shims that submit one job
+//! The blocking searchers [`search::dosa_search`],
+//! [`search::dosa_search_rtl`], [`search::random_search`] and
+//! [`search::bayesian_search`] remain as thin shims that submit one job
 //! and wait (thread budget from the calling thread's rayon
 //! configuration, so `repro --threads N` still applies). In-process
 //! custom surrogates can also drive the engine directly via
 //! [`search::DiffLoss`] + [`search::run_gd_search`]; see
-//! `examples/batched_service.rs` for the service lifecycle end to end.
+//! `examples/batched_service.rs` and `examples/strategy_comparison.rs`
+//! for the service lifecycle end to end.
 
 #![warn(missing_docs)]
 
@@ -115,7 +152,8 @@ pub mod prelude {
         bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search, run_gd_search,
         BatchResult, BbboConfig, ConfigError, CustomSurrogate, DiffLoss, EdpLoss, GdConfig,
         JobHandle, JobProgress, JobStatus, LatencyModelKind, LatencyPredictor, LoopOrderStrategy,
-        PredictedLatencyLoss, RandomSearchConfig, SearchRequest, SearchService, Surrogate,
+        PredictedLatencyLoss, RandomSearchConfig, SearchRequest, SearchService, Strategy,
+        Surrogate,
     };
     pub use dosa_timeloop::{
         evaluate_layer, evaluate_model, min_hw, min_hw_for_all, Mapping, Stationarity,
