@@ -83,8 +83,9 @@ pub fn run_network(scale: Scale, network: Network, seed: u64, out_dir: &Path) ->
         .threads(rayon::current_num_threads())
         .build();
 
-    // All three jobs queue immediately; the service executes them FIFO,
-    // fanning each job's runs across the worker fleet.
+    // All three jobs are submitted up front and run concurrently, their
+    // work items sharing the service's worker slots; results are
+    // interleaving-invariant, so this only shortens wall-clock time.
     let dosa_job = submit_runs(
         &service,
         &layers,

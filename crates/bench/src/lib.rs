@@ -3,8 +3,9 @@
 //! The experiment harness of the DOSA reproduction: one module per table /
 //! figure of the paper's evaluation (§6), a batched multi-network service
 //! mode ([`batch`]), a three-[`Strategy`](dosa_search::Strategy) service
-//! comparison ([`strategies`]), shared terminal plotting and CSV output,
-//! and quick/paper scaling presets. The `repro` binary exposes each
+//! comparison ([`strategies`]), a concurrent-scheduling demonstration
+//! ([`sched`]), shared terminal plotting and CSV output, and quick/paper
+//! scaling presets. The `repro` binary exposes each
 //! experiment as a subcommand; the Criterion benches under `benches/` run
 //! reduced versions of the same code paths.
 
@@ -22,6 +23,7 @@ pub mod fig9;
 pub mod info;
 pub mod plot;
 pub mod scale;
+pub mod sched;
 pub mod strategies;
 
 pub use scale::Scale;

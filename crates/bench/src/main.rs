@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | all
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
@@ -11,13 +11,17 @@
 //! every choice; only wall-clock time changes. `batch` submits all named
 //! workloads (default: the four targets) as **one** batched
 //! `SearchService` job with live progress polling; `strategies` runs all
-//! three search strategies (GD, random, BB-BO) as three batched jobs on
-//! one service. `--smoke batch` / `--smoke strategies` run seconds-scale
-//! versions that assert batched == standalone bit-parity, for CI.
+//! three search strategies (GD, random, BB-BO) as three concurrent
+//! batched jobs on one service; `sched` demonstrates the concurrent
+//! scheduler (a long BB-BO job sharing worker slots with short
+//! `ShortestFirst` GD jobs and a `Priority` random job, finishing out of
+//! submission order). `--smoke batch` / `--smoke strategies` / `--smoke
+//! sched` run seconds-scale versions that assert batched == standalone
+//! bit-parity (and, for `sched`, that jobs provably overlap), for CI.
 
 use dosa_accel::HardwareConfig;
 use dosa_bench::{
-    ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, strategies, Scale,
+    ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, sched, strategies, Scale,
 };
 use dosa_workload::Network;
 use std::path::PathBuf;
@@ -100,13 +104,17 @@ fn usage() {
            batch   one batched SearchService job over [workload..]\n\
                    (default: all four targets) with live progress\n\
            strategies  all three search strategies (GD, random, BB-BO)\n\
-                   as three batched service jobs over [workload..]\n\
+                   as three concurrent batched service jobs over [workload..]\n\
+           sched   concurrent-scheduling demo: a long BB-BO job plus\n\
+                   short GD/random jobs sharing one service's worker\n\
+                   slots, finishing out of submission order\n\
            all     everything above\n\
          workloads: unet | resnet50 | bert | retinanet\n\
          --threads N caps the service's worker threads (results are\n\
          identical for every N; only wall-clock time changes)\n\
-         --smoke batch / --smoke strategies run seconds-scale jobs\n\
-         asserting batched == standalone parity (the CI smokes)"
+         --smoke batch / --smoke strategies / --smoke sched run\n\
+         seconds-scale jobs asserting batched == standalone parity (and,\n\
+         for sched, that concurrent jobs provably overlap) — the CI smokes"
     );
 }
 
@@ -199,6 +207,18 @@ fn main() -> ExitCode {
                     args.networks.clone()
                 };
                 strategies::run(scale, &networks, seed, out);
+            }
+        }
+        "sched" => {
+            if args.smoke {
+                sched::run_smoke(seed, out);
+            } else {
+                let networks = if args.networks.is_empty() {
+                    Network::TARGETS.to_vec()
+                } else {
+                    args.networks.clone()
+                };
+                sched::run(scale, &networks, seed, out);
             }
         }
         "all" => {

@@ -1,0 +1,343 @@
+//! Concurrent-scheduling demonstration and CI gate: `repro sched` runs
+//! the ROADMAP's mixed-workload scenario — short gradient-descent jobs
+//! interleaved with a long BB-BO job on **one** service — and reports
+//! which jobs overlapped and finished out of submission order. The
+//! `--smoke` variant runs a seconds-scale version that **asserts** the
+//! scheduler's two contracts: a short job provably completes while the
+//! long job is still `Running`, and every network's result stays
+//! bit-identical to its standalone run under the concurrent
+//! interleaving.
+
+use crate::batch::assert_parity;
+use crate::plot::write_csv;
+use crate::scale::Scale;
+use dosa_accel::Hierarchy;
+use dosa_search::{
+    dosa_search, random_search, BbboConfig, GdConfig, JobHandle, JobStatus, RandomSearchConfig,
+    SchedPolicy, SearchRequest, SearchService, Strategy,
+};
+use dosa_workload::{unique_layers, Layer, Network, Problem};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One job's outcome in the scheduling demonstration.
+#[derive(Debug, Clone)]
+pub struct SchedOutcome {
+    /// Job label (strategy + policy).
+    pub label: String,
+    /// Submission order on the service.
+    pub submitted: u64,
+    /// Completion order observed (0 = finished first).
+    pub finished: usize,
+    /// Wall-clock time from submission batch to this job's completion.
+    pub elapsed: Duration,
+    /// Best EDP across the job's networks.
+    pub best_edp: f64,
+}
+
+/// Poll a set of jobs until all are terminal, recording completion order
+/// and printing one combined status line per poll.
+fn drain_concurrently(jobs: &[(String, JobHandle)], poll: Duration) -> Vec<(usize, Duration)> {
+    let t0 = Instant::now();
+    let mut finish: Vec<Option<(usize, Duration)>> = vec![None; jobs.len()];
+    let mut next_rank = 0;
+    while finish.iter().any(|f| f.is_none()) {
+        for (i, (_, job)) in jobs.iter().enumerate() {
+            if finish[i].is_none() && job.status().is_terminal() {
+                finish[i] = Some((next_rank, t0.elapsed()));
+                next_rank += 1;
+            }
+        }
+        let line: Vec<String> = jobs
+            .iter()
+            .map(|(label, job)| {
+                let p = job.progress();
+                format!("{label} {:?} {} samples", p.status, p.total_samples())
+            })
+            .collect();
+        println!("  [{:>6.2?}] {}", t0.elapsed(), line.join(" | "));
+        std::thread::sleep(poll);
+    }
+    finish
+        .into_iter()
+        .map(|f| f.expect("all terminal"))
+        .collect()
+}
+
+/// Run the mixed-workload scheduling demonstration: one long BB-BO job
+/// (FIFO, capped to half the budget) plus one short GD job per network
+/// (`ShortestFirst`) and one `Priority(1)` random-search job, all on one
+/// service — then report completion order versus submission order.
+pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
+    let hier = Hierarchy::gemmini();
+    let threads = rayon::current_num_threads().max(2);
+    let service = SearchService::builder().threads(threads).build();
+    println!(
+        "concurrent scheduling: {} short GD jobs + 1 BB-BO + 1 random on {} worker slots",
+        networks.len(),
+        threads
+    );
+
+    let mut jobs: Vec<(String, JobHandle)> = Vec::new();
+    // The long job first, so FIFO alone would starve everything behind it.
+    let long = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network(networks[0].name().to_string(), unique_layers(networks[0]))
+                .strategy(Strategy::BayesOpt(scale.bbbo(seed)))
+                .max_parallelism((threads / 2).max(1))
+                .build(),
+        )
+        .expect("scale presets always validate");
+    jobs.push(("bb-bo/fifo".to_string(), long));
+    for (i, net) in networks.iter().enumerate() {
+        let job = service
+            .submit(
+                SearchRequest::builder(hier.clone())
+                    .network(net.name().to_string(), unique_layers(*net))
+                    .config(scale.gd_main(seed + 1 + i as u64))
+                    .policy(SchedPolicy::ShortestFirst)
+                    .build(),
+            )
+            .expect("scale presets always validate");
+        jobs.push((format!("gd:{}/shortest", net.name()), job));
+    }
+    let random = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network(networks[0].name().to_string(), unique_layers(networks[0]))
+                .strategy(Strategy::Random(scale.random_search(seed + 50)))
+                .policy(SchedPolicy::Priority(1))
+                .build(),
+        )
+        .expect("scale presets always validate");
+    jobs.push(("random/priority-1".to_string(), random));
+
+    let finish = drain_concurrently(&jobs, Duration::from_millis(100));
+    let outcomes: Vec<SchedOutcome> = jobs
+        .iter()
+        .zip(&finish)
+        .map(|((label, job), (rank, elapsed))| SchedOutcome {
+            label: label.clone(),
+            submitted: job.id(),
+            finished: *rank,
+            elapsed: *elapsed,
+            best_edp: job.progress().best_edp(),
+        })
+        .collect();
+
+    println!("\ncompletion order (vs submission order):");
+    let mut by_finish = outcomes.clone();
+    by_finish.sort_by_key(|o| o.finished);
+    for o in &by_finish {
+        println!(
+            "  #{} {:<24} submitted #{} finished after {:>8.2?} best EDP {:.3e}",
+            o.finished, o.label, o.submitted, o.elapsed, o.best_edp
+        );
+    }
+    write_outcomes(out_dir, "sched.csv", &outcomes);
+    outcomes
+}
+
+/// Serialize scheduling outcomes to a CSV (shared by [`run`] and
+/// [`run_smoke`] so the two files cannot drift apart).
+fn write_outcomes(out_dir: &Path, name: &str, outcomes: &[SchedOutcome]) {
+    write_csv(
+        out_dir,
+        name,
+        &["label", "submitted", "finished", "elapsed_ms", "best_edp"],
+        &outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.label.clone(),
+                    o.submitted.to_string(),
+                    o.finished.to_string(),
+                    o.elapsed.as_millis().to_string(),
+                    format!("{:.6e}", o.best_edp),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Seconds-scale CI smoke of the concurrent scheduler. Asserts, in order:
+///
+/// 1. **Overlap** — a short `ShortestFirst` GD job submitted *after* a
+///    long BB-BO job completes while the long job is still `Running`
+///    (the long job caps itself to one of two slots, so a slot is
+///    provably free).
+/// 2. **Parity under interleaving** — the short job's result, and a
+///    mixed concurrent load of GD + random jobs on a wider service, are
+///    bit-identical to their standalone runs.
+///
+/// # Panics
+///
+/// Panics if the jobs fail to overlap or any result diverges from its
+/// standalone run — that is the point: CI fails if the scheduler
+/// regresses to one-job-at-a-time or breaks determinism.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
+    let hier = Hierarchy::gemmini();
+    let resnet_subset: Vec<Layer> = unique_layers(Network::ResNet50)
+        .into_iter()
+        .take(2)
+        .collect();
+    let gemm = vec![Layer::once(
+        Problem::matmul("gemm", 64, 256, 256).expect("valid matmul"),
+    )];
+
+    // 1. Overlap: a long BB-BO job capped to 1 of 2 slots, then a short
+    //    GD job that must complete on the free slot while BB-BO runs.
+    let service = SearchService::builder().threads(2).build();
+    let long_cfg = BbboConfig {
+        num_hw: 10_000, // would take minutes uncancelled
+        init_random: 10,
+        samples_per_hw: 50,
+        candidates: 100,
+        seed,
+    };
+    let long = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("long", gemm.clone())
+                .strategy(Strategy::BayesOpt(long_cfg))
+                .max_parallelism(1)
+                .build(),
+        )
+        .expect("smoke config validates");
+    let short_cfg = GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed: seed + 1,
+        ..GdConfig::default()
+    };
+    let short = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("short", gemm.clone())
+                .config(short_cfg)
+                .policy(SchedPolicy::ShortestFirst)
+                .build(),
+        )
+        .expect("smoke config validates");
+    let t0 = Instant::now();
+    let short_result = short.wait().into_single();
+    let short_elapsed = t0.elapsed();
+    assert_eq!(
+        long.status(),
+        JobStatus::Running,
+        "smoke: the long BB-BO job must still be Running when the short GD \
+         job finishes — the scheduler failed to overlap jobs"
+    );
+    println!(
+        "smoke: short GD job finished in {short_elapsed:?} while the long \
+         BB-BO job was still running ({} samples in)",
+        long.progress().total_samples()
+    );
+    long.cancel();
+    let long_partial = long.wait().into_single();
+    assert_parity(
+        &short_result,
+        &dosa_search(&gemm, &hier, &short_cfg),
+        "sched smoke: short GD job under concurrent load",
+    );
+
+    // 2. Parity under a wider mixed interleaving: a batched GD job and a
+    //    random-search job running concurrently (plus policies exercised
+    //    above) must match their standalone runs bit for bit.
+    let wide = SearchService::builder()
+        .threads(rayon::current_num_threads().max(2))
+        .build();
+    let gd_cfg = GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed,
+        ..GdConfig::default()
+    };
+    let random_cfg = RandomSearchConfig {
+        num_hw: 3,
+        samples_per_hw: 40,
+        seed: seed + 2,
+    };
+    let gd_job = wide
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network_seeded("resnet50-subset", resnet_subset.clone(), seed)
+                .network_seeded("gemm", gemm.clone(), seed + 1)
+                .config(gd_cfg)
+                .policy(SchedPolicy::ShortestFirst)
+                .build(),
+        )
+        .expect("smoke config validates");
+    let random_job = wide
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .strategy(Strategy::Random(random_cfg))
+                .policy(SchedPolicy::Priority(1))
+                .build(),
+        )
+        .expect("smoke config validates");
+    let gd_batch = gd_job.wait();
+    let random_result = random_job.wait().into_single();
+    for (name, layers, net_seed) in [
+        ("resnet50-subset", &resnet_subset, seed),
+        ("gemm", &gemm, seed + 1),
+    ] {
+        let standalone = dosa_search(
+            layers,
+            &hier,
+            &GdConfig {
+                seed: net_seed,
+                ..gd_cfg
+            },
+        );
+        assert_parity(
+            gd_batch.get(name).expect("network present"),
+            &standalone,
+            &format!("sched smoke: concurrent GD/{name}"),
+        );
+    }
+    assert_parity(
+        &random_result,
+        &random_search(&gemm, &hier, &random_cfg),
+        "sched smoke: concurrent random search",
+    );
+
+    let outcomes = vec![
+        SchedOutcome {
+            label: "bb-bo/fifo (cancelled)".to_string(),
+            submitted: 0,
+            finished: 1,
+            elapsed: t0.elapsed(),
+            best_edp: long_partial.best_edp,
+        },
+        SchedOutcome {
+            label: "gd/shortest".to_string(),
+            submitted: 1,
+            finished: 0,
+            elapsed: short_elapsed,
+            best_edp: short_result.best_edp,
+        },
+    ];
+    write_outcomes(out_dir, "sched_smoke.csv", &outcomes);
+    println!("smoke: OK (jobs overlapped; all results bit-identical to standalone)");
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_checks_its_own_overlap_and_parity_assertions() {
+        let dir = std::env::temp_dir().join("dosa_sched_smoke_test");
+        let outcomes = run_smoke(5, &dir);
+        assert_eq!(outcomes.len(), 2);
+        // The short job must have finished first despite later submission.
+        assert_eq!(outcomes[1].finished, 0);
+        assert!(outcomes[1].best_edp.is_finite());
+    }
+}

@@ -74,7 +74,8 @@ pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec
         threads
     );
 
-    // All three jobs queue immediately and execute FIFO on the fleet.
+    // All three jobs run concurrently on the shared worker slots (the
+    // results are interleaving-invariant; only wall-clock time changes).
     let gd = submit(
         &service,
         networks,

@@ -31,6 +31,7 @@ use crate::gd::{
     choose_best_orderings, evaluate_rounded, GdConfig, LoopOrderStrategy, SearchPoint, SearchResult,
 };
 use crate::latency_model::LatencyPredictor;
+use crate::sched::JobGate;
 use crate::startpoints::StartPoint;
 use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_autodiff::{sum, Tape, Var};
@@ -335,22 +336,51 @@ impl StartControl<'_> {
     }
 }
 
-/// A scoped pool of workers every strategy fans its work items out over:
-/// GD start points, random-search hardware designs, BB-BO's inner mapping
-/// samples and EI candidate scores. One fleet is built per job (or per
-/// blocking run), so worker budgets stay scoped to their service and
-/// never touch the global rayon configuration.
+/// A pool of workers every strategy fans its work items out over: GD
+/// start points, random-search hardware designs, BB-BO's inner mapping
+/// samples and EI candidate scores. It runs in one of two modes:
+///
+/// * **Pool** — a private rayon pool of a fixed worker count, used by the
+///   blocking [`run_gd_search`] path; parallelism is scoped to the fleet
+///   and never touches the global rayon configuration.
+/// * **Gated** — the service mode: workers are spawned per fan-out (at
+///   most the job's parallelism cap) and every work item acquires one of
+///   the service's shared worker slots through the job's
+///   [`JobGate`](crate::sched) before executing, releasing it at the next
+///   item boundary. This is what lets work items from *different jobs*
+///   interleave on one thread budget, with the scheduling policy deciding
+///   who gets each freed slot.
+///
+/// Both modes land results at fixed item slots, so output order — and
+/// every deterministic reduction built on it — is independent of worker
+/// count, slot arbitration, and whatever other jobs are running.
 pub(crate) struct Fleet {
-    pool: rayon::ThreadPool,
+    mode: FleetMode,
+}
+
+enum FleetMode {
+    Pool(rayon::ThreadPool),
+    Gated(JobGate),
 }
 
 impl Fleet {
+    /// A fleet backed by its own pool of `threads` workers (blocking mode).
     pub(crate) fn new(threads: usize) -> Fleet {
         Fleet {
-            pool: rayon::ThreadPoolBuilder::new()
-                .num_threads(threads.max(1))
-                .build()
-                .expect("scoped pool"),
+            mode: FleetMode::Pool(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads.max(1))
+                    .build()
+                    .expect("scoped pool"),
+            ),
+        }
+    }
+
+    /// A fleet that executes work items under `gate`'s slot accounting
+    /// (service mode).
+    pub(crate) fn gated(gate: JobGate) -> Fleet {
+        Fleet {
+            mode: FleetMode::Gated(gate),
         }
     }
 
@@ -364,14 +394,82 @@ impl Fleet {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        self.pool.install(|| {
-            items
-                .into_par_iter()
-                .enumerate()
-                .map(|(i, t)| f(i, t))
-                .collect()
-        })
+        match &self.mode {
+            FleetMode::Pool(pool) => pool.install(|| {
+                items
+                    .into_par_iter()
+                    .enumerate()
+                    .map(|(i, t)| f(i, t))
+                    .collect()
+            }),
+            FleetMode::Gated(gate) => gated_run(gate, items, f),
+        }
     }
+}
+
+/// The gated fan-out: up to the job's parallelism cap of scoped workers
+/// pull item indices off a shared counter, and each item runs inside a
+/// slot permit from the service's shared [`SlotTable`](crate::sched) —
+/// the boundary at which the scheduler interleaves jobs. If the job is
+/// cancelled while waiting for a slot, the permit comes back empty and
+/// `f` runs unslotted: every work function short-circuits on the cancel
+/// flag, so the item yields its (empty or partial) result immediately and
+/// the fan-out drains without competing for capacity.
+fn gated_run<T, R, F>(gate: &JobGate, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = gate.max_par().min(n).max(1);
+    if workers == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let _permit = gate.acquire();
+                f(i, item)
+            })
+            .collect();
+    }
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each index is claimed once");
+                let permit = gate.acquire();
+                let out = f(i, item);
+                drop(permit);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
 }
 
 /// One-shot [`Fleet::run`] on a throwaway fleet of `threads` workers.

@@ -29,18 +29,31 @@
 //! ([`SearchServiceBuilder::threads`]), not a global rayon pool, so
 //! differently-sized services coexist in one process.
 //!
+//! Jobs on one service run **concurrently**: every job's work items
+//! share the service's capacity-bounded worker slots, and each request's
+//! [`SchedPolicy`] (`Fifo` by default, `ShortestFirst`, or
+//! `Priority(u8)`) decides which queued work grabs freed slots — so a
+//! short gradient-descent job completes while a long BB-BO job is still
+//! mid-flight instead of queueing behind it. A job can also cap its own
+//! slot usage with
+//! [`SearchRequestBuilder::max_parallelism`]; a single-slot service
+//! degenerates to strictly FIFO one-job-at-a-time execution.
+//!
 //! A batched request fans all networks' work items into one worker fleet
 //! and demultiplexes per-network results on merge; every network's
 //! result is **bit-identical** to a standalone submission with the same
-//! seed, for any thread budget and batch composition and for every
-//! strategy (see the [`service`] module docs for the exact contract).
+//! seed, for any thread budget, batch composition, scheduling policy and
+//! concurrent-job interleaving (see the [`service`] module docs for the
+//! exact contract, and the repository's top-level `ARCHITECTURE.md` for
+//! the crate map and the full request → validate → schedule → fan-out →
+//! merge lifecycle).
 //!
 //! ## Search strategies
 //!
 //! [`Strategy`] selects the algorithm a job runs; all three share the
 //! request lifecycle above, so the paper's baseline comparison (Fig. 7)
-//! is three submissions to one service instead of three hand-rolled
-//! loops.
+//! is three concurrent submissions to one service instead of three
+//! hand-rolled loops.
 //!
 //! ### Gradient descent (the default)
 //!
@@ -161,6 +174,7 @@ mod gp;
 mod latency_model;
 mod random_search;
 mod request;
+mod sched;
 pub mod service;
 mod startpoints;
 mod strategy;
@@ -184,6 +198,7 @@ pub use random_search::{
 pub use request::{
     ConfigError, CustomSurrogate, NetworkSpec, SearchRequest, SearchRequestBuilder, Surrogate,
 };
+pub use sched::SchedPolicy;
 pub use service::{
     BatchResult, JobHandle, JobProgress, JobStatus, NetworkProgress, NetworkResult, SearchService,
     SearchServiceBuilder,

@@ -14,6 +14,7 @@
 use crate::engine::DiffLoss;
 use crate::gd::GdConfig;
 use crate::latency_model::LatencyPredictor;
+use crate::sched::SchedPolicy;
 use crate::strategy::Strategy;
 use dosa_accel::Hierarchy;
 use dosa_model::LossOptions;
@@ -70,6 +71,9 @@ pub enum ConfigError {
     /// Two networks in one request share a name, making their results
     /// indistinguishable on demultiplex.
     DuplicateNetwork(String),
+    /// `max_parallelism` was set to zero: the job could never hold a
+    /// worker slot and would sit admitted-but-idle forever.
+    ZeroParallelism,
 }
 
 impl fmt::Display for ConfigError {
@@ -112,6 +116,13 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "network name {name:?} appears more than once in the batch"
+                )
+            }
+            ConfigError::ZeroParallelism => {
+                write!(
+                    f,
+                    "max_parallelism must be at least 1 when set (the job could \
+                     never hold a worker slot)"
                 )
             }
         }
@@ -217,7 +228,8 @@ pub struct NetworkSpec {
 }
 
 /// A search job: one network or a batch of named networks, a
-/// [`Strategy`] (the algorithm plus its budget and seed), and — for
+/// [`Strategy`] (the algorithm plus its budget and seed), scheduling
+/// knobs (a [`SchedPolicy`] and an optional parallelism cap), and — for
 /// gradient descent — a surrogate, all owned so the job can run on
 /// background workers. Build one with [`SearchRequest::builder`] and
 /// submit it with [`SearchService::submit`](crate::SearchService::submit).
@@ -227,6 +239,8 @@ pub struct SearchRequest {
     pub(crate) networks: Vec<NetworkSpec>,
     pub(crate) surrogate: Surrogate,
     pub(crate) strategy: Strategy,
+    pub(crate) policy: SchedPolicy,
+    pub(crate) max_parallelism: Option<usize>,
 }
 
 impl SearchRequest {
@@ -238,6 +252,8 @@ impl SearchRequest {
                 networks: Vec::new(),
                 surrogate: Surrogate::Edp,
                 strategy: Strategy::default(),
+                policy: SchedPolicy::default(),
+                max_parallelism: None,
             },
         }
     }
@@ -266,12 +282,41 @@ impl SearchRequest {
         &self.surrogate
     }
 
+    /// How this job competes for worker slots against the other jobs on
+    /// its service ([`SchedPolicy::Fifo`] unless set via
+    /// [`SearchRequestBuilder::policy`]).
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// The job's worker-slot cap, if it declared one
+    /// ([`SearchRequestBuilder::max_parallelism`]); `None` lets the job
+    /// use the service's whole budget when nothing else is running.
+    pub fn max_parallelism(&self) -> Option<usize> {
+        self.max_parallelism
+    }
+
+    /// Coarse estimate of the total model evaluations this request will
+    /// consume: the strategy's per-network estimate
+    /// ([`Strategy::estimated_samples`]) times the batch size. Used as
+    /// the [`SchedPolicy::ShortestFirst`] ranking key — it orders jobs,
+    /// it does not bound them.
+    pub fn estimated_samples(&self) -> u64 {
+        self.strategy
+            .estimated_samples()
+            .saturating_mul(self.networks.len().max(1) as u64)
+    }
+
     /// Full service-boundary validation: the strategy configuration
     /// ([`Strategy::validate`]), surrogate applicability (non-default
-    /// surrogates require [`Strategy::GradientDescent`]), plus the batch
-    /// shape (non-empty, non-empty layers, unique names).
+    /// surrogates require [`Strategy::GradientDescent`]), the scheduling
+    /// knobs (a declared parallelism cap must be at least 1), plus the
+    /// batch shape (non-empty, non-empty layers, unique names).
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.strategy.validate()?;
+        if self.max_parallelism == Some(0) {
+            return Err(ConfigError::ZeroParallelism);
+        }
         if !matches!(self.strategy, Strategy::GradientDescent(_))
             && !matches!(self.surrogate, Surrogate::Edp)
         {
@@ -355,6 +400,25 @@ impl SearchRequestBuilder {
     /// GD-only callers read naturally.
     pub fn config(mut self, cfg: GdConfig) -> SearchRequestBuilder {
         self.request.strategy = Strategy::GradientDescent(cfg);
+        self
+    }
+
+    /// Select how this job competes for worker slots against the other
+    /// jobs on its service (default: [`SchedPolicy::Fifo`]). The policy
+    /// reorders wall-clock time only — results are bit-identical under
+    /// every policy and interleaving.
+    pub fn policy(mut self, policy: SchedPolicy) -> SearchRequestBuilder {
+        self.request.policy = policy;
+        self
+    }
+
+    /// Cap how many worker slots this job may hold at once (default: the
+    /// service's whole thread budget). A long job capped at `n` provably
+    /// leaves `threads - n` slots for the jobs submitted after it.
+    /// Rejected at validation if zero; silently clamped down to the
+    /// service budget at submission.
+    pub fn max_parallelism(mut self, n: usize) -> SearchRequestBuilder {
+        self.request.max_parallelism = Some(n);
         self
     }
 
@@ -507,5 +571,38 @@ mod tests {
             mixed.validate(),
             Err(ConfigError::SurrogateNotApplicable("random"))
         );
+    }
+
+    #[test]
+    fn scheduling_knobs_default_validate_and_estimate() {
+        let hier = Hierarchy::gemmini();
+        let request = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .network("b", vec![layer()])
+            .config(GdConfig {
+                start_points: 3,
+                steps_per_start: 100,
+                ..GdConfig::default()
+            })
+            .build();
+        assert_eq!(request.policy(), SchedPolicy::Fifo);
+        assert_eq!(request.max_parallelism(), None);
+        assert_eq!(request.estimated_samples(), 2 * 3 * 100);
+        request.validate().unwrap();
+
+        let tuned = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .policy(SchedPolicy::Priority(3))
+            .max_parallelism(2)
+            .build();
+        assert_eq!(tuned.policy(), SchedPolicy::Priority(3));
+        assert_eq!(tuned.max_parallelism(), Some(2));
+        tuned.validate().unwrap();
+
+        let zero = SearchRequest::builder(hier)
+            .network("a", vec![layer()])
+            .max_parallelism(0)
+            .build();
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroParallelism));
     }
 }

@@ -1,0 +1,494 @@
+//! The capacity-aware concurrent scheduler core of the
+//! [`SearchService`](crate::SearchService): a service-wide [`SlotTable`]
+//! of worker slots shared by every admitted job, the per-request
+//! [`SchedPolicy`] deciding which job's queued work items grab freed
+//! slots, and the per-job [`JobGate`] through which a job's fan-out
+//! acquires and releases slots.
+//!
+//! ## Slot accounting
+//!
+//! A service with a thread budget of `N` owns exactly `N` worker slots.
+//! Every *work item* a job fans out — a GD start-point descent, a
+//! random-search hardware design, one of BB-BO's inner mapping samples or
+//! EI candidate scores — must hold one slot while it executes and gives
+//! it back at the next item boundary, so at most `N` items run at any
+//! instant **across all jobs**. Sequential job phases (start-point
+//! planning, the outer GP fit, result merging) run on the job's own
+//! runner thread outside slot accounting; the budget governs the
+//! fan-out work, which is where virtually all of the CPU time goes.
+//!
+//! A job may additionally cap itself below the service budget with
+//! [`SearchRequestBuilder::max_parallelism`](crate::SearchRequestBuilder::max_parallelism)
+//! — a long job capped at `k` slots provably leaves `N - k` slots for
+//! everyone else.
+//!
+//! ## Arbitration
+//!
+//! When a slot frees (or a new job arrives), every job with waiting work
+//! items and spare per-job capacity is a candidate, and the best-ranked
+//! candidate wins the slot (see [`JobRank`]). Slots are never preempted:
+//! a running work item always finishes before its slot moves, so ranking
+//! only decides who goes next, never who gets interrupted. The same rank
+//! also orders *job admission* (which queued job's runner starts when one
+//! finishes), which is what makes a single-slot service degenerate to
+//! strict FIFO under the default policy.
+//!
+//! Scheduling never changes results: each work item is a pure function of
+//! its inputs and its own RNG stream, and per-job results land at fixed
+//! item slots, so a job's output is bit-identical under any interleaving
+//! (see `ARCHITECTURE.md` at the repository root for the full invariant).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a job competes for worker slots against the other jobs on its
+/// [`SearchService`](crate::SearchService), set per request via
+/// [`SearchRequestBuilder::policy`](crate::SearchRequestBuilder::policy).
+///
+/// Jobs are ranked by `(priority class, policy key, submission id)` and
+/// the best-ranked job with waiting work items wins each freed slot:
+///
+/// 1. **Priority class** — [`SchedPolicy::Priority`]`(p)` jobs form class
+///    `p`; `Fifo` and `ShortestFirst` jobs sit in class 0. A higher class
+///    is offered slots (and admission) strictly before a lower one.
+/// 2. **Within a class** — any `Priority` job goes first (by submission
+///    order), then `ShortestFirst` jobs ordered by their estimated total
+///    work ([`SearchRequest::estimated_samples`](crate::SearchRequest::estimated_samples),
+///    smallest first), then `Fifo` jobs in submission order.
+///
+/// Running work items are never preempted — ranking decides who gets the
+/// *next* slot, so a stream of high-rank jobs can starve a low-rank one
+/// until the stream drains. Results never depend on the policy: every
+/// job's output is bit-identical to its standalone run under any
+/// interleaving.
+///
+/// The example below submits a long job capped at one slot, then a short
+/// `ShortestFirst` job that overtakes it on the remaining slot and
+/// finishes first — out of submission order:
+///
+/// ```
+/// use dosa_search::{GdConfig, SchedPolicy, SearchRequest, SearchService};
+/// use dosa_accel::Hierarchy;
+/// use dosa_workload::{Layer, Problem};
+///
+/// let layers = || vec![Layer::once(Problem::matmul("m", 8, 32, 32).unwrap())];
+/// let service = SearchService::builder().threads(2).build();
+///
+/// // A long-budget job, capped to one of the two worker slots.
+/// let long = service.submit(
+///     SearchRequest::builder(Hierarchy::gemmini())
+///         .network("long", layers())
+///         .config(GdConfig {
+///             start_points: 1, steps_per_start: 200_000, round_every: 1_000,
+///             ..GdConfig::default()
+///         })
+///         .max_parallelism(1)
+///         .build(),
+/// )?;
+///
+/// // A short job submitted later; the free slot lets it run concurrently.
+/// let short = service.submit(
+///     SearchRequest::builder(Hierarchy::gemmini())
+///         .network("short", layers())
+///         .config(GdConfig {
+///             start_points: 1, steps_per_start: 20, round_every: 10,
+///             ..GdConfig::default()
+///         })
+///         .policy(SchedPolicy::ShortestFirst)
+///         .build(),
+/// )?;
+///
+/// // The short job completes while the long one is still running.
+/// let result = short.wait().into_single();
+/// assert!(result.best_edp.is_finite());
+/// assert!(!long.status().is_terminal());
+///
+/// // Wind the long job down promptly; its partial result stays valid.
+/// long.cancel();
+/// assert!(long.wait().into_single().samples < 200_000);
+/// # Ok::<(), dosa_search::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SchedPolicy {
+    /// Submission order (the default): freed slots go to the earliest
+    /// submitted job in the best priority class with waiting work.
+    #[default]
+    Fifo,
+    /// Rank this job by its estimated total work
+    /// ([`SearchRequest::estimated_samples`](crate::SearchRequest::estimated_samples))
+    /// instead of its submission time: among `ShortestFirst` jobs the
+    /// smallest runs first, and all of them are offered slots before
+    /// `Fifo` jobs of the same priority class — short jobs jump the line.
+    ShortestFirst,
+    /// Explicit priority class; higher values are offered slots (and
+    /// admission) strictly before lower classes. `Fifo` and
+    /// `ShortestFirst` jobs sit in class 0, ranked *behind* a
+    /// `Priority(0)` job of the same class.
+    Priority(u8),
+}
+
+/// A job's total scheduling rank — **lower runs first**. Derived once at
+/// submission from the request's [`SchedPolicy`], its estimated work and
+/// its service-unique id, and used for both job admission and slot
+/// arbitration:
+///
+/// * `class` — inverted priority (`255 - p` for `Priority(p)`, `255` for
+///   the default policies), so higher-priority classes order first;
+/// * `group` — `0` for `Priority`/`ShortestFirst`, `1` for `Fifo`, so
+///   explicitly ranked jobs in a class go before its FIFO traffic;
+/// * `key` — the estimated total samples for `ShortestFirst` (smallest
+///   first), `0` otherwise;
+/// * `id` — submission order, the final tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct JobRank {
+    class: u8,
+    group: u8,
+    key: u64,
+    id: u64,
+}
+
+impl JobRank {
+    pub(crate) fn new(policy: SchedPolicy, estimated_samples: u64, id: u64) -> JobRank {
+        match policy {
+            SchedPolicy::Fifo => JobRank {
+                class: u8::MAX,
+                group: 1,
+                key: 0,
+                id,
+            },
+            SchedPolicy::ShortestFirst => JobRank {
+                class: u8::MAX,
+                group: 0,
+                key: estimated_samples,
+                id,
+            },
+            SchedPolicy::Priority(p) => JobRank {
+                class: u8::MAX - p,
+                group: 0,
+                key: 0,
+                id,
+            },
+        }
+    }
+}
+
+/// One admitted job's slot ledger inside the [`SlotTable`]: how many
+/// slots it holds, how many of its work items are waiting for one, and
+/// the per-job cap neither may push `held` beyond.
+struct SlotEntry {
+    id: u64,
+    rank: JobRank,
+    max_par: usize,
+    waiting: usize,
+    held: usize,
+}
+
+impl SlotEntry {
+    /// Whether this job is a candidate for the next free slot.
+    fn wants_slot(&self) -> bool {
+        self.waiting > 0 && self.held < self.max_par
+    }
+}
+
+/// The service-wide slot ledger: `free` slots out of the service's thread
+/// budget plus one [`SlotEntry`] per admitted job. All transitions happen
+/// under one mutex; every transition that could make another waiter
+/// eligible broadcasts on the condvar, and waiters re-check eligibility
+/// (their job being the best-ranked candidate) before taking a slot.
+pub(crate) struct SlotTable {
+    state: Mutex<SlotState>,
+    changed: Condvar,
+}
+
+struct SlotState {
+    free: usize,
+    jobs: Vec<SlotEntry>,
+}
+
+impl SlotState {
+    fn entry_mut(&mut self, id: u64) -> &mut SlotEntry {
+        self.jobs
+            .iter_mut()
+            .find(|e| e.id == id)
+            .expect("job acquires slots only while registered")
+    }
+
+    /// The best-ranked job that wants a slot right now, if any.
+    fn best_candidate(&self) -> Option<u64> {
+        self.jobs
+            .iter()
+            .filter(|e| e.wants_slot())
+            .min_by_key(|e| e.rank)
+            .map(|e| e.id)
+    }
+}
+
+impl SlotTable {
+    pub(crate) fn new(slots: usize) -> SlotTable {
+        SlotTable {
+            state: Mutex::new(SlotState {
+                free: slots.max(1),
+                jobs: Vec::new(),
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Wake every waiter to re-check its eligibility (used by job
+    /// cancellation, which flips a flag the waiters poll under the lock).
+    pub(crate) fn wake(&self) {
+        // Take (and immediately drop) the state lock before notifying:
+        // a waiter between its cancel-flag check and `changed.wait()`
+        // still holds the lock, so notifying without it could fire while
+        // no one is parked and the wakeup would be lost — stalling
+        // cancellation until an unrelated slot transition.
+        drop(self.state.lock().expect("slot table poisoned"));
+        self.changed.notify_all();
+    }
+
+    fn register(&self, id: u64, rank: JobRank, max_par: usize) {
+        let mut state = self.state.lock().expect("slot table poisoned");
+        debug_assert!(
+            state.jobs.iter().all(|e| e.id != id),
+            "job registered twice"
+        );
+        state.jobs.push(SlotEntry {
+            id,
+            rank,
+            max_par: max_par.max(1),
+            waiting: 0,
+            held: 0,
+        });
+        self.changed.notify_all();
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut state = self.state.lock().expect("slot table poisoned");
+        if let Some(ix) = state.jobs.iter().position(|e| e.id == id) {
+            let entry = state.jobs.swap_remove(ix);
+            debug_assert_eq!(entry.held, 0, "job deregistered while holding slots");
+        }
+        self.changed.notify_all();
+    }
+
+    /// Block until job `id` is granted a slot, or until `cancel` flips —
+    /// cancellation frees the scheduler promptly: a cancelled job's
+    /// waiting items stop competing immediately instead of draining the
+    /// queue. Returns whether a slot was actually granted (and must be
+    /// released).
+    fn acquire(&self, id: u64, cancel: &AtomicBool) -> bool {
+        let mut state = self.state.lock().expect("slot table poisoned");
+        state.entry_mut(id).waiting += 1;
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                state.entry_mut(id).waiting -= 1;
+                self.changed.notify_all();
+                return false;
+            }
+            if state.free > 0 && state.best_candidate() == Some(id) {
+                let entry = state.entry_mut(id);
+                entry.waiting -= 1;
+                entry.held += 1;
+                state.free -= 1;
+                // Another job may be eligible for a remaining free slot.
+                self.changed.notify_all();
+                return true;
+            }
+            state = self.changed.wait(state).expect("slot table poisoned");
+        }
+    }
+
+    fn release(&self, id: u64) {
+        let mut state = self.state.lock().expect("slot table poisoned");
+        let entry = state.entry_mut(id);
+        debug_assert!(entry.held > 0, "release without a held slot");
+        entry.held -= 1;
+        state.free += 1;
+        self.changed.notify_all();
+    }
+
+    #[cfg(test)]
+    fn waiting(&self, id: u64) -> usize {
+        self.state
+            .lock()
+            .expect("slot table poisoned")
+            .jobs
+            .iter()
+            .find(|e| e.id == id)
+            .map_or(0, |e| e.waiting)
+    }
+}
+
+/// A running job's handle onto the service's [`SlotTable`]: registered
+/// when the job's runner starts, deregistered on drop. The gated worker
+/// fleet ([`Fleet`](crate::engine::Fleet)) calls [`JobGate::acquire`]
+/// around every work item, which is what interleaves work items from
+/// different jobs on one slot budget.
+pub(crate) struct JobGate {
+    table: Arc<SlotTable>,
+    id: u64,
+    max_par: usize,
+    cancel: Arc<AtomicBool>,
+}
+
+impl JobGate {
+    /// Register job `id` with the table and return its gate.
+    pub(crate) fn register(
+        table: Arc<SlotTable>,
+        id: u64,
+        rank: JobRank,
+        max_par: usize,
+        cancel: Arc<AtomicBool>,
+    ) -> JobGate {
+        table.register(id, rank, max_par);
+        JobGate {
+            table,
+            id,
+            max_par: max_par.max(1),
+            cancel,
+        }
+    }
+
+    /// The job's slot cap — also the most workers its fan-outs spawn.
+    pub(crate) fn max_par(&self) -> usize {
+        self.max_par
+    }
+
+    /// Block until this job wins a slot (or is cancelled, in which case
+    /// the permit is empty and the caller proceeds to its fast
+    /// cancellation path). The slot is held until the permit drops.
+    pub(crate) fn acquire(&self) -> SlotPermit<'_> {
+        let granted = self.table.acquire(self.id, &self.cancel);
+        SlotPermit {
+            table: &self.table,
+            id: self.id,
+            granted,
+        }
+    }
+}
+
+impl Drop for JobGate {
+    fn drop(&mut self) {
+        self.table.deregister(self.id);
+    }
+}
+
+/// RAII slot permit: holds one of the service's worker slots (unless the
+/// acquire bailed on cancellation) and releases it on drop, at which
+/// point the best-ranked waiting job is woken to take it.
+pub(crate) struct SlotPermit<'a> {
+    table: &'a SlotTable,
+    id: u64,
+    granted: bool,
+}
+
+impl Drop for SlotPermit<'_> {
+    fn drop(&mut self) {
+        if self.granted {
+            self.table.release(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn rank_orders_priority_then_shortest_then_fifo() {
+        let fifo_first = JobRank::new(SchedPolicy::Fifo, 10, 0);
+        let fifo_second = JobRank::new(SchedPolicy::Fifo, 1, 1);
+        let short_small = JobRank::new(SchedPolicy::ShortestFirst, 5, 2);
+        let short_big = JobRank::new(SchedPolicy::ShortestFirst, 500, 3);
+        let prio_low = JobRank::new(SchedPolicy::Priority(1), 0, 4);
+        let prio_high = JobRank::new(SchedPolicy::Priority(7), 0, 5);
+        let prio_zero = JobRank::new(SchedPolicy::Priority(0), 0, 6);
+
+        // FIFO jobs order by submission, not estimated size.
+        assert!(fifo_first < fifo_second);
+        // ShortestFirst orders by estimate and jumps ahead of FIFO.
+        assert!(short_small < short_big);
+        assert!(short_big < fifo_first);
+        // Priority classes dominate everything below them.
+        assert!(prio_high < prio_low);
+        assert!(prio_low < short_small);
+        // Priority(0) shares the default class but precedes its traffic.
+        assert!(prio_zero < short_small);
+        assert!(prio_zero > prio_low);
+    }
+
+    #[test]
+    fn slots_are_granted_and_released_in_bookkeeping_order() {
+        let table = SlotTable::new(2);
+        let cancel = AtomicBool::new(false);
+        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 2);
+        assert!(table.acquire(0, &cancel));
+        assert!(table.acquire(0, &cancel));
+        {
+            let state = table.state.lock().unwrap();
+            assert_eq!(state.free, 0);
+            assert_eq!(state.jobs[0].held, 2);
+        }
+        table.release(0);
+        table.release(0);
+        assert_eq!(table.state.lock().unwrap().free, 2);
+        table.deregister(0);
+    }
+
+    #[test]
+    fn max_parallelism_caps_a_jobs_held_slots() {
+        let table = SlotTable::new(2);
+        let cancel = AtomicBool::new(false);
+        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
+        assert!(table.acquire(0, &cancel));
+        // The job holds its cap; its next acquire must wait even though a
+        // slot is free — until cancellation releases the waiter.
+        cancel.store(true, Ordering::Relaxed);
+        assert!(!table.acquire(0, &cancel));
+        table.release(0);
+        table.deregister(0);
+    }
+
+    /// With one slot contested by a FIFO and a Priority job, the freed
+    /// slot must go to the Priority job first.
+    #[test]
+    fn freed_slot_goes_to_the_best_ranked_waiter() {
+        let table = Arc::new(SlotTable::new(1));
+        let holder_cancel = AtomicBool::new(false);
+        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
+        table.register(1, JobRank::new(SchedPolicy::Fifo, 0, 1), 1);
+        table.register(2, JobRank::new(SchedPolicy::Priority(5), 0, 2), 1);
+        assert!(table.acquire(0, &holder_cancel));
+
+        let (tx, rx) = mpsc::channel::<u64>();
+        let mut waiters = Vec::new();
+        for id in [1u64, 2u64] {
+            let table = Arc::clone(&table);
+            let tx = tx.clone();
+            waiters.push(std::thread::spawn(move || {
+                let cancel = AtomicBool::new(false);
+                assert!(table.acquire(id, &cancel));
+                tx.send(id).expect("receiver alive");
+                table.release(id);
+            }));
+        }
+        // Let both waiters register demand before freeing the slot.
+        while table.waiting(1) == 0 || table.waiting(2) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        table.release(0);
+        let first = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(
+            (first, second),
+            (2, 1),
+            "the Priority(5) job must win the freed slot over FIFO traffic"
+        );
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,16 +1,23 @@
 //! The job-oriented search service: a [`SearchService`] accepts
-//! [`SearchRequest`]s on a FIFO queue and runs each job — whatever its
-//! [`Strategy`] — on its own worker fleet, returning a [`JobHandle`] with
-//! non-blocking [`status()`](JobHandle::status) /
-//! [`progress()`](JobHandle::progress), cooperative
-//! [`cancel()`](JobHandle::cancel), and blocking
+//! [`SearchRequest`]s and runs them **concurrently** on one shared,
+//! capacity-bounded worker fleet — whatever each job's
+//! [`Strategy`] — returning a [`JobHandle`] with non-blocking
+//! [`status()`](JobHandle::status) / [`progress()`](JobHandle::progress),
+//! cooperative [`cancel()`](JobHandle::cancel), and blocking
 //! [`wait()`](JobHandle::wait).
 //!
 //! ## Execution model
 //!
-//! One background scheduler thread owns the queue and executes jobs one at
-//! a time on a single worker fleet of the service's thread budget. What
-//! fans out depends on the strategy:
+//! The service owns a fixed budget of worker *slots*
+//! ([`SearchServiceBuilder::threads`], default: all cores). A background
+//! dispatcher admits up to one job per slot; each admitted job gets a
+//! runner thread that plans its work items and fans them out through the
+//! shared slot table (see the [`SchedPolicy`] docs and `ARCHITECTURE.md`
+//! at the repository root). Every work item holds exactly one slot while
+//! it executes, so at most `threads` items run at any instant **across
+//! all jobs** — a short gradient-descent job completes on freed slots
+//! while a long Bayesian-optimization job is still mid-flight, instead of
+//! queueing behind it. What fans out depends on the strategy:
 //!
 //! * [`Strategy::GradientDescent`] — **all networks' start points** of a
 //!   batched request become independent work items (a batch saturates the
@@ -19,10 +26,21 @@
 //!   work items, each searched by a private RNG stream;
 //! * [`Strategy::BayesOpt`] — networks run sequentially (the outer GP
 //!   loop is inherently serial), but each step's inner mapping samples
-//!   and EI candidate scores fan out across the fleet.
+//!   and EI candidate scores fan out as work items.
 //!
 //! Per-item results land at fixed slots and are demultiplexed per network
 //! on merge.
+//!
+//! ## Scheduling
+//!
+//! Which queued work grabs a freed slot — and which queued job is
+//! admitted when a runner finishes — is decided by each request's
+//! [`SchedPolicy`] (`Fifo` by default, `ShortestFirst`, or
+//! `Priority(u8)`); a job can additionally cap its own slot usage with
+//! [`SearchRequestBuilder::max_parallelism`](crate::SearchRequestBuilder::max_parallelism).
+//! With a single-slot budget the service degenerates to running one job
+//! at a time in policy order (strict FIFO under the default policy).
+//! Running work items are never preempted.
 //!
 //! ## Determinism
 //!
@@ -36,17 +54,19 @@
 //! [`bayesian_search`](crate::bayesian_search)) do. Combined with the
 //! slot-indexed fleet, a network's `SearchResult` is **bit-identical** to
 //! a separate submission with the same seed, for every service thread
-//! budget and any batch composition.
+//! budget, any batch composition, and any interleaving with other jobs —
+//! scheduling moves wall-clock time, never results.
 //!
 //! ## Cancellation
 //!
 //! [`JobHandle::cancel`] sets a flag every work item checks once per
 //! gradient step (GD) or joint mapping sample (black-box strategies):
 //! running items return their partial results at the next boundary,
-//! queued work items come back empty, and the merged best-so-far
-//! histories stay monotone non-increasing with strictly increasing
-//! sample counts. A job cancelled while still queued completes
-//! immediately with empty results.
+//! waiting items stop competing for slots immediately (freeing capacity
+//! for the other jobs), queued work items come back empty, and the
+//! merged best-so-far histories stay monotone non-increasing with
+//! strictly increasing sample counts. A job cancelled while still queued
+//! completes immediately with empty results.
 
 use crate::bbbo::{run_bayesian_search, BbboConfig};
 use crate::engine::{
@@ -56,6 +76,9 @@ use crate::engine::{
 use crate::gd::{GdConfig, LoopOrderStrategy, SearchResult};
 use crate::random_search::{plan_random_designs, run_random_design, RandomSearchConfig};
 use crate::request::{ConfigError, SearchRequest, Surrogate};
+#[cfg(doc)]
+use crate::sched::SchedPolicy;
+use crate::sched::{JobGate, JobRank, SlotTable};
 use crate::startpoints::{generate_start_points, StartPoint};
 use crate::strategy::Strategy;
 use dosa_accel::{Hierarchy, MAX_PE_SIDE};
@@ -63,17 +86,24 @@ use dosa_model::LossOptions;
 use dosa_workload::Layer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Lifecycle state of a submitted job.
+///
+/// ```text
+/// Queued ──admitted──▶ Running ──▶ Completed
+///    │                    │
+///    └──cancel()──────────┴──────▶ Cancelled
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
-    /// Waiting in the service's FIFO queue.
+    /// Waiting for admission: every admission slot (one per worker
+    /// thread) is occupied by a better-ranked or earlier job.
     Queued,
-    /// Its worker fleet is descending.
+    /// Admitted to the fleet: its runner is live and its work items are
+    /// executing on — or competing for — the service's worker slots.
     Running,
     /// Finished normally; full results are available.
     Completed,
@@ -175,7 +205,16 @@ struct JobState {
 struct JobShared {
     id: u64,
     request: SearchRequest,
-    cancel: AtomicBool,
+    /// Scheduling rank, fixed at submission (see [`SchedPolicy`]).
+    rank: JobRank,
+    /// Resolved slot cap: `min(request.max_parallelism, service budget)`.
+    max_par: usize,
+    /// Cooperative cancellation flag, shared with the job's slot gate so
+    /// waiting work items stop competing for capacity the moment it
+    /// flips.
+    cancel: Arc<AtomicBool>,
+    /// The service's slot table, for waking slot waiters on cancel.
+    table: Arc<SlotTable>,
     /// One live counter pair per network, in request order.
     progress: Vec<ProgressCounters>,
     state: Mutex<JobState>,
@@ -247,11 +286,15 @@ impl JobHandle {
 
     /// Request cooperative cancellation. A queued job completes
     /// immediately with empty results; a running job stops issuing
-    /// gradient steps at the next step boundary and keeps its partial
-    /// (still monotone) per-network results. Idempotent; never blocks on
-    /// the descent itself.
+    /// gradient steps at the next step boundary, its waiting work items
+    /// stop competing for worker slots immediately (freeing capacity for
+    /// the other jobs on the service), and it keeps its partial (still
+    /// monotone) per-network results. Idempotent; never blocks on the
+    /// descent itself.
     pub fn cancel(&self) {
         self.job.cancel.store(true, Ordering::Relaxed);
+        // Wake slot waiters so the cancelled job's demand drains promptly.
+        self.job.table.wake();
         let mut state = self.job.state.lock().expect("job state poisoned");
         if state.status == JobStatus::Queued {
             state.status = JobStatus::Cancelled;
@@ -284,12 +327,21 @@ impl std::fmt::Debug for JobHandle {
     }
 }
 
+/// The dispatcher's view of the service: jobs waiting for admission and
+/// jobs currently running (each on its own runner thread).
+struct SchedQueue {
+    pending: Vec<Arc<JobShared>>,
+    running: Vec<Arc<JobShared>>,
+}
+
 struct ServiceShared {
-    queue: Mutex<VecDeque<Arc<JobShared>>>,
-    available: Condvar,
+    queue: Mutex<SchedQueue>,
+    /// Signalled on every queue transition: submission, admission, runner
+    /// completion, shutdown.
+    changed: Condvar,
     shutdown: AtomicBool,
-    /// The job currently executing, for shutdown-time cancellation.
-    running: Mutex<Option<Arc<JobShared>>>,
+    /// The shared worker-slot ledger all running jobs draw from.
+    table: Arc<SlotTable>,
     threads: usize,
     next_id: AtomicU64,
 }
@@ -301,16 +353,19 @@ pub struct SearchServiceBuilder {
 }
 
 impl SearchServiceBuilder {
-    /// Worker-thread budget per job (default: all cores). The budget is
-    /// owned by this service instance — it does not touch the global
-    /// rayon pool, so services with different budgets coexist in one
-    /// process. Results are bit-identical for every budget.
+    /// Worker-slot budget of the service (default: all cores). At most
+    /// this many work items execute at any instant across **all**
+    /// concurrently running jobs; it also caps how many jobs are admitted
+    /// at once, so a budget of 1 degenerates to one job at a time. The
+    /// budget is owned by this service instance — it does not touch the
+    /// global rayon pool, so services with different budgets coexist in
+    /// one process. Results are bit-identical for every budget.
     pub fn threads(mut self, n: usize) -> SearchServiceBuilder {
         self.threads = Some(n.max(1));
         self
     }
 
-    /// Spawn the service's scheduler thread and return the service.
+    /// Spawn the service's dispatcher thread and return the service.
     pub fn build(self) -> SearchService {
         let threads = self.threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -318,33 +373,38 @@ impl SearchServiceBuilder {
                 .unwrap_or(1)
         });
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            queue: Mutex::new(SchedQueue {
+                pending: Vec::new(),
+                running: Vec::new(),
+            }),
+            changed: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            running: Mutex::new(None),
+            table: Arc::new(SlotTable::new(threads)),
             threads,
             next_id: AtomicU64::new(0),
         });
-        let scheduler_shared = Arc::clone(&shared);
-        let scheduler = std::thread::spawn(move || scheduler_loop(scheduler_shared));
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::spawn(move || dispatcher_loop(dispatcher_shared));
         SearchService {
             shared,
-            scheduler: Some(scheduler),
+            dispatcher: Some(dispatcher),
         }
     }
 }
 
 /// An async search-job service: submit [`SearchRequest`]s, observe and
-/// cancel them through [`JobHandle`]s. See the [module docs](self) for the
-/// execution, determinism, and cancellation contracts.
+/// cancel them through [`JobHandle`]s. Jobs run **concurrently** on one
+/// capacity-bounded worker fleet under each request's [`SchedPolicy`];
+/// see the [module docs](self) for the execution, scheduling,
+/// determinism, and cancellation contracts.
 ///
-/// Dropping the service requests cancellation of the in-flight job, fails
-/// the queued ones over to [`JobStatus::Cancelled`] with empty results,
-/// and joins the scheduler — keep the service alive until the jobs you
-/// care about have been waited on.
+/// Dropping the service requests cancellation of the in-flight jobs,
+/// fails the queued ones over to [`JobStatus::Cancelled`] with empty
+/// results, and joins the dispatcher — keep the service alive until the
+/// jobs you care about have been waited on.
 pub struct SearchService {
     shared: Arc<ServiceShared>,
-    scheduler: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
 }
 
 impl SearchService {
@@ -353,24 +413,36 @@ impl SearchService {
         SearchServiceBuilder::default()
     }
 
-    /// This service's per-job worker-thread budget.
+    /// This service's worker-slot budget.
     pub fn threads(&self) -> usize {
         self.shared.threads
     }
 
     /// Validate `request` and enqueue it, returning a handle immediately.
-    /// Jobs execute in submission order.
+    /// The dispatcher admits queued jobs in [`SchedPolicy`] rank order as
+    /// admission slots free up; admitted jobs then share the worker
+    /// slots, so several jobs make progress at once.
     pub fn submit(&self, request: SearchRequest) -> Result<JobHandle, ConfigError> {
         request.validate()?;
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let rank = JobRank::new(request.policy(), request.estimated_samples(), id);
+        let max_par = request
+            .max_parallelism()
+            .unwrap_or(self.shared.threads)
+            .min(self.shared.threads)
+            .max(1);
         let progress = request
             .networks()
             .iter()
             .map(|_| ProgressCounters::new())
             .collect();
         let job = Arc::new(JobShared {
-            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            id,
             request,
-            cancel: AtomicBool::new(false),
+            rank,
+            max_par,
+            cancel: Arc::new(AtomicBool::new(false)),
+            table: Arc::clone(&self.shared.table),
             progress,
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
@@ -385,8 +457,9 @@ impl SearchService {
             .queue
             .lock()
             .expect("service queue poisoned")
-            .push_back(job);
-        self.shared.available.notify_one();
+            .pending
+            .push(job);
+        self.shared.changed.notify_all();
         Ok(handle)
     }
 }
@@ -394,75 +467,115 @@ impl SearchService {
 impl Drop for SearchService {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        // Fail queued jobs over to Cancelled so their waiters return.
-        let queued: Vec<Arc<JobShared>> = self
-            .shared
-            .queue
-            .lock()
-            .expect("service queue poisoned")
-            .drain(..)
-            .collect();
-        for job in queued {
+        // Fail queued jobs over to Cancelled so their waiters return, and
+        // ask the in-flight ones to wind down promptly. Draining pending
+        // and reading running under one lock means no job can slip from
+        // one set to the other unseen.
+        let (pending, running) = {
+            let mut queue = self.shared.queue.lock().expect("service queue poisoned");
+            (
+                queue.pending.drain(..).collect::<Vec<_>>(),
+                queue.running.clone(),
+            )
+        };
+        for job in pending {
             JobHandle { job }.cancel();
         }
-        // Ask the in-flight job (if any) to wind down promptly.
-        if let Some(job) = self
-            .shared
-            .running
-            .lock()
-            .expect("running slot poisoned")
-            .as_ref()
-        {
+        for job in running {
             job.cancel.store(true, Ordering::Relaxed);
         }
-        self.shared.available.notify_all();
-        if let Some(scheduler) = self.scheduler.take() {
-            let _ = scheduler.join();
+        self.shared.table.wake();
+        self.shared.changed.notify_all();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
         }
     }
 }
 
-fn scheduler_loop(shared: Arc<ServiceShared>) {
+/// The dispatcher: admits the best-ranked pending job whenever an
+/// admission slot (one per worker thread) is free, spawning a runner
+/// thread per admitted job. On shutdown it stops admitting and joins
+/// every runner (which the service `Drop` has already asked to cancel).
+fn dispatcher_loop(shared: Arc<ServiceShared>) {
+    let mut runners: Vec<JoinHandle<()>> = Vec::new();
     loop {
-        let job = {
+        // Reap finished runners so the handle list stays bounded.
+        let mut i = 0;
+        while i < runners.len() {
+            if runners[i].is_finished() {
+                let _ = runners.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        let admitted = {
             let mut queue = shared.queue.lock().expect("service queue poisoned");
             loop {
-                if let Some(job) = queue.pop_front() {
-                    // Publish the pop into the running slot while still
-                    // holding the queue lock: shutdown drains the queue
-                    // and reads this slot under the same lock ordering,
-                    // so a popped job can never escape its cancellation.
-                    *shared.running.lock().expect("running slot poisoned") = Some(Arc::clone(&job));
-                    break Some(job);
-                }
                 if shared.shutdown.load(Ordering::Relaxed) {
                     break None;
                 }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .expect("service queue poisoned");
+                if queue.running.len() < shared.threads {
+                    // Best-ranked pending job, if any (rank ties cannot
+                    // happen: the id is part of the rank).
+                    let best = queue
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, j)| j.rank)
+                        .map(|(ix, _)| ix);
+                    if let Some(ix) = best {
+                        let job = queue.pending.swap_remove(ix);
+                        // Queued -> Running, unless cancel() already
+                        // retired the job while it waited.
+                        let admitted = {
+                            let mut state = job.state.lock().expect("job state poisoned");
+                            if state.status == JobStatus::Cancelled {
+                                false
+                            } else {
+                                state.status = JobStatus::Running;
+                                true
+                            }
+                        };
+                        if !admitted {
+                            continue;
+                        }
+                        queue.running.push(Arc::clone(&job));
+                        break Some(job);
+                    }
+                }
+                queue = shared.changed.wait(queue).expect("service queue poisoned");
             }
         };
-        let Some(job) = job else {
-            return;
-        };
-        // Queued -> Running, unless cancel() already retired the job.
-        let skip = {
-            let mut state = job.state.lock().expect("job state poisoned");
-            if state.status == JobStatus::Cancelled {
-                true
-            } else {
-                state.status = JobStatus::Running;
-                false
+        match admitted {
+            Some(job) => {
+                let runner_shared = Arc::clone(&shared);
+                runners.push(std::thread::spawn(move || run_job(&runner_shared, &job)));
             }
-        };
-        if skip {
-            *shared.running.lock().expect("running slot poisoned") = None;
-            continue;
+            None => break,
         }
-        let results = execute_job(&job, shared.threads);
-        *shared.running.lock().expect("running slot poisoned") = None;
+    }
+    for runner in runners {
+        let _ = runner.join();
+    }
+}
+
+/// One admitted job's runner: register with the slot table, execute the
+/// strategy through a gated fleet, publish results, then free the
+/// admission slot. Results and terminal status are stored **before** the
+/// admission slot is released, so an observer that sees a later job leave
+/// `Queued` is guaranteed to see this one terminal.
+fn run_job(shared: &ServiceShared, job: &Arc<JobShared>) {
+    let gate = JobGate::register(
+        Arc::clone(&job.table),
+        job.id,
+        job.rank,
+        job.max_par,
+        Arc::clone(&job.cancel),
+    );
+    let fleet = Fleet::gated(gate);
+    let results = execute_job(job, &fleet);
+    drop(fleet); // deregisters the job from the slot table
+    {
         let mut state = job.state.lock().expect("job state poisoned");
         state.status = if job.cancel.load(Ordering::Relaxed) {
             JobStatus::Cancelled
@@ -472,6 +585,10 @@ fn scheduler_loop(shared: Arc<ServiceShared>) {
         state.results = Some(results);
         job.done.notify_all();
     }
+    let mut queue = shared.queue.lock().expect("service queue poisoned");
+    queue.running.retain(|j| j.id != job.id);
+    drop(queue);
+    shared.changed.notify_all();
 }
 
 /// Instantiate the surrogate for one network, returning the loss the
@@ -521,14 +638,14 @@ fn build_surrogate<'a>(
 }
 
 /// Run one job: dispatch on the request's [`Strategy`], fan the
-/// strategy's work items into one fleet of `threads` workers, and
+/// strategy's work items into the job's gated fleet (each item holding
+/// one of the service's shared worker slots while it executes), and
 /// demultiplex the per-network results.
-fn execute_job(job: &JobShared, threads: usize) -> BatchResult {
-    let fleet = Fleet::new(threads);
+fn execute_job(job: &JobShared, fleet: &Fleet) -> BatchResult {
     let results = match job.request.strategy() {
-        Strategy::GradientDescent(cfg) => execute_gd(job, &fleet, cfg),
-        Strategy::Random(cfg) => execute_random(job, &fleet, cfg),
-        Strategy::BayesOpt(cfg) => execute_bayes(job, &fleet, cfg),
+        Strategy::GradientDescent(cfg) => execute_gd(job, fleet, cfg),
+        Strategy::Random(cfg) => execute_random(job, fleet, cfg),
+        Strategy::BayesOpt(cfg) => execute_bayes(job, fleet, cfg),
     };
     let networks = job
         .request
@@ -549,7 +666,7 @@ fn execute_job(job: &JobShared, threads: usize) -> BatchResult {
 /// The per-network cancellation/progress control surface of `job`.
 fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
     StartControl {
-        cancel: Some(&job.cancel),
+        cancel: Some(&*job.cancel),
         progress: Some(&job.progress[net_index]),
     }
 }
@@ -596,7 +713,8 @@ fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResul
 
     // One fleet over all networks' starts. Results land at fixed item
     // slots, so the demultiplexed per-network order matches a standalone
-    // run regardless of thread count or batch composition.
+    // run regardless of thread count, batch composition, or whatever
+    // other jobs share the service's slots.
     let per_item: Vec<(usize, SearchResult)> =
         fleet.run(items, |_slot, (net_index, start_index, start)| {
             let (loss, net_cfg) = &plans[net_index];
@@ -721,7 +839,18 @@ mod tests {
     }
 
     #[test]
-    fn jobs_complete_in_submission_order_with_distinct_ids() {
+    fn submit_rejects_a_zero_parallelism_cap() {
+        let service = SearchService::builder().threads(2).build();
+        let mut request = tiny_request(0);
+        request.max_parallelism = Some(0);
+        assert_eq!(
+            service.submit(request).unwrap_err(),
+            ConfigError::ZeroParallelism
+        );
+    }
+
+    #[test]
+    fn concurrent_jobs_complete_with_distinct_ids() {
         let service = SearchService::builder().threads(2).build();
         let a = service.submit(tiny_request(1)).unwrap();
         let b = service.submit(tiny_request(2)).unwrap();
@@ -745,7 +874,7 @@ mod tests {
         last.cancel();
         let result = last.wait();
         assert_eq!(last.status(), JobStatus::Cancelled);
-        // Either it never ran (empty) or cancellation raced the scheduler
+        // Either it never ran (empty) or cancellation raced the dispatcher
         // and it wound down early; both keep the result well-formed.
         assert_eq!(result.networks.len(), 1);
         for h in &handles[..5] {
@@ -765,5 +894,13 @@ mod tests {
             assert!(h.status().is_terminal());
             assert_eq!(result.networks.len(), 1);
         }
+    }
+
+    #[test]
+    fn default_policy_is_fifo_with_service_wide_parallelism() {
+        use crate::sched::SchedPolicy;
+        let request = tiny_request(0);
+        assert_eq!(request.policy(), SchedPolicy::Fifo);
+        assert_eq!(request.max_parallelism(), None);
     }
 }

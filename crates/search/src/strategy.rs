@@ -80,6 +80,25 @@ impl Strategy {
             Strategy::BayesOpt(cfg) => cfg.validate(),
         }
     }
+
+    /// Coarse per-network estimate of the model evaluations this
+    /// strategy's budget implies — gradient steps for
+    /// [`Strategy::GradientDescent`], design × mapping samples for the
+    /// black-box strategies. The scheduler uses it as the
+    /// [`SchedPolicy::ShortestFirst`](crate::SchedPolicy::ShortestFirst)
+    /// ranking key; it orders jobs by expected size and is **not** a
+    /// bound (rounding evaluations and EI scoring are excluded).
+    pub fn estimated_samples(&self) -> u64 {
+        match self {
+            Strategy::GradientDescent(cfg) => {
+                (cfg.start_points as u64).saturating_mul(cfg.steps_per_start as u64)
+            }
+            Strategy::Random(cfg) => (cfg.num_hw as u64).saturating_mul(cfg.samples_per_hw as u64),
+            Strategy::BayesOpt(cfg) => {
+                (cfg.num_hw as u64).saturating_mul(cfg.samples_per_hw as u64)
+            }
+        }
+    }
 }
 
 impl RandomSearchConfig {
@@ -211,6 +230,24 @@ mod tests {
         for (cfg, expected) in cases {
             assert_eq!(cfg.validate(), Err(expected));
         }
+    }
+
+    #[test]
+    fn estimated_samples_track_the_configured_budgets() {
+        let gd = Strategy::GradientDescent(GdConfig {
+            start_points: 7,
+            steps_per_start: 890,
+            ..GdConfig::default()
+        });
+        assert_eq!(gd.estimated_samples(), 7 * 890);
+        let random = Strategy::Random(RandomSearchConfig {
+            num_hw: 10,
+            samples_per_hw: 1000,
+            seed: 0,
+        });
+        assert_eq!(random.estimated_samples(), 10 * 1000);
+        let bayes = Strategy::BayesOpt(BbboConfig::default());
+        assert_eq!(bayes.estimated_samples(), 100 * 100);
     }
 
     #[test]

@@ -59,9 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    // Submit all three jobs up front; the service runs them FIFO, each
-    // fanning its work items (starts / designs / inner samples) across
-    // the same 4-thread worker fleet.
+    // Submit all three jobs up front; the service runs them concurrently,
+    // each fanning its work items (starts / designs / inner samples) into
+    // the same 4-slot worker budget — results don't depend on how the
+    // jobs interleave.
     let jobs: Vec<(&str, JobHandle)> = strategies
         .iter()
         .map(|(label, strategy)| {

@@ -44,8 +44,12 @@
 //! described by the [`search::SearchRequest`] builder — one network or a
 //! batch of named networks plus a [`search::Strategy`] selecting the
 //! algorithm and its budget — and observed through the returned
-//! [`search::JobHandle`]. All of the paper's searchers run through the
-//! same lifecycle:
+//! [`search::JobHandle`]. Jobs on one service run **concurrently**,
+//! their work items sharing the service's capacity-bounded worker slots
+//! under each request's [`search::SchedPolicy`] (see the repository's
+//! top-level `ARCHITECTURE.md` for the crate map and the full request →
+//! validate → schedule → fan-out → merge lifecycle). All of the paper's
+//! searchers run through the same lifecycle:
 //!
 //! * [`search::Strategy::GradientDescent`] — DOSA's differentiable
 //!   one-loop co-search (the default), descending a
@@ -80,8 +84,8 @@
 //!
 //! Swapping `Strategy::GradientDescent(..)` for `Strategy::Random(..)`
 //! or `Strategy::BayesOpt(..)` reruns the same batch under a baseline
-//! searcher — the paper's Figure 7 comparison is three submissions to
-//! one service (see `examples/strategy_comparison.rs` and
+//! searcher — the paper's Figure 7 comparison is three concurrent
+//! submissions to one service (see `examples/strategy_comparison.rs` and
 //! `repro strategies`). A runnable miniature:
 //!
 //! ```
@@ -105,9 +109,16 @@
 //! relying on, for **every strategy**:
 //!
 //! * **Bit-identical determinism** — each network's result is identical
-//!   for every service thread budget *and* batch composition: a batched
-//!   network equals a standalone submission with the same seed, bit for
-//!   bit.
+//!   for every service thread budget, batch composition, scheduling
+//!   policy *and* concurrent-job interleaving: a batched network equals
+//!   a standalone submission with the same seed, bit for bit.
+//! * **Concurrent scheduling** — jobs share the worker slots instead of
+//!   queueing one-at-a-time: [`search::SchedPolicy`] (`Fifo`,
+//!   `ShortestFirst`, `Priority`) decides which queued work grabs freed
+//!   slots, and
+//!   [`search::SearchRequestBuilder::max_parallelism`] caps a long job
+//!   so it provably leaves capacity for short ones (enforced in CI via
+//!   `repro --smoke sched`).
 //! * **Live observation** — [`search::JobHandle::progress`] reads
 //!   lock-free per-network counters (samples, best-so-far EDP) without
 //!   perturbing the workers; successive snapshots are monotone.
@@ -152,8 +163,8 @@ pub mod prelude {
         bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search, run_gd_search,
         BatchResult, BbboConfig, ConfigError, CustomSurrogate, DiffLoss, EdpLoss, GdConfig,
         JobHandle, JobProgress, JobStatus, LatencyModelKind, LatencyPredictor, LoopOrderStrategy,
-        PredictedLatencyLoss, RandomSearchConfig, SearchRequest, SearchService, Strategy,
-        Surrogate,
+        PredictedLatencyLoss, RandomSearchConfig, SchedPolicy, SearchRequest, SearchService,
+        Strategy, Surrogate,
     };
     pub use dosa_timeloop::{
         evaluate_layer, evaluate_model, min_hw, min_hw_for_all, Mapping, Stationarity,
