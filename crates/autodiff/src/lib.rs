@@ -9,6 +9,29 @@
 //! partial derivatives, and [`Tape::backward`] performs one reverse sweep to
 //! produce gradients of a scalar loss with respect to every input.
 //!
+//! ## Hot-path layout
+//!
+//! The tape stores nodes struct-of-arrays (`parents` / `grads` / `arity`
+//! in parallel vectors) behind a single-owner arena, so recording is one
+//! bump-allocation per op — no `RefCell` borrows, no per-op bounds assert
+//! (the overflow check lives on the amortized growth path) — and the
+//! backward sweep walks contiguous arrays. `Var ⊕ f64` operations are
+//! fused into single unary nodes. Forward values live on the [`Var`]
+//! itself, not the tape.
+//!
+//! Three more pieces round out the hot path:
+//!
+//! * [`SegmentPlan`] / [`Tape::backward_segmented`] — record per-layer
+//!   loss terms as independent segments and sweep them on parallel
+//!   workers, bit-identically to the serial sweep for any worker count
+//!   (see `seg.rs` for the determinism argument).
+//! * [`Scalar`] / [`Ctx`] — write model code once, instantiate it against
+//!   the tape ([`Var`]), an eval-only `f64` path ([`Values`]), or the
+//!   preserved pre-rewrite baseline ([`LegacyTape`]) used by parity tests
+//!   and the `BENCH_*.json` speedup measurements.
+//! * [`Gradients::wrt_into`] — gather leaf gradients into a caller-owned
+//!   buffer, so optimizer steps allocate nothing.
+//!
 //! ## Example
 //!
 //! ```
@@ -26,9 +49,15 @@
 #![warn(missing_docs)]
 
 mod check;
+mod legacy;
+mod scalar;
+mod seg;
 mod tape;
 mod var;
 
 pub use check::check_gradients;
+pub use legacy::{LegacyGradients, LegacyTape, LegacyVar};
+pub use scalar::{Ctx, Scalar, Values};
+pub use seg::{SegScratch, SegmentPlan};
 pub use tape::{Gradients, GradientsView, Tape};
 pub use var::{dot, max_of, prod, softmax, sum, Var};

@@ -1,19 +1,123 @@
-//! The gradient tape: an append-only arena of scalar operations.
+//! The gradient tape: an append-only structure-of-arrays arena of scalar
+//! operations.
+//!
+//! ## Layout and the recording hot path
+//!
+//! The tape stores one logical node per recorded operation, but the node
+//! fields live in three parallel arrays (`parents`, `grads`, `arity`)
+//! rather than an array of structs. The backward sweep touches exactly
+//! these fields and nothing else, so the structure-of-arrays layout keeps
+//! the sweep's working set contiguous and minimal; forward values are not
+//! stored on the tape at all ([`Var`](crate::Var) carries its own value),
+//! which removes one array append per recorded op.
+//!
+//! Recording is a single-owner bump append: the store sits behind one
+//! [`UnsafeCell`] and every recording call takes exclusive access for the
+//! duration of one push — the moral equivalent of holding a recording
+//! session open for the whole forward pass, without threading a session
+//! handle through every operator. This is sound because `Tape` is `!Sync`
+//! (no two threads can record concurrently), no method hands out a
+//! reference into the store, and no method calls user code while the
+//! interior reference is live. The old implementation paid two
+//! `RefCell::borrow_mut`s plus a bounds `assert!` per scalar op; the
+//! rewrite pays one branch (`len == capacity`) that stays perfectly
+//! predicted until the arena actually needs to grow.
+//!
+//! The node-id overflow check moved with it: ids are `u32`, and instead of
+//! asserting on every push the tape asserts at the amortized [grow
+//! boundary](TapeStore::grow) that capacity never exceeds [`MAX_NODES`] —
+//! pushes between grows cannot overflow by construction.
+//!
+//! Backward sweeps ([`Tape::backward`], [`Tape::backward_into`], and the
+//! segmented [`Tape::backward_segmented`](crate::SegmentPlan)) walk the
+//! arrays in descending id order, skipping zero adjoints.
 
-use std::cell::RefCell;
+use std::cell::UnsafeCell;
 use std::fmt;
 
 /// Index of a node on the tape.
 pub(crate) type NodeId = u32;
 
-/// One recorded operation. Each node has at most two parents; `grad[i]` is
-/// the partial derivative of this node's value with respect to parent `i`,
-/// computed at forward time.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Node {
-    pub parents: [NodeId; 2],
-    pub grads: [f64; 2],
-    pub arity: u8,
+/// Hard cap on tape length: node ids must fit in a `u32` (the sentinel
+/// `u32::MAX` is excluded so `len` itself always fits too).
+const MAX_NODES: usize = u32::MAX as usize - 1;
+
+/// The structure-of-arrays node storage. All three vectors always have
+/// equal length; `grads[i][p]` is the partial derivative of node `i` with
+/// respect to `parents[i][p]`, computed at forward time.
+#[derive(Default)]
+pub(crate) struct TapeStore {
+    pub(crate) parents: Vec<[NodeId; 2]>,
+    pub(crate) grads: Vec<[f64; 2]>,
+    pub(crate) arity: Vec<u8>,
+}
+
+impl TapeStore {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Append one node. Branch-light: the only branch is the amortized
+    /// capacity check, and the id-overflow assertion lives inside the cold
+    /// [`TapeStore::grow`] path.
+    #[inline]
+    fn push(&mut self, parents: [NodeId; 2], grads: [f64; 2], arity: u8) -> NodeId {
+        if self.parents.len() == self.parents.capacity() {
+            self.grow();
+        }
+        let id = self.parents.len() as NodeId;
+        self.parents.push(parents);
+        self.grads.push(grads);
+        self.arity.push(arity);
+        id
+    }
+
+    /// The amortized capacity (and id-overflow) boundary: doubling growth,
+    /// capped at [`MAX_NODES`] so ids can never silently wrap.
+    #[cold]
+    #[inline(never)]
+    fn grow(&mut self) {
+        self.reserve_extra(self.parents.capacity().max(32));
+    }
+
+    fn reserve_extra(&mut self, extra: usize) {
+        let len = self.parents.len();
+        assert!(
+            len < MAX_NODES,
+            "tape overflow: more than {MAX_NODES} nodes"
+        );
+        let want = len.saturating_add(extra).min(MAX_NODES);
+        let add = want - len;
+        self.parents.reserve(add);
+        self.grads.reserve(add);
+        self.arity.reserve(add);
+    }
+
+    fn clear(&mut self) {
+        self.parents.clear();
+        self.grads.clear();
+        self.arity.clear();
+    }
+}
+
+/// Serial backward sweep over ids `lo..hi` in descending order,
+/// accumulating into `adj`. Shared by the flat and segmented sweeps — the
+/// segmented sweep's bit-parity argument is that its per-cell accumulation
+/// order matches exactly what this loop produces.
+pub(crate) fn sweep_serial(store: &TapeStore, adj: &mut [f64], lo: usize, hi: usize) {
+    for i in (lo..hi).rev() {
+        let a = adj[i];
+        if a == 0.0 {
+            continue;
+        }
+        let arity = store.arity[i] as usize;
+        let parents = store.parents[i];
+        let grads = store.grads[i];
+        for p in 0..arity {
+            adj[parents[p] as usize] += a * grads[p];
+        }
+    }
 }
 
 /// A reverse-mode automatic-differentiation tape.
@@ -36,8 +140,7 @@ pub(crate) struct Node {
 /// ```
 #[derive(Default)]
 pub struct Tape {
-    pub(crate) nodes: RefCell<Vec<Node>>,
-    pub(crate) values: RefCell<Vec<f64>>,
+    store: UnsafeCell<TapeStore>,
 }
 
 impl Tape {
@@ -46,9 +149,22 @@ impl Tape {
         Tape::default()
     }
 
+    /// Borrow the store for read-only sweep access.
+    ///
+    /// Crate-internal invariant: callers must not trigger recording (or
+    /// any other store mutation) while the returned reference is live.
+    /// Every backward sweep upholds this by construction — it runs no user
+    /// code — and `Tape` is `!Sync`, so no other thread can record.
+    #[inline]
+    pub(crate) fn store(&self) -> &TapeStore {
+        // SAFETY: see the doc comment; shared read access is only taken on
+        // code paths that provably do not record.
+        unsafe { &*self.store.get() }
+    }
+
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
-        self.nodes.borrow().len()
+        self.store().len()
     }
 
     /// Whether the tape is empty.
@@ -61,23 +177,23 @@ impl Tape {
     /// Reuses allocations; useful when re-running a model every optimizer
     /// step.
     pub fn clear(&self) {
-        self.nodes.borrow_mut().clear();
-        self.values.borrow_mut().clear();
+        // SAFETY: exclusive for the duration of the call — `Tape` is
+        // `!Sync` and no reference into the store outlives any public
+        // method.
+        unsafe { &mut *self.store.get() }.clear();
+    }
+
+    /// Ensure capacity for at least `extra` more nodes without growing,
+    /// moving the amortized overflow check even further out of the
+    /// recording loop for callers that know their op count.
+    pub fn reserve(&self, extra: usize) {
+        // SAFETY: as in [`Tape::clear`].
+        unsafe { &mut *self.store.get() }.reserve_extra(extra);
     }
 
     /// Record a leaf variable with value `v`.
     pub fn var(&self, v: f64) -> crate::Var<'_> {
-        let id = self.push(Node {
-            parents: [0, 0],
-            grads: [0.0, 0.0],
-            arity: 0,
-        });
-        self.values.borrow_mut().push(v);
-        crate::Var {
-            tape: self,
-            id,
-            value: v,
-        }
+        self.record(v, [0, 0], [0.0, 0.0], 0)
     }
 
     /// Record a constant (identical to [`Tape::var`]; constants still occupy
@@ -87,17 +203,19 @@ impl Tape {
         self.var(v)
     }
 
-    pub(crate) fn push(&self, node: Node) -> NodeId {
-        let mut nodes = self.nodes.borrow_mut();
-        let id = nodes.len();
-        assert!(id < u32::MAX as usize, "tape overflow");
-        nodes.push(node);
-        id as NodeId
-    }
-
-    pub(crate) fn record(&self, value: f64, node: Node) -> crate::Var<'_> {
-        let id = self.push(node);
-        self.values.borrow_mut().push(value);
+    /// The recording hot path: one exclusive store access, one bump append.
+    #[inline]
+    pub(crate) fn record(
+        &self,
+        value: f64,
+        parents: [NodeId; 2],
+        grads: [f64; 2],
+        arity: u8,
+    ) -> crate::Var<'_> {
+        // SAFETY: exclusive for the duration of the push — `Tape` is
+        // `!Sync`, `push` runs no user code, and no reference into the
+        // store escapes any public method.
+        let id = unsafe { &mut *self.store.get() }.push(parents, grads, arity);
         crate::Var {
             tape: self,
             id,
@@ -140,24 +258,15 @@ impl Tape {
         output: crate::Var<'_>,
         adj: &'a mut Vec<f64>,
     ) -> GradientsView<'a> {
-        let nodes = self.nodes.borrow();
+        let store = self.store();
         assert!(
-            (output.id as usize) < nodes.len(),
+            (output.id as usize) < store.len(),
             "output var is not on this tape"
         );
         adj.clear();
-        adj.resize(nodes.len(), 0.0);
+        adj.resize(store.len(), 0.0);
         adj[output.id as usize] = 1.0;
-        for i in (0..=output.id as usize).rev() {
-            let a = adj[i];
-            if a == 0.0 {
-                continue;
-            }
-            let node = nodes[i];
-            for p in 0..node.arity as usize {
-                adj[node.parents[p] as usize] += a * node.grads[p];
-            }
-        }
+        sweep_serial(store, adj, 0, output.id as usize + 1);
         GradientsView { adj }
     }
 }
@@ -184,13 +293,20 @@ impl Gradients {
     pub fn wrt_slice(&self, vars: &[crate::Var<'_>]) -> Vec<f64> {
         vars.iter().map(|&v| self.wrt(v)).collect()
     }
+
+    /// Like [`Gradients::wrt_slice`] but writing into a caller-owned
+    /// buffer (cleared first), so per-step leaf gathers allocate nothing.
+    pub fn wrt_into(&self, vars: &[crate::Var<'_>], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(vars.iter().map(|&v| self.wrt(v)));
+    }
 }
 
 /// A borrowed view of a backward sweep's adjoints, produced by
 /// [`Tape::backward_into`]; the buffer it reads stays owned by the caller.
 #[derive(Debug)]
 pub struct GradientsView<'a> {
-    adj: &'a [f64],
+    pub(crate) adj: &'a [f64],
 }
 
 impl GradientsView<'_> {
@@ -202,6 +318,13 @@ impl GradientsView<'_> {
     /// Gradients with respect to a slice of variables, in order.
     pub fn wrt_slice(&self, vars: &[crate::Var<'_>]) -> Vec<f64> {
         vars.iter().map(|&v| self.wrt(v)).collect()
+    }
+
+    /// Like [`GradientsView::wrt_slice`] but writing into a caller-owned
+    /// buffer (cleared first), so per-step leaf gathers allocate nothing.
+    pub fn wrt_into(&self, vars: &[crate::Var<'_>], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(vars.iter().map(|&v| self.wrt(v)));
     }
 }
 
@@ -266,5 +389,33 @@ mod tests {
         let g = tape.backward(z);
         assert_eq!(g.wrt(y), 0.0);
         assert_eq!(g.wrt(x), 10.0);
+    }
+
+    #[test]
+    fn wrt_into_reuses_buffer() {
+        let tape = Tape::new();
+        let x = tape.var(2.0);
+        let y = tape.var(5.0);
+        let z = x * y;
+        let mut out = vec![1.0; 8];
+        let g = tape.backward(z);
+        g.wrt_into(&[x, y], &mut out);
+        assert_eq!(out, vec![5.0, 2.0]);
+        let mut adj = Vec::new();
+        let view = tape.backward_into(z, &mut adj);
+        view.wrt_into(&[y, x], &mut out);
+        assert_eq!(out, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn reserve_then_record_many() {
+        let tape = Tape::new();
+        tape.reserve(10_000);
+        let mut v = tape.var(1.0);
+        for _ in 0..9_999 {
+            v = v + 1.0;
+        }
+        assert_eq!(tape.len(), 10_000);
+        assert_eq!(tape.backward(v).wrt(v), 1.0);
     }
 }

@@ -1,12 +1,16 @@
 //! Differentiable scalar variables and their operations.
 
-use crate::tape::{Node, Tape};
+use crate::scalar::{Ctx, Scalar};
+use crate::tape::Tape;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A differentiable scalar recorded on a [`Tape`].
 ///
 /// `Var` is `Copy`; arithmetic operators (`+ - * /`) are overloaded for
-/// `Var ⊕ Var` and `Var ⊕ f64`, and record onto the owning tape.
+/// `Var ⊕ Var` and `Var ⊕ f64`, and record onto the owning tape. The
+/// `f64` forms are *fused*: `x * 3.0` records one unary node (gradient
+/// `3.0`) instead of a constant node plus a binary node, halving tape
+/// traffic for the constant-heavy model code.
 ///
 /// # Examples
 ///
@@ -41,26 +45,14 @@ impl<'t> Var<'t> {
         self.value
     }
 
+    #[inline]
     fn unary(self, value: f64, grad: f64) -> Var<'t> {
-        self.tape.record(
-            value,
-            Node {
-                parents: [self.id, 0],
-                grads: [grad, 0.0],
-                arity: 1,
-            },
-        )
+        self.tape.record(value, [self.id, 0], [grad, 0.0], 1)
     }
 
+    #[inline]
     fn binary(self, rhs: Var<'t>, value: f64, ga: f64, gb: f64) -> Var<'t> {
-        self.tape.record(
-            value,
-            Node {
-                parents: [self.id, rhs.id],
-                grads: [ga, gb],
-                arity: 2,
-            },
-        )
+        self.tape.record(value, [self.id, rhs.id], [ga, gb], 2)
     }
 
     /// Natural logarithm. The input should be positive; `ln` of a
@@ -155,14 +147,6 @@ macro_rules! impl_binop {
                 self.binary(rhs, value, $ga, $gb)
             }
         }
-
-        impl<'t> $trait<f64> for Var<'t> {
-            type Output = Var<'t>;
-            fn $method(self, rhs: f64) -> Var<'t> {
-                let c = self.tape.constant(rhs);
-                $trait::$method(self, c)
-            }
-        }
     };
 }
 
@@ -170,6 +154,42 @@ impl_binop!(Add, add, |a, b| a + b, |_av, _bv| (1.0, 1.0));
 impl_binop!(Sub, sub, |a, b| a - b, |_av, _bv| (1.0, -1.0));
 impl_binop!(Mul, mul, |a, b| a * b, |av, bv| (bv, av));
 impl_binop!(Div, div, |a, b| a / b, |av, bv| (1.0 / bv, -av / (bv * bv)));
+
+// Var ⊕ f64: fused single-node forms. The gradient each one stores is
+// exactly the product the two-node legacy encoding (constant node + binary
+// op) feeds back to the variable, so fusing changes no accumulated bit —
+// it only skips recording a constant leaf nobody differentiates.
+impl<'t> Add<f64> for Var<'t> {
+    type Output = Var<'t>;
+    #[inline]
+    fn add(self, rhs: f64) -> Var<'t> {
+        self.unary(self.value + rhs, 1.0)
+    }
+}
+
+impl<'t> Sub<f64> for Var<'t> {
+    type Output = Var<'t>;
+    #[inline]
+    fn sub(self, rhs: f64) -> Var<'t> {
+        self.unary(self.value - rhs, 1.0)
+    }
+}
+
+impl<'t> Mul<f64> for Var<'t> {
+    type Output = Var<'t>;
+    #[inline]
+    fn mul(self, rhs: f64) -> Var<'t> {
+        self.unary(self.value * rhs, rhs)
+    }
+}
+
+impl<'t> Div<f64> for Var<'t> {
+    type Output = Var<'t>;
+    #[inline]
+    fn div(self, rhs: f64) -> Var<'t> {
+        self.unary(self.value / rhs, 1.0 / rhs)
+    }
+}
 
 impl<'t> Neg for Var<'t> {
     type Output = Var<'t>;
@@ -195,54 +215,117 @@ impl<'t> Mul<Var<'t>> for f64 {
 impl<'t> Sub<Var<'t>> for f64 {
     type Output = Var<'t>;
     fn sub(self, rhs: Var<'t>) -> Var<'t> {
-        -rhs + self
+        rhs.unary(self - rhs.value, -1.0)
     }
 }
 
 impl<'t> Div<Var<'t>> for f64 {
     type Output = Var<'t>;
     // `k / v` is recorded as `v.recip() * k`: one reciprocal node plus a
-    // constant scale, which is exactly the intended derivative chain.
+    // fused scale, which is exactly the intended derivative chain.
     #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Var<'t>) -> Var<'t> {
         rhs.recip() * self
     }
 }
 
-/// Sum of a slice of variables. Returns a zero constant for an empty slice.
+impl<'t> Scalar for Var<'t> {
+    #[inline]
+    fn value(self) -> f64 {
+        self.value
+    }
+    #[inline]
+    fn ln(self) -> Var<'t> {
+        Var::ln(self)
+    }
+    #[inline]
+    fn exp(self) -> Var<'t> {
+        Var::exp(self)
+    }
+    #[inline]
+    fn powf(self, p: f64) -> Var<'t> {
+        Var::powf(self, p)
+    }
+    #[inline]
+    fn sqrt(self) -> Var<'t> {
+        Var::sqrt(self)
+    }
+    #[inline]
+    fn recip(self) -> Var<'t> {
+        Var::recip(self)
+    }
+    #[inline]
+    fn square(self) -> Var<'t> {
+        Var::square(self)
+    }
+    #[inline]
+    fn max(self, rhs: Var<'t>) -> Var<'t> {
+        Var::max(self, rhs)
+    }
+    #[inline]
+    fn min(self, rhs: Var<'t>) -> Var<'t> {
+        Var::min(self, rhs)
+    }
+    #[inline]
+    fn relu(self) -> Var<'t> {
+        Var::relu(self)
+    }
+    #[inline]
+    fn hinge_below(self, k: f64) -> Var<'t> {
+        Var::hinge_below(self, k)
+    }
+}
+
+impl<'t> Ctx for &'t Tape {
+    type N = Var<'t>;
+    #[inline]
+    fn constant(self, value: f64) -> Var<'t> {
+        Tape::constant(self, value)
+    }
+    #[inline]
+    fn leaf(self, value: f64) -> Var<'t> {
+        Tape::var(self, value)
+    }
+    #[inline]
+    fn mark(self) -> u32 {
+        self.len() as u32
+    }
+}
+
+/// Sum of a slice of scalars. Returns a zero constant for an empty slice.
 ///
 /// # Panics
 ///
 /// Panics if `vars` mixes variables from different tapes (debug builds may
 /// not detect this; callers must keep tapes separate).
-pub fn sum<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+pub fn sum<C: Ctx>(cx: C, vars: &[C::N]) -> C::N {
     match vars.split_first() {
-        None => tape.constant(0.0),
+        None => cx.constant(0.0),
         Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc + v),
     }
 }
 
-/// Product of a slice of variables. Returns a one constant for an empty
+/// Product of a slice of scalars. Returns a one constant for an empty
 /// slice.
-pub fn prod<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+pub fn prod<C: Ctx>(cx: C, vars: &[C::N]) -> C::N {
     match vars.split_first() {
-        None => tape.constant(1.0),
+        None => cx.constant(1.0),
         Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc * v),
     }
 }
 
-/// Maximum over a slice of variables (subgradient semantics).
+/// Maximum over a slice of scalars (subgradient semantics).
 ///
 /// Returns negative infinity constant for an empty slice.
-pub fn max_of<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+pub fn max_of<C: Ctx>(cx: C, vars: &[C::N]) -> C::N {
     match vars.split_first() {
-        None => tape.constant(f64::NEG_INFINITY),
+        None => cx.constant(f64::NEG_INFINITY),
         Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc.max(v)),
     }
 }
 
-/// Numerically-stable softmax over a slice of variables (Eq. 16's σ).
-pub fn softmax<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Vec<Var<'t>> {
+/// Numerically-stable softmax over a slice of scalars (Eq. 16's σ).
+pub fn softmax<C: Ctx>(cx: C, vars: &[C::N]) -> Vec<C::N> {
     if vars.is_empty() {
         return Vec::new();
     }
@@ -250,8 +333,8 @@ pub fn softmax<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Vec<Var<'t>> {
         .iter()
         .map(|v| v.value())
         .fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<Var<'t>> = vars.iter().map(|&v| (v - m).exp()).collect();
-    let denom = sum(tape, &exps);
+    let exps: Vec<C::N> = vars.iter().map(|&v| (v - m).exp()).collect();
+    let denom = sum(cx, &exps);
     exps.into_iter().map(|e| e / denom).collect()
 }
 
@@ -260,15 +343,16 @@ pub fn softmax<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Vec<Var<'t>> {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
-pub fn dot<'t>(tape: &'t Tape, a: &[Var<'t>], b: &[Var<'t>]) -> Var<'t> {
+pub fn dot<C: Ctx>(cx: C, a: &[C::N], b: &[C::N]) -> C::N {
     assert_eq!(a.len(), b.len(), "dot of unequal lengths");
-    let terms: Vec<Var<'t>> = a.iter().zip(b).map(|(&x, &y)| x * y).collect();
-    sum(tape, &terms)
+    let terms: Vec<C::N> = a.iter().zip(b).map(|(&x, &y)| x * y).collect();
+    sum(cx, &terms)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Values;
 
     fn grad1(f: impl for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t>, x: f64) -> (f64, f64) {
         let tape = Tape::new();
@@ -360,6 +444,25 @@ mod tests {
     }
 
     #[test]
+    fn fused_scalar_ops_record_one_node() {
+        let tape = Tape::new();
+        let x = tape.var(4.0);
+        let before = tape.len();
+        let _ = x + 1.0;
+        let _ = x - 1.0;
+        let _ = x * 2.0;
+        let _ = x / 2.0;
+        let _ = 2.0 - x;
+        assert_eq!(tape.len(), before + 5);
+        let y = x * 2.0 + 1.0;
+        assert_eq!(tape.backward(y).wrt(x), 2.0);
+        let z = 10.0 - x;
+        assert_eq!(tape.backward(z).wrt(x), -1.0);
+        let w = x / 4.0;
+        assert_eq!(tape.backward(w).wrt(x), 0.25);
+    }
+
+    #[test]
     fn relu_and_square() {
         let tape = Tape::new();
         let x = tape.var(-2.0);
@@ -378,5 +481,17 @@ mod tests {
         assert_eq!(m.value(), 9.0);
         let g = tape.backward(m);
         assert_eq!(g.wrt_slice(&xs), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn helpers_run_on_values_ctx() {
+        let cx = Values;
+        let xs = [2.0, 3.0, 4.0];
+        assert_eq!(prod(cx, &xs), 24.0);
+        assert_eq!(sum(cx, &xs), 9.0);
+        assert_eq!(max_of(cx, &xs), 4.0);
+        let sm = softmax(cx, &xs);
+        assert!((sm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(dot(cx, &xs, &xs), 29.0);
     }
 }

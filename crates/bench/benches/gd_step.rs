@@ -1,0 +1,113 @@
+//! End-to-end descent-step benchmark: set params, record the loss,
+//! backward sweep, gather gradients, update — the exact per-step work of
+//! `run_single_start` — on the current hot path and the pre-refactor
+//! legacy tape, at several depths. After the Criterion display the run
+//! regenerates `BENCH_6.json` at the repository root via
+//! [`dosa_bench::perf`], so the checked-in perf trajectory always comes
+//! from the same kernels the bench just showed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosa_accel::Hierarchy;
+use dosa_autodiff::{LegacyTape, LegacyVar, SegScratch, SegmentPlan, Tape, Var};
+use dosa_bench::perf;
+use dosa_bench::perf::{fixture_layers, fixture_starts, LAYER_COUNTS};
+use dosa_model::{build_loss_in, LossOptions, PARAMS_PER_LAYER};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let hier = Hierarchy::gemmini();
+    let opts = LossOptions::default();
+    for n in LAYER_COUNTS {
+        let layers = fixture_layers(n);
+
+        let tape = Tape::new();
+        let mut plan = SegmentPlan::new();
+        let mut leaves: Vec<Var<'_>> = Vec::new();
+        let mut scratch = SegScratch::new();
+        let mut relaxed = fixture_starts(&layers);
+        let mut params: Vec<f64> = Vec::new();
+        for r in &relaxed {
+            r.params_into(&mut params);
+        }
+        let mut flat: Vec<f64> = Vec::new();
+        c.bench_function(&format!("gd_step_{n}layers"), |b| {
+            b.iter(|| {
+                for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
+                    r.set_params(chunk);
+                }
+                tape.clear();
+                plan.clear();
+                leaves.clear();
+                let built = build_loss_in(
+                    &tape,
+                    &layers,
+                    &relaxed,
+                    &hier,
+                    &opts,
+                    &mut plan,
+                    &mut leaves,
+                );
+                let view = tape.backward_segmented(built.loss, &plan, 1, &mut scratch);
+                view.wrt_into(&leaves, &mut flat);
+                for (p, g) in params.iter_mut().zip(&flat) {
+                    if g.is_finite() {
+                        *p -= 1e-4 * g;
+                    }
+                }
+                black_box(params[0])
+            })
+        });
+
+        let legacy = LegacyTape::new();
+        let mut lrelaxed = fixture_starts(&layers);
+        let mut lparams: Vec<f64> = lrelaxed.iter().flat_map(|r| r.params()).collect();
+        c.bench_function(&format!("legacy_gd_step_{n}layers"), |b| {
+            b.iter(|| {
+                for (r, chunk) in lrelaxed.iter_mut().zip(lparams.chunks(PARAMS_PER_LAYER)) {
+                    r.set_params(chunk);
+                }
+                legacy.clear();
+                let mut step_leaves: Vec<LegacyVar<'_>> = Vec::new();
+                let built = build_loss_in(
+                    &legacy,
+                    &layers,
+                    &lrelaxed,
+                    &hier,
+                    &opts,
+                    &mut SegmentPlan::disabled(),
+                    &mut step_leaves,
+                );
+                let grads = legacy.backward(built.loss);
+                let step_flat: Vec<f64> = step_leaves
+                    .iter()
+                    .map(|l| {
+                        let g = grads.wrt(*l);
+                        if g.is_finite() {
+                            g
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                lparams = lparams
+                    .iter()
+                    .zip(&step_flat)
+                    .map(|(p, g)| p - 1e-4 * g)
+                    .collect();
+                black_box(lparams[0])
+            })
+        });
+    }
+}
+
+fn regenerate_bench_json(_c: &mut Criterion) {
+    perf::run();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    targets = bench, regenerate_bench_json
+}
+criterion_main!(benches);

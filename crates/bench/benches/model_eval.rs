@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_autodiff::Tape;
-use dosa_model::{build_loss, LossOptions, RelaxedMapping};
+use dosa_model::{build_loss, predict, LossOptions, RelaxedMapping};
 use dosa_nn::Mlp;
 use dosa_rtl::simulate_latency_default;
 use dosa_search::{cosa_mapping, NUM_FEATURES};
@@ -42,6 +42,12 @@ fn bench(c: &mut Criterion) {
             let built = build_loss(&tape, &layers, &relaxed, &hier, &LossOptions::default());
             black_box(tape.backward(built.loss))
         })
+    });
+
+    // Tape-free forward pass: the same loss evaluated on plain f64s via
+    // the `Values` context, for rounding-time reference checks.
+    c.bench_function("diff_model_eval_only_3layers", |b| {
+        b.iter(|| black_box(predict(&layers, &relaxed, &hier, &LossOptions::default())))
     });
 
     c.bench_function("round_relaxed_mapping", |b| {

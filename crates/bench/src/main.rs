@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | all
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | bench | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
@@ -21,7 +21,8 @@
 
 use dosa_accel::HardwareConfig;
 use dosa_bench::{
-    ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, sched, strategies, Scale,
+    ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, perf, sched, strategies,
+    Scale,
 };
 use dosa_workload::Network;
 use std::path::PathBuf;
@@ -108,13 +109,18 @@ fn usage() {
            sched   concurrent-scheduling demo: a long BB-BO job plus\n\
                    short GD/random jobs sharing one service's worker\n\
                    slots, finishing out of submission order\n\
+           bench   measure the autodiff hot path (record / sweep /\n\
+                   full GD step vs the legacy tape) and regenerate\n\
+                   BENCH_6.json at the repository root\n\
            all     everything above\n\
          workloads: unet | resnet50 | bert | retinanet\n\
          --threads N caps the service's worker threads (results are\n\
          identical for every N; only wall-clock time changes)\n\
          --smoke batch / --smoke strategies / --smoke sched run\n\
          seconds-scale jobs asserting batched == standalone parity (and,\n\
-         for sched, that concurrent jobs provably overlap) — the CI smokes"
+         for sched, that concurrent jobs provably overlap); --smoke bench\n\
+         re-measures quickly and validates the checked-in BENCH_6.json\n\
+         — the CI smokes"
     );
 }
 
@@ -207,6 +213,13 @@ fn main() -> ExitCode {
                     args.networks.clone()
                 };
                 strategies::run(scale, &networks, seed, out);
+            }
+        }
+        "bench" => {
+            if args.smoke {
+                perf::run_smoke();
+            } else {
+                perf::run();
             }
         }
         "sched" => {

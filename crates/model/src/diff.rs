@@ -7,13 +7,20 @@
 //! DRAM energy is counted per element rather than per block. Evaluated at an
 //! integer mapping, latency matches the reference bit-for-bit and energy
 //! differs only by the DRAM block ceiling, reproducing Figure 4.
+//!
+//! Everything here is generic over a [`Ctx`]: instantiate with `&Tape` for
+//! gradients, [`Values`](dosa_autodiff::Values) for a tape-free forward
+//! evaluation, or `&LegacyTape` for the pre-rewrite parity baseline. The
+//! model knows which factors are exactly one (the *unit* mask) and skips
+//! recording those multiplications — `x * 1` is `x` down to the last bit,
+//! and unit factors are always constants, so no gradient is lost.
 
 use crate::relaxed::RelaxedMapping;
 use dosa_accel::{
     level, HardwareConfig, Hierarchy, EPA_ACC_BASE, EPA_ACC_SLOPE, EPA_DRAM, EPA_MAC,
     EPA_REGISTERS, EPA_SPAD_BASE, EPA_SPAD_SLOPE, MAX_PE_SIDE, NUM_LEVELS,
 };
-use dosa_autodiff::{max_of, Tape, Var};
+use dosa_autodiff::{max_of, Ctx, Scalar, SegmentPlan, Tape, Var};
 use dosa_timeloop::{LoopOrder, Mapping};
 use dosa_workload::{Dim, DimSet, Problem, Tensor, NUM_DIMS};
 
@@ -21,30 +28,73 @@ use dosa_workload::{Dim, DimSet, Problem, Tensor, NUM_DIMS};
 /// the refetch mask (bound-1 loops are transparent).
 const UNIT_EPS: f64 = 1.0 + 1e-9;
 
+/// A product accumulator that starts empty instead of at a recorded `1.0`
+/// constant: unit factors are skipped entirely, and an all-unit product
+/// resolves to the shared unit node via [`UnitProd::finish`].
+#[derive(Clone, Copy)]
+struct UnitProd<N> {
+    acc: Option<N>,
+}
+
+impl<N: Scalar> UnitProd<N> {
+    #[inline]
+    fn new() -> UnitProd<N> {
+        UnitProd { acc: None }
+    }
+
+    #[inline]
+    fn mul(&mut self, f: N) {
+        self.acc = Some(match self.acc {
+            Some(a) => a * f,
+            None => f,
+        });
+    }
+
+    #[inline]
+    fn finish(self, unit: N) -> N {
+        self.acc.unwrap_or(unit)
+    }
+}
+
 /// Differentiable tiling factors for one layer, including the inferred
 /// DRAM-level factors (§5.3.3).
 #[derive(Clone, Copy)]
-pub struct FactorVars<'t> {
+pub struct FactorVars<N> {
     /// Temporal factor variables per level per dim (level 3 inferred).
-    pub temporal: [[Var<'t>; NUM_DIMS]; NUM_LEVELS],
+    pub temporal: [[N; NUM_DIMS]; NUM_LEVELS],
     /// Spatial factor variables per level per dim.
-    pub spatial: [[Var<'t>; NUM_DIMS]; NUM_LEVELS],
+    pub spatial: [[N; NUM_DIMS]; NUM_LEVELS],
     /// Loop orders (fixed during a gradient step).
     pub orders: [LoopOrder; NUM_LEVELS],
+    /// The shared constant-one node unit entries alias.
+    unit: N,
+    /// Bit `d` set ⇒ `temporal[lvl][d]` is the unit constant.
+    temporal_unit: [u8; NUM_LEVELS],
+    /// Bit `d` set ⇒ `spatial[lvl][d]` is the unit constant.
+    spatial_unit: [u8; NUM_LEVELS],
 }
 
-impl<'t> FactorVars<'t> {
-    /// Build factor variables from a relaxed mapping, returning the leaf
+impl<N: Scalar> FactorVars<N> {
+    /// Build factor variables from a relaxed mapping, appending the leaf
     /// variables (the raw log-space parameters, in
-    /// [`RelaxedMapping::params`] order) whose gradients drive Adam.
-    pub fn from_relaxed(
-        tape: &'t Tape,
+    /// [`RelaxedMapping::params`] order) to `leaves_out` — no allocation
+    /// when the caller reuses its buffer across steps.
+    pub fn from_relaxed_in<C: Ctx<N = N>>(
+        cx: C,
         problem: &Problem,
         relaxed: &RelaxedMapping,
-    ) -> (FactorVars<'t>, Vec<Var<'t>>) {
-        let params = relaxed.params();
-        let leaves: Vec<Var<'t>> = params.iter().map(|&x| tape.var(x)).collect();
-        let one = tape.constant(1.0);
+        leaves_out: &mut Vec<N>,
+    ) -> FactorVars<N> {
+        let base = leaves_out.len();
+        for row in &relaxed.log_temporal {
+            for &x in row {
+                leaves_out.push(cx.leaf(x));
+            }
+        }
+        leaves_out.push(cx.leaf(relaxed.log_spatial_c));
+        leaves_out.push(cx.leaf(relaxed.log_spatial_k));
+        let leaves = &leaves_out[base..];
+        let one = cx.constant(1.0);
         let mut temporal = [[one; NUM_DIMS]; NUM_LEVELS];
         let mut spatial = [[one; NUM_DIMS]; NUM_LEVELS];
         for lvl in 0..3 {
@@ -54,146 +104,255 @@ impl<'t> FactorVars<'t> {
         }
         spatial[level::ACCUMULATOR][Dim::C.index()] = leaves[3 * NUM_DIMS].exp();
         spatial[level::SCRATCHPAD][Dim::K.index()] = leaves[3 * NUM_DIMS + 1].exp();
+        // Every temporal factor is a live exp (or the inferred DRAM ratio
+        // below); among spatial factors only ACC/C and SPAD/K are live.
+        let all: u8 = if C::UNIT_SKIP {
+            (1u8 << NUM_DIMS) - 1
+        } else {
+            0
+        };
+        let mut spatial_unit = [all; NUM_LEVELS];
+        spatial_unit[level::ACCUMULATOR] &= !(1 << Dim::C.index());
+        spatial_unit[level::SCRATCHPAD] &= !(1 << Dim::K.index());
+        let fv_partial = FactorVars {
+            temporal,
+            spatial,
+            orders: [LoopOrder::canonical(relaxed.orders[0]); NUM_LEVELS],
+            unit: one,
+            temporal_unit: [0; NUM_LEVELS],
+            spatial_unit,
+        };
         // Inferred DRAM factors: problem size over the product of inner
         // factors. Gradients flow through the division.
+        let mut temporal = fv_partial.temporal;
         for d in Dim::ALL {
-            let mut inner = one;
-            for level_temporal in temporal.iter().take(3) {
-                inner = inner * level_temporal[d.index()];
+            let mut inner = UnitProd::new();
+            for lvl in 0..3 {
+                fv_partial.mul_temporal(&mut inner, lvl, d);
             }
-            for level_spatial in &spatial {
-                inner = inner * level_spatial[d.index()];
+            for lvl in 0..NUM_LEVELS {
+                fv_partial.mul_spatial(&mut inner, lvl, d);
             }
-            temporal[level::DRAM][d.index()] = tape.constant(problem.size(d) as f64) / inner;
+            temporal[level::DRAM][d.index()] =
+                cx.constant(problem.size(d) as f64) / inner.finish(one);
         }
         let orders = core::array::from_fn(|i| LoopOrder::canonical(relaxed.orders[i]));
-        (
-            FactorVars {
-                temporal,
-                spatial,
-                orders,
-            },
-            leaves,
-        )
+        FactorVars {
+            temporal,
+            orders,
+            ..fv_partial
+        }
     }
 
     /// Build constant factor variables from an integer mapping (used for
-    /// model-correlation studies; no useful gradients).
-    pub fn from_mapping(tape: &'t Tape, mapping: &Mapping) -> FactorVars<'t> {
-        let temporal = core::array::from_fn(|i| {
-            core::array::from_fn(|d| tape.constant(mapping.temporal[i][d] as f64))
-        });
-        let spatial = core::array::from_fn(|i| {
-            core::array::from_fn(|d| tape.constant(mapping.spatial[i][d] as f64))
-        });
+    /// model-correlation studies; no useful gradients). Factors that are
+    /// exactly 1 share a single unit node instead of recording their own
+    /// constants.
+    pub fn from_mapping<C: Ctx<N = N>>(cx: C, mapping: &Mapping) -> FactorVars<N> {
+        let one = cx.constant(1.0);
+        let mut temporal = [[one; NUM_DIMS]; NUM_LEVELS];
+        let mut spatial = [[one; NUM_DIMS]; NUM_LEVELS];
+        let mut temporal_unit = [0u8; NUM_LEVELS];
+        let mut spatial_unit = [0u8; NUM_LEVELS];
+        for i in 0..NUM_LEVELS {
+            for d in 0..NUM_DIMS {
+                let t = mapping.temporal[i][d] as f64;
+                if t == 1.0 && C::UNIT_SKIP {
+                    temporal_unit[i] |= 1 << d;
+                } else {
+                    temporal[i][d] = cx.constant(t);
+                }
+                let s = mapping.spatial[i][d] as f64;
+                if s == 1.0 && C::UNIT_SKIP {
+                    spatial_unit[i] |= 1 << d;
+                } else {
+                    spatial[i][d] = cx.constant(s);
+                }
+            }
+        }
         FactorVars {
             temporal,
             spatial,
             orders: mapping.orders,
+            unit: one,
+            temporal_unit,
+            spatial_unit,
         }
     }
 
-    fn temporal(&self, lvl: usize, d: Dim) -> Var<'t> {
+    fn temporal(&self, lvl: usize, d: Dim) -> N {
         self.temporal[lvl][d.index()]
     }
 
-    fn spatial(&self, lvl: usize, d: Dim) -> Var<'t> {
+    fn spatial(&self, lvl: usize, d: Dim) -> N {
         self.spatial[lvl][d.index()]
     }
 
+    #[inline]
+    fn temporal_is_unit(&self, lvl: usize, d: Dim) -> bool {
+        self.temporal_unit[lvl] & (1 << d.index()) != 0
+    }
+
+    #[inline]
+    fn spatial_is_unit(&self, lvl: usize, d: Dim) -> bool {
+        self.spatial_unit[lvl] & (1 << d.index()) != 0
+    }
+
+    /// Multiply the temporal factor at `(lvl, d)` into `p` unless it is a
+    /// unit constant.
+    #[inline]
+    fn mul_temporal(&self, p: &mut UnitProd<N>, lvl: usize, d: Dim) {
+        if !self.temporal_is_unit(lvl, d) {
+            p.mul(self.temporal(lvl, d));
+        }
+    }
+
+    /// Multiply the spatial factor at `(lvl, d)` into `p` unless it is a
+    /// unit constant.
+    #[inline]
+    fn mul_spatial(&self, p: &mut UnitProd<N>, lvl: usize, d: Dim) {
+        if !self.spatial_is_unit(lvl, d) {
+            p.mul(self.spatial(lvl, d));
+        }
+    }
+
     /// Product of all spatial factors (utilized PEs, Eq. 12).
-    pub fn spatial_product(&self, tape: &'t Tape) -> Var<'t> {
-        let mut p = tape.constant(1.0);
+    pub fn spatial_product<C: Ctx<N = N>>(&self, _cx: C) -> N {
+        let mut p = UnitProd::new();
         for lvl in 0..NUM_LEVELS {
             for d in Dim::ALL {
-                p = p * self.spatial(lvl, d);
+                self.mul_spatial(&mut p, lvl, d);
             }
         }
-        p
+        p.finish(self.unit)
     }
 
     /// The invalid-mapping penalty (Eq. 18): `Σ max(1 − f, 0)` over every
-    /// factor, including the inferred DRAM factors.
-    pub fn penalty(&self, tape: &'t Tape) -> Var<'t> {
-        let mut pen = tape.constant(0.0);
+    /// factor, including the inferred DRAM factors. Unit factors contribute
+    /// an exact zero and are skipped.
+    pub fn penalty<C: Ctx<N = N>>(&self, cx: C) -> N {
+        let mut pen = cx.constant(0.0);
         for lvl in 0..NUM_LEVELS {
             for d in Dim::ALL {
-                pen = pen + self.temporal(lvl, d).hinge_below(1.0);
-                pen = pen + self.spatial(lvl, d).hinge_below(1.0);
+                if !self.temporal_is_unit(lvl, d) {
+                    pen = pen + self.temporal(lvl, d).hinge_below(1.0);
+                }
+                if !self.spatial_is_unit(lvl, d) {
+                    pen = pen + self.spatial(lvl, d).hinge_below(1.0);
+                }
             }
         }
         pen
     }
 }
 
-/// Differentiable hardware parameters (the minimal parameterization of
-/// Figure 3, or constants when evaluating a fixed design).
-pub struct HwVars<'t> {
-    /// PE array side (`√C_PE`).
-    pub pe_side: Var<'t>,
-    /// Accumulator capacity in words.
-    pub acc_words: Var<'t>,
-    /// Scratchpad capacity in words.
-    pub spad_words: Var<'t>,
+impl<'t> FactorVars<Var<'t>> {
+    /// Tape-allocating convenience form of [`FactorVars::from_relaxed_in`],
+    /// returning the leaf variables in a fresh vector.
+    pub fn from_relaxed(
+        tape: &'t Tape,
+        problem: &Problem,
+        relaxed: &RelaxedMapping,
+    ) -> (FactorVars<Var<'t>>, Vec<Var<'t>>) {
+        let mut leaves = Vec::new();
+        let fv = FactorVars::from_relaxed_in(tape, problem, relaxed, &mut leaves);
+        (fv, leaves)
+    }
 }
 
-impl<'t> HwVars<'t> {
+/// Differentiable hardware parameters (the minimal parameterization of
+/// Figure 3, or constants when evaluating a fixed design).
+pub struct HwVars<N> {
+    /// PE array side (`√C_PE`).
+    pub pe_side: N,
+    /// Accumulator capacity in words.
+    pub acc_words: N,
+    /// Scratchpad capacity in words.
+    pub spad_words: N,
+}
+
+impl<N: Scalar> HwVars<N> {
     /// Constants from a concrete configuration.
-    pub fn fixed(tape: &'t Tape, hw: &HardwareConfig) -> HwVars<'t> {
+    pub fn fixed<C: Ctx<N = N>>(cx: C, hw: &HardwareConfig) -> HwVars<N> {
         HwVars {
-            pe_side: tape.constant(hw.pe_side() as f64),
-            acc_words: tape.constant(hw.acc_words() as f64),
-            spad_words: tape.constant(hw.spad_words() as f64),
+            pe_side: cx.constant(hw.pe_side() as f64),
+            acc_words: cx.constant(hw.acc_words() as f64),
+            spad_words: cx.constant(hw.spad_words() as f64),
         }
     }
 
     /// Derive the minimal hardware supporting all `layers` (Eqs. 1–5 plus
     /// the cross-layer max of Figure 3), on the tape so gradients flow from
     /// hardware-dependent energy and bandwidth back into tiling factors.
-    pub fn derive(tape: &'t Tape, layers: &[(&Problem, &FactorVars<'t>)]) -> HwVars<'t> {
-        Self::derive_with_pe(tape, layers, None)
+    pub fn derive<C: Ctx<N = N>>(cx: C, layers: &[(&Problem, &FactorVars<N>)]) -> HwVars<N> {
+        Self::derive_with_pe(cx, layers, None)
     }
 
     /// Like [`HwVars::derive`] but with the PE side pinned (the Fig. 12
     /// setting: 16×16 PEs fixed, buffers and mappings searched).
-    pub fn derive_with_pe(
-        tape: &'t Tape,
-        layers: &[(&Problem, &FactorVars<'t>)],
+    pub fn derive_with_pe<C: Ctx<N = N>>(
+        cx: C,
+        layers: &[(&Problem, &FactorVars<N>)],
         fixed_pe_side: Option<u64>,
-    ) -> HwVars<'t> {
+    ) -> HwVars<N> {
+        Self::derive_with_pe_in(cx, layers, fixed_pe_side, &mut SegmentPlan::disabled())
+    }
+
+    /// Segment-aware form of [`HwVars::derive_with_pe`]: each layer's
+    /// capacity terms are recorded as one chunk of a parallel group on
+    /// `plan` (they only interact through the cross-layer max, which is
+    /// recorded serially after the group).
+    pub fn derive_with_pe_in<C: Ctx<N = N>>(
+        cx: C,
+        layers: &[(&Problem, &FactorVars<N>)],
+        fixed_pe_side: Option<u64>,
+        plan: &mut SegmentPlan,
+    ) -> HwVars<N> {
         let mut sides = Vec::new();
         let mut accs = Vec::new();
         let mut spads = Vec::new();
+        plan.serial_to(cx.mark());
+        plan.begin_group();
         for (p, fv) in layers {
+            // The unit stand-in goes first so max-fold tie routing matches
+            // a full 28-entry scan (unit-valued entries precede the live
+            // ACC/C and SPAD/K factors in level-major order).
+            sides.push(fv.unit);
             for lvl in 0..NUM_LEVELS {
                 for d in Dim::ALL {
-                    sides.push(fv.spatial(lvl, d));
+                    if !fv.spatial_is_unit(lvl, d) {
+                        sides.push(fv.spatial(lvl, d));
+                    }
                 }
             }
             accs.push(tile_words_var(
-                tape,
+                cx,
                 p,
                 fv,
                 level::ACCUMULATOR,
                 Tensor::Outputs,
             ));
-            let w = tile_words_var(tape, p, fv, level::SCRATCHPAD, Tensor::Weights);
-            let i = tile_words_var(tape, p, fv, level::SCRATCHPAD, Tensor::Inputs);
+            let w = tile_words_var(cx, p, fv, level::SCRATCHPAD, Tensor::Weights);
+            let i = tile_words_var(cx, p, fv, level::SCRATCHPAD, Tensor::Inputs);
             spads.push(w + i);
+            plan.chunk_to(cx.mark());
         }
+        plan.end_group();
         let pe_side = match fixed_pe_side {
-            Some(s) => tape.constant(s as f64),
+            Some(s) => cx.constant(s as f64),
             None => {
-                let side = max_of(tape, &sides);
+                let side = max_of(cx, &sides);
                 // Cap at the architectural maximum (§6.1).
-                side.min(tape.constant(MAX_PE_SIDE as f64))
+                side.min(cx.constant(MAX_PE_SIDE as f64))
             }
         };
-        HwVars {
+        let hw = HwVars {
             pe_side,
-            acc_words: max_of(tape, &accs),
-            spad_words: max_of(tape, &spads),
-        }
+            acc_words: max_of(cx, &accs),
+            spad_words: max_of(cx, &spads),
+        };
+        plan.serial_to(cx.mark());
+        hw
     }
 
     /// Round the current values into a concrete [`HardwareConfig`]
@@ -209,22 +368,23 @@ impl<'t> HwVars<'t> {
 /// Differentiable tile footprint of tensor `t` at level `i` (Eqs. 2–4):
 /// temporal factors below `i` times all spatial factors of relevant dims,
 /// with the stride halo for inputs.
-pub fn tile_words_var<'t>(
-    tape: &'t Tape,
+pub fn tile_words_var<C: Ctx>(
+    cx: C,
     problem: &Problem,
-    fv: &FactorVars<'t>,
+    fv: &FactorVars<C::N>,
     i: usize,
     t: Tensor,
-) -> Var<'t> {
-    let inner = |d: Dim| -> Var<'t> {
-        let mut f = tape.constant(1.0);
+) -> C::N {
+    let _ = cx;
+    let inner = |d: Dim| -> C::N {
+        let mut f = UnitProd::new();
         for j in 0..i {
-            f = f * fv.temporal(j, d);
+            fv.mul_temporal(&mut f, j, d);
         }
         for j in 0..NUM_LEVELS {
-            f = f * fv.spatial(j, d);
+            fv.mul_spatial(&mut f, j, d);
         }
-        f
+        f.finish(fv.unit)
     };
     match t {
         Tensor::Weights => inner(Dim::R) * inner(Dim::S) * inner(Dim::C) * inner(Dim::K),
@@ -241,69 +401,63 @@ pub fn tile_words_var<'t>(
 /// `(rel, x)` over the temporal loops above level `i`. The mask — which
 /// loops are outer to the innermost non-unit relevant loop — is decided
 /// from current forward values, keeping integer evaluations exact.
-fn refetch_var<'t>(
-    tape: &'t Tape,
-    fv: &FactorVars<'t>,
-    i: usize,
-    relevant: DimSet,
-) -> (Var<'t>, Var<'t>) {
-    let mut rel = tape.constant(1.0);
-    let mut x = tape.constant(1.0);
+fn refetch_var<N: Scalar>(fv: &FactorVars<N>, i: usize, relevant: DimSet) -> (N, N) {
+    let mut rel = UnitProd::new();
+    let mut x = UnitProd::new();
     let mut past_innermost_relevant = false;
     for j in i..NUM_LEVELS {
         for &d in fv.orders[j].dims() {
             let f = fv.temporal(j, d);
             if relevant.contains(d) {
-                rel = rel * f;
+                fv.mul_temporal(&mut rel, j, d);
                 if f.value() > UNIT_EPS {
                     past_innermost_relevant = true;
                 }
             } else if past_innermost_relevant {
-                x = x * f;
+                fv.mul_temporal(&mut x, j, d);
             }
         }
     }
-    (rel, x)
+    (rel.finish(fv.unit), x.finish(fv.unit))
 }
 
 /// Differentiable broadcast / spatial-reduction discount over levels
 /// `lo..=hi` (Eqs. 8, 10).
-fn spatial_discount_var<'t>(
-    tape: &'t Tape,
-    fv: &FactorVars<'t>,
+fn spatial_discount_var<N: Scalar>(
+    fv: &FactorVars<N>,
     lo: usize,
     hi: usize,
     relevant: DimSet,
-) -> Var<'t> {
-    let mut f = tape.constant(1.0);
+) -> N {
+    let mut f = UnitProd::new();
     for j in lo..=hi {
         for d in Dim::ALL {
             if !relevant.contains(d) {
-                f = f * fv.spatial(j, d);
+                fv.mul_spatial(&mut f, j, d);
             }
         }
     }
-    f
+    f.finish(fv.unit)
 }
 
 /// Differentiable latency and energy of one layer (Eqs. 12–13).
-pub struct LayerPerfVars<'t> {
+pub struct LayerPerfVars<N> {
     /// Latency in cycles.
-    pub latency: Var<'t>,
+    pub latency: N,
     /// Energy in µJ.
-    pub energy_uj: Var<'t>,
+    pub energy_uj: N,
 }
 
 /// Evaluate the differentiable model for one layer on hardware `hw`.
-pub fn layer_perf_vars<'t>(
-    tape: &'t Tape,
+pub fn layer_perf_vars<C: Ctx>(
+    cx: C,
     problem: &Problem,
-    fv: &FactorVars<'t>,
-    hw: &HwVars<'t>,
+    fv: &FactorVars<C::N>,
+    hw: &HwVars<C::N>,
     hier: &Hierarchy,
-) -> LayerPerfVars<'t> {
-    let macs = tape.constant(problem.macs() as f64);
-    let mut accesses: [Var<'t>; NUM_LEVELS] = [tape.constant(0.0); NUM_LEVELS];
+) -> LayerPerfVars<C::N> {
+    let macs = cx.constant(problem.macs() as f64);
+    let mut accesses: [C::N; NUM_LEVELS] = [cx.constant(0.0); NUM_LEVELS];
 
     for t in Tensor::ALL {
         let rel_dims = t.dims();
@@ -312,11 +466,11 @@ pub fn layer_perf_vars<'t>(
             .collect();
         let outermost = *holding.last().expect("DRAM stores everything");
 
-        let mut tiles: Vec<Var<'t>> = Vec::with_capacity(holding.len());
-        let mut refetches: Vec<(Var<'t>, Var<'t>)> = Vec::with_capacity(holding.len());
+        let mut tiles: Vec<C::N> = Vec::with_capacity(holding.len());
+        let mut refetches: Vec<(C::N, C::N)> = Vec::with_capacity(holding.len());
         for &i in &holding {
-            tiles.push(tile_words_var(tape, problem, fv, i, t));
-            refetches.push(refetch_var(tape, fv, i, rel_dims));
+            tiles.push(tile_words_var(cx, problem, fv, i, t));
+            refetches.push(refetch_var(fv, i, rel_dims));
         }
 
         for (pos, &i) in holding.iter().enumerate() {
@@ -324,7 +478,7 @@ pub fn layer_perf_vars<'t>(
             let tile = tiles[pos];
             let child = if pos > 0 { Some(pos - 1) } else { None };
             let is_outer = i == outermost;
-            let mut level_total = tape.constant(0.0);
+            let mut level_total = cx.constant(0.0);
 
             match t {
                 Tensor::Weights | Tensor::Inputs => {
@@ -332,12 +486,11 @@ pub fn layer_perf_vars<'t>(
                         level_total = level_total + tile * rel * x; // fills
                     }
                     let reads = match child {
-                        None => macs / spatial_discount_var(tape, fv, 0, i, rel_dims),
+                        None => macs / spatial_discount_var(fv, 0, i, rel_dims),
                         Some(c) => {
-                            let (crel, cx) = refetches[c];
-                            let child_fills = tiles[c] * crel * cx;
-                            child_fills
-                                / spatial_discount_var(tape, fv, holding[c] + 1, i, rel_dims)
+                            let (crel, cx_) = refetches[c];
+                            let child_fills = tiles[c] * crel * cx_;
+                            child_fills / spatial_discount_var(fv, holding[c] + 1, i, rel_dims)
                         }
                     };
                     level_total = level_total + reads;
@@ -351,12 +504,11 @@ pub fn layer_perf_vars<'t>(
                         level_total = level_total + drains + fills;
                     }
                     let updates = match child {
-                        None => macs / spatial_discount_var(tape, fv, 0, i, rel_dims),
+                        None => macs / spatial_discount_var(fv, 0, i, rel_dims),
                         Some(c) => {
-                            let (crel, cx) = refetches[c];
-                            let child_drains = tiles[c] * crel * cx;
-                            child_drains
-                                / spatial_discount_var(tape, fv, holding[c] + 1, i, rel_dims)
+                            let (crel, cx_) = refetches[c];
+                            let child_drains = tiles[c] * crel * cx_;
+                            child_drains / spatial_discount_var(fv, holding[c] + 1, i, rel_dims)
                         }
                     };
                     level_total = level_total + updates;
@@ -367,10 +519,10 @@ pub fn layer_perf_vars<'t>(
                             level_total = level_total + rmw;
                         }
                         Some(c) => {
-                            let (crel, cx) = refetches[c];
-                            let child_refills = tiles[c] * crel * (cx - 1.0);
+                            let (crel, cx_) = refetches[c];
+                            let child_refills = tiles[c] * crel * (cx_ - 1.0);
                             let serve = child_refills
-                                / spatial_discount_var(tape, fv, holding[c] + 1, i, rel_dims);
+                                / spatial_discount_var(fv, holding[c] + 1, i, rel_dims);
                             level_total = level_total + serve;
                         }
                     }
@@ -381,13 +533,13 @@ pub fn layer_perf_vars<'t>(
     }
 
     // Latency (Eq. 12): roofline over compute and memory levels.
-    let compute = macs / fv.spatial_product(tape);
+    let compute = macs / fv.spatial_product(cx);
     let pe2 = hw.pe_side * hw.pe_side;
-    let bw: [Var<'t>; NUM_LEVELS] = [
+    let bw: [C::N; NUM_LEVELS] = [
         pe2 * 2.0,
         hw.pe_side * 2.0,
         hw.pe_side * 2.0,
-        tape.constant(8.0),
+        cx.constant(8.0),
     ];
     let mut latency = compute;
     for i in 0..NUM_LEVELS {
@@ -449,6 +601,24 @@ mod tests {
                     reference.latency_cycles
                 );
             }
+        }
+    }
+
+    #[test]
+    fn eval_ctx_matches_tape_forward_bits() {
+        use dosa_autodiff::Values;
+        let hier = Hierarchy::gemmini();
+        let hw = HardwareConfig::gemmini_default();
+        let mut rng = StdRng::seed_from_u64(77);
+        let p = Problem::conv("e", 3, 3, 28, 28, 32, 64, 1).unwrap();
+        for _ in 0..10 {
+            let m = random_mapping(&mut rng, &p, &hier, 16);
+            let (lat_t, e_t) = diff_perf(&p, &m, &hw);
+            let fv = FactorVars::from_mapping(Values, &m);
+            let hwv = HwVars::fixed(Values, &hw);
+            let perf = layer_perf_vars(Values, &p, &fv, &hwv, &hier);
+            assert_eq!(perf.latency.to_bits(), lat_t.to_bits());
+            assert_eq!(perf.energy_uj.to_bits(), e_t.to_bits());
         }
     }
 

@@ -10,11 +10,19 @@
 //! of each layer by a softmax over `−τ·ln(EDP)` — a numerically robust
 //! stand-in for the paper's softmax over inverse EDPs, which degenerates to
 //! uniform weights at the magnitudes involved (see DESIGN.md).
+//!
+//! [`build_loss_in`] is generic over the recording [`Ctx`] and feeds a
+//! [`SegmentPlan`] while it records: each layer's factor construction,
+//! capacity terms and performance terms become independent chunks of three
+//! parallel groups (layers only interact through the cross-layer hardware
+//! max and the final sums), which is what lets
+//! `Tape::backward_segmented` sweep per-layer work on parallel workers
+//! without changing a single gradient bit.
 
 use crate::diff::{layer_perf_vars, FactorVars, HwVars};
 use crate::relaxed::RelaxedMapping;
 use dosa_accel::{HardwareConfig, Hierarchy};
-use dosa_autodiff::{softmax, sum, Tape, Var};
+use dosa_autodiff::{softmax, sum, Ctx, Scalar, SegmentPlan, Tape, Values, Var};
 use dosa_timeloop::{LoopOrder, Stationarity};
 use dosa_workload::Layer;
 
@@ -48,6 +56,21 @@ impl Default for LossOptions {
     }
 }
 
+/// A fully assembled differentiable loss for one gradient step, generic
+/// over the recording context ([`build_loss_in`]).
+pub struct BuiltLossG<N> {
+    /// The loss to backpropagate: `ln(EDP) + w·penalty`.
+    pub loss: N,
+    /// Forward model EDP in µJ·cycles.
+    pub edp: f64,
+    /// Forward model energy in µJ.
+    pub energy_uj: f64,
+    /// Forward model latency in cycles.
+    pub latency: f64,
+    /// Forward penalty value.
+    pub penalty: f64,
+}
+
 /// A fully assembled differentiable loss for one gradient step.
 pub struct BuiltLoss<'t> {
     /// The loss to backpropagate: `ln(EDP) + w·penalty`.
@@ -64,41 +87,61 @@ pub struct BuiltLoss<'t> {
     pub penalty: f64,
 }
 
-/// Assemble the differentiable loss for `layers` at the point `relaxed`.
+/// Assemble the differentiable loss for `layers` at the point `relaxed`,
+/// recording segment boundaries on `plan` and appending every leaf (layer
+/// by layer, [`RelaxedMapping::params`] order) to `leaves_out`.
+///
+/// Callers that reuse `plan` and `leaves_out` across steps (clearing them
+/// first) allocate nothing here beyond the recording itself.
 ///
 /// # Panics
 ///
 /// Panics if `layers` and `relaxed` have different lengths or are empty.
-pub fn build_loss<'t>(
-    tape: &'t Tape,
+pub fn build_loss_in<C: Ctx>(
+    cx: C,
     layers: &[Layer],
     relaxed: &[RelaxedMapping],
     hier: &Hierarchy,
     opts: &LossOptions,
-) -> BuiltLoss<'t> {
+    plan: &mut SegmentPlan,
+    leaves_out: &mut Vec<C::N>,
+) -> BuiltLossG<C::N> {
     assert_eq!(layers.len(), relaxed.len(), "one relaxed mapping per layer");
     assert!(!layers.is_empty(), "need at least one layer");
 
+    // Group 1: per-layer factor variables (leaves, exps, DRAM inference).
     let mut factor_vars = Vec::with_capacity(layers.len());
-    let mut leaves = Vec::with_capacity(layers.len());
+    plan.serial_to(cx.mark());
+    plan.begin_group();
     for (layer, r) in layers.iter().zip(relaxed) {
-        let (fv, lv) = FactorVars::from_relaxed(tape, &layer.problem, r);
-        factor_vars.push(fv);
-        leaves.push(lv);
+        factor_vars.push(FactorVars::from_relaxed_in(
+            cx,
+            &layer.problem,
+            r,
+            leaves_out,
+        ));
+        plan.chunk_to(cx.mark());
     }
+    plan.end_group();
 
-    let refs: Vec<(&dosa_workload::Problem, &FactorVars<'t>)> = layers
+    let refs: Vec<(&dosa_workload::Problem, &FactorVars<C::N>)> = layers
         .iter()
         .zip(&factor_vars)
         .map(|(l, fv)| (&l.problem, fv))
         .collect();
+    // Group 2 (inside derive_with_pe_in): per-layer capacity terms, then
+    // the serial cross-layer max.
     let hw = match opts.fixed_hw {
-        Some(cfg) => HwVars::fixed(tape, &cfg),
-        None => HwVars::derive_with_pe(tape, &refs, opts.fixed_pe_side),
+        Some(cfg) => HwVars::fixed(cx, &cfg),
+        None => HwVars::derive_with_pe_in(cx, &refs, opts.fixed_pe_side, plan),
     };
 
+    // Group 3: per-layer performance terms (including the softmax ordering
+    // variants — each layer's three orderings stay inside its chunk).
     let mut energies = Vec::with_capacity(layers.len());
     let mut latencies = Vec::with_capacity(layers.len());
+    plan.serial_to(cx.mark());
+    plan.begin_group();
     for (layer, fv) in layers.iter().zip(&factor_vars) {
         let count = layer.count as f64;
         if opts.softmax_ordering {
@@ -110,36 +153,39 @@ pub fn build_loss<'t>(
             for s in Stationarity::ALL {
                 let mut fv_s = *fv;
                 fv_s.orders = [LoopOrder::canonical(s); dosa_accel::NUM_LEVELS];
-                let perf = layer_perf_vars(tape, &layer.problem, &fv_s, &hw, hier);
+                let perf = layer_perf_vars(cx, &layer.problem, &fv_s, &hw, hier);
                 scores.push(-(perf.energy_uj * perf.latency).ln() * opts.softmax_temperature);
                 option_e.push(perf.energy_uj);
                 option_l.push(perf.latency);
             }
-            let w = softmax(tape, &scores);
-            let e = dosa_autodiff::dot(tape, &w, &option_e);
-            let l = dosa_autodiff::dot(tape, &w, &option_l);
+            let w = softmax(cx, &scores);
+            let e = dosa_autodiff::dot(cx, &w, &option_e);
+            let l = dosa_autodiff::dot(cx, &w, &option_l);
             energies.push(e * count);
             latencies.push(l * count);
         } else {
-            let perf = layer_perf_vars(tape, &layer.problem, fv, &hw, hier);
+            let perf = layer_perf_vars(cx, &layer.problem, fv, &hw, hier);
             energies.push(perf.energy_uj * count);
             latencies.push(perf.latency * count);
         }
+        plan.chunk_to(cx.mark());
     }
+    plan.end_group();
 
-    let energy = sum(tape, &energies);
-    let latency = sum(tape, &latencies);
+    // Serial tail: cross-layer sums, EDP, penalty and the final loss.
+    let energy = sum(cx, &energies);
+    let latency = sum(cx, &latencies);
     let edp = energy * latency;
 
-    let mut pen = tape.constant(0.0);
+    let mut pen = cx.constant(0.0);
     for fv in &factor_vars {
-        pen = pen + fv.penalty(tape);
+        pen = pen + fv.penalty(cx);
     }
     let loss = edp.ln() + pen * opts.penalty_weight;
+    plan.serial_to(cx.mark());
 
-    BuiltLoss {
+    BuiltLossG {
         loss,
-        leaves,
         edp: edp.value(),
         energy_uj: energy.value(),
         latency: latency.value(),
@@ -147,16 +193,50 @@ pub fn build_loss<'t>(
     }
 }
 
+/// Assemble the differentiable loss for `layers` at the point `relaxed`.
+///
+/// Convenience form of [`build_loss_in`] without segment planning,
+/// returning per-layer leaf vectors.
+///
+/// # Panics
+///
+/// Panics if `layers` and `relaxed` have different lengths or are empty.
+pub fn build_loss<'t>(
+    tape: &'t Tape,
+    layers: &[Layer],
+    relaxed: &[RelaxedMapping],
+    hier: &Hierarchy,
+    opts: &LossOptions,
+) -> BuiltLoss<'t> {
+    let mut plan = SegmentPlan::disabled();
+    let mut flat = Vec::new();
+    let built = build_loss_in(tape, layers, relaxed, hier, opts, &mut plan, &mut flat);
+    let leaves = flat
+        .chunks(crate::relaxed::PARAMS_PER_LAYER)
+        .map(|c| c.to_vec())
+        .collect();
+    BuiltLoss {
+        loss: built.loss,
+        leaves,
+        edp: built.edp,
+        energy_uj: built.energy_uj,
+        latency: built.latency,
+        penalty: built.penalty,
+    }
+}
+
 /// Forward-only model prediction (energy µJ, latency cycles, EDP) at a
-/// relaxed point — convenience wrapper allocating a private tape.
+/// relaxed point — runs on the tape-free [`Values`] context, so value-only
+/// re-evaluations record nothing and allocate almost nothing.
 pub fn predict(
     layers: &[Layer],
     relaxed: &[RelaxedMapping],
     hier: &Hierarchy,
     opts: &LossOptions,
 ) -> (f64, f64, f64) {
-    let tape = Tape::new();
-    let built = build_loss(&tape, layers, relaxed, hier, opts);
+    let mut plan = SegmentPlan::disabled();
+    let mut leaves = Vec::new();
+    let built = build_loss_in(Values, layers, relaxed, hier, opts, &mut plan, &mut leaves);
     (built.energy_uj, built.latency, built.edp)
 }
 
@@ -208,6 +288,27 @@ mod tests {
             .filter(|l| grads.wrt(**l) != 0.0)
             .count();
         assert!(active > 10);
+    }
+
+    #[test]
+    fn predict_matches_tape_forward_bits() {
+        let layers = layers();
+        let relaxed = start(&layers);
+        let hier = Hierarchy::gemmini();
+        for opts in [
+            LossOptions::default(),
+            LossOptions {
+                softmax_ordering: true,
+                ..LossOptions::default()
+            },
+        ] {
+            let tape = Tape::new();
+            let built = build_loss(&tape, &layers, &relaxed, &hier, &opts);
+            let (e, l, edp) = predict(&layers, &relaxed, &hier, &opts);
+            assert_eq!(e.to_bits(), built.energy_uj.to_bits());
+            assert_eq!(l.to_bits(), built.latency.to_bits());
+            assert_eq!(edp.to_bits(), built.edp.to_bits());
+        }
     }
 
     #[test]

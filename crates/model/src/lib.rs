@@ -36,5 +36,5 @@ mod edp;
 mod relaxed;
 
 pub use diff::{layer_perf_vars, tile_words_var, FactorVars, HwVars, LayerPerfVars};
-pub use edp::{build_loss, predict, BuiltLoss, LossOptions};
+pub use edp::{build_loss, build_loss_in, predict, BuiltLoss, BuiltLossG, LossOptions};
 pub use relaxed::{round_all, RelaxedMapping, PARAMS_PER_LAYER};

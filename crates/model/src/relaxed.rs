@@ -89,12 +89,18 @@ impl RelaxedMapping {
     /// spatial K.
     pub fn params(&self) -> Vec<f64> {
         let mut v = Vec::with_capacity(PARAMS_PER_LAYER);
-        for row in &self.log_temporal {
-            v.extend_from_slice(row);
-        }
-        v.push(self.log_spatial_c);
-        v.push(self.log_spatial_k);
+        self.params_into(&mut v);
         v
+    }
+
+    /// Append the [`RelaxedMapping::params`] vector to `out` without
+    /// allocating — the engine's per-step parameter refill path.
+    pub fn params_into(&self, out: &mut Vec<f64>) {
+        for row in &self.log_temporal {
+            out.extend_from_slice(row);
+        }
+        out.push(self.log_spatial_c);
+        out.push(self.log_spatial_k);
     }
 
     /// Inverse of [`RelaxedMapping::params`].

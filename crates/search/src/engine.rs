@@ -34,9 +34,10 @@ use crate::latency_model::LatencyPredictor;
 use crate::sched::JobGate;
 use crate::startpoints::StartPoint;
 use dosa_accel::{HardwareConfig, Hierarchy};
-use dosa_autodiff::{sum, Tape, Var};
+use dosa_autodiff::{sum, SegScratch, SegmentPlan, Tape, Var};
 use dosa_model::{
-    build_loss, layer_perf_vars, FactorVars, HwVars, LossOptions, RelaxedMapping, PARAMS_PER_LAYER,
+    build_loss_in, layer_perf_vars, FactorVars, HwVars, LossOptions, RelaxedMapping,
+    PARAMS_PER_LAYER,
 };
 use dosa_timeloop::{evaluate_layer, min_hw_for_all, LoopOrder, Mapping, Stationarity};
 use dosa_workload::{Layer, Problem};
@@ -70,9 +71,19 @@ pub trait DiffLoss: Sync {
     fn prepare_start(&self, _relaxed: &mut [RelaxedMapping], _rng: &mut StdRng) {}
 
     /// Record the loss at the point `relaxed` on `tape`, returning the
-    /// scalar to backpropagate and the leaf variables flattened in
-    /// [`RelaxedMapping::params`] order.
-    fn build<'t>(&self, tape: &'t Tape, relaxed: &[RelaxedMapping]) -> (Var<'t>, Vec<Var<'t>>);
+    /// scalar to backpropagate. Leaf variables are appended to `leaves`
+    /// flattened in [`RelaxedMapping::params`] order, and per-layer segment
+    /// boundaries are recorded on `plan` so the engine can sweep the
+    /// backward pass on parallel workers (bit-identically; see
+    /// `dosa_autodiff::SegmentPlan`). Both buffers arrive cleared and are
+    /// reused across steps, so steady-state recording allocates nothing.
+    fn build<'t>(
+        &self,
+        tape: &'t Tape,
+        relaxed: &[RelaxedMapping],
+        plan: &mut SegmentPlan,
+        leaves: &mut Vec<Var<'t>>,
+    ) -> Var<'t>;
 
     /// Finish one §5.3.2 rounding: given freshly rounded `mappings`, apply
     /// this loss's ordering-selection behavior (updating `mappings` and the
@@ -94,7 +105,7 @@ pub struct EdpLoss<'a> {
     pub layers: &'a [Layer],
     /// The memory hierarchy.
     pub hier: &'a Hierarchy,
-    /// Options of the underlying [`build_loss`].
+    /// Options of the underlying [`build_loss_in`].
     pub opts: LossOptions,
     /// Loop-ordering strategy applied at each rounding.
     pub strategy: LoopOrderStrategy,
@@ -123,9 +134,23 @@ impl DiffLoss for EdpLoss<'_> {
         }
     }
 
-    fn build<'t>(&self, tape: &'t Tape, relaxed: &[RelaxedMapping]) -> (Var<'t>, Vec<Var<'t>>) {
-        let built = build_loss(tape, self.layers, relaxed, self.hier, &self.opts);
-        (built.loss, built.leaves.into_iter().flatten().collect())
+    fn build<'t>(
+        &self,
+        tape: &'t Tape,
+        relaxed: &[RelaxedMapping],
+        plan: &mut SegmentPlan,
+        leaves: &mut Vec<Var<'t>>,
+    ) -> Var<'t> {
+        build_loss_in(
+            tape,
+            self.layers,
+            relaxed,
+            self.hier,
+            &self.opts,
+            plan,
+            leaves,
+        )
+        .loss
     }
 
     fn finish_round(
@@ -197,32 +222,45 @@ impl DiffLoss for PredictedLatencyLoss<'_> {
         self.pe_side
     }
 
-    fn build<'t>(&self, tape: &'t Tape, relaxed: &[RelaxedMapping]) -> (Var<'t>, Vec<Var<'t>>) {
-        // Assemble the loss with predictor-adjusted latencies.
+    fn build<'t>(
+        &self,
+        tape: &'t Tape,
+        relaxed: &[RelaxedMapping],
+        plan: &mut SegmentPlan,
+        leaves: &mut Vec<Var<'t>>,
+    ) -> Var<'t> {
+        // Assemble the loss with predictor-adjusted latencies, mirroring
+        // build_loss_in's per-layer segment structure.
         let mut factor_vars = Vec::with_capacity(self.layers.len());
-        let mut leaves_all = Vec::with_capacity(self.layers.len());
+        plan.serial_to(tape.len() as u32);
+        plan.begin_group();
         for (layer, r) in self.layers.iter().zip(relaxed) {
-            let (fv, lv) = FactorVars::from_relaxed(tape, &layer.problem, r);
-            factor_vars.push(fv);
-            leaves_all.push(lv);
+            factor_vars.push(FactorVars::from_relaxed_in(tape, &layer.problem, r, leaves));
+            plan.chunk_to(tape.len() as u32);
         }
-        let refs: Vec<(&Problem, &FactorVars<'_>)> = self
+        plan.end_group();
+        let refs: Vec<(&Problem, &FactorVars<Var<'t>>)> = self
             .layers
             .iter()
             .zip(&factor_vars)
             .map(|(l, fv)| (&l.problem, fv))
             .collect();
-        let hw = HwVars::derive_with_pe(tape, &refs, Some(self.pe_side));
+        let hw = HwVars::derive_with_pe_in(tape, &refs, Some(self.pe_side), plan);
         let mut energies = Vec::new();
         let mut latencies = Vec::new();
-        for ((layer, fv), leaves) in self.layers.iter().zip(&factor_vars).zip(&leaves_all) {
+        plan.serial_to(tape.len() as u32);
+        plan.begin_group();
+        for (i, (layer, fv)) in self.layers.iter().zip(&factor_vars).enumerate() {
             let perf = layer_perf_vars(tape, &layer.problem, fv, &hw, self.hier);
-            let lat = self
-                .predictor
-                .latency_var(tape, &layer.problem, leaves, &hw, perf.latency);
+            let layer_leaves = &leaves[i * PARAMS_PER_LAYER..(i + 1) * PARAMS_PER_LAYER];
+            let lat =
+                self.predictor
+                    .latency_var(tape, &layer.problem, layer_leaves, &hw, perf.latency);
             energies.push(perf.energy_uj * layer.count as f64);
             latencies.push(lat * layer.count as f64);
+            plan.chunk_to(tape.len() as u32);
         }
+        plan.end_group();
         let energy = sum(tape, &energies);
         let latency = sum(tape, &latencies);
         let mut pen = tape.constant(0.0);
@@ -230,7 +268,8 @@ impl DiffLoss for PredictedLatencyLoss<'_> {
             pen = pen + fv.penalty(tape);
         }
         let loss = (energy * latency).ln() + pen;
-        (loss, leaves_all.into_iter().flatten().collect())
+        plan.serial_to(tape.len() as u32);
+        loss
     }
 
     fn finish_round(
@@ -309,13 +348,27 @@ impl ProgressCounters {
 /// cooperative-cancellation flag (checked once per gradient step) and an
 /// optional progress sink. `StartControl::default()` is the uncontrolled
 /// blocking mode used by [`run_gd_search`].
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy)]
 pub(crate) struct StartControl<'a> {
     /// When set, descents return their partial result at the next step
     /// boundary, and not-yet-started work items return empty results.
     pub(crate) cancel: Option<&'a AtomicBool>,
     /// Live observation counters for the network this start belongs to.
     pub(crate) progress: Option<&'a ProgressCounters>,
+    /// Worker budget for the segmented backward sweep inside each descent
+    /// step. `1` keeps the sweep serial; the result is bit-identical for
+    /// every budget (see [`dosa_autodiff::SegmentPlan`]).
+    pub(crate) inner_threads: usize,
+}
+
+impl Default for StartControl<'_> {
+    fn default() -> Self {
+        StartControl {
+            cancel: None,
+            progress: None,
+            inner_threads: 1,
+        }
+    }
 }
 
 impl StartControl<'_> {
@@ -506,8 +559,15 @@ pub fn run_gd_search<L: DiffLoss + ?Sized>(
         panic!("invalid GdConfig: {e}");
     }
     let threads = rayon::current_num_threads();
-    let per_start = fan_out(starts, threads, |index, start| {
-        run_single_start(loss, start.relaxed, index, cfg, StartControl::default())
+    // Threads left over after one-per-start are spent inside each start's
+    // segmented backward sweep; the result is bit-identical either way.
+    let inner_threads = (threads / starts.len().max(1)).max(1);
+    let per_start = fan_out(starts, threads, move |index, start| {
+        let ctrl = StartControl {
+            inner_threads,
+            ..StartControl::default()
+        };
+        run_single_start(loss, start.relaxed, index, cfg, ctrl)
     });
     merge_start_results(per_start)
 }
@@ -526,11 +586,17 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
     loss.prepare_start(&mut relaxed, &mut rng);
 
     let mut result = SearchResult::empty();
-    // One tape and one adjoint scratch buffer per start point, reused
-    // (never reallocated) across all gradient steps.
+    // One tape, one segment plan, and one set of scratch buffers per start
+    // point, reused (never reallocated) across all gradient steps.
     let tape = Tape::new();
-    let mut adj: Vec<f64> = Vec::new();
-    let mut params: Vec<f64> = relaxed.iter().flat_map(|r| r.params()).collect();
+    let mut scratch = SegScratch::new();
+    let mut plan = SegmentPlan::new();
+    let mut leaves: Vec<Var<'_>> = Vec::new();
+    let mut params: Vec<f64> = Vec::new();
+    for r in &relaxed {
+        r.params_into(&mut params);
+    }
+    let mut flat: Vec<f64> = Vec::new();
     let mut adam = Adam::new(params.len(), cfg.learning_rate);
 
     for step in 1..=cfg.steps_per_start {
@@ -545,19 +611,16 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
             r.set_params(chunk);
         }
         tape.clear();
-        let (loss_var, leaves) = loss.build(&tape, &relaxed);
-        let grads = tape.backward_into(loss_var, &mut adj);
-        let flat: Vec<f64> = leaves
-            .iter()
-            .map(|l| {
-                let g = grads.wrt(*l);
-                if g.is_finite() {
-                    g
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        plan.clear();
+        leaves.clear();
+        let loss_var = loss.build(&tape, &relaxed, &mut plan, &mut leaves);
+        let grads = tape.backward_segmented(loss_var, &plan, ctrl.inner_threads, &mut scratch);
+        grads.wrt_into(&leaves, &mut flat);
+        for g in flat.iter_mut() {
+            if !g.is_finite() {
+                *g = 0.0;
+            }
+        }
         adam.step(&mut params, &flat);
         result.samples += 1;
         ctrl.count_samples(1);
@@ -579,18 +642,17 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
             result.record();
             ctrl.observe_best(result.best_edp);
 
-            // Restart descent from the rounded point (§5.2.1).
-            let rounded: Vec<RelaxedMapping> = mappings
-                .iter()
-                .zip(&relaxed)
-                .map(|(m, prev)| {
-                    let mut r = RelaxedMapping::from_mapping(m);
-                    r.orders = prev.orders;
-                    r
-                })
-                .collect();
-            relaxed = rounded;
-            params = relaxed.iter().flat_map(|r| r.params()).collect();
+            // Restart descent from the rounded point (§5.2.1), rewriting
+            // the existing relaxed mappings and parameter buffer in place.
+            for (m, r) in mappings.iter().zip(relaxed.iter_mut()) {
+                let orders = r.orders;
+                *r = RelaxedMapping::from_mapping(m);
+                r.orders = orders;
+            }
+            params.clear();
+            for r in &relaxed {
+                r.params_into(&mut params);
+            }
             adam.reset();
         } else if step % RECORD_EVERY == 0 {
             result.record();

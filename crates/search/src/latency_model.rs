@@ -43,7 +43,7 @@ pub fn feature_vars<'t>(
     tape: &'t Tape,
     problem: &Problem,
     leaves: &[Var<'t>],
-    hw: &HwVars<'t>,
+    hw: &HwVars<Var<'t>>,
 ) -> Vec<Var<'t>> {
     let mut f = Vec::with_capacity(NUM_FEATURES);
     for d in Dim::ALL {
@@ -220,7 +220,7 @@ impl LatencyPredictor {
         tape: &'t Tape,
         problem: &Problem,
         leaves: &[Var<'t>],
-        hw: &HwVars<'t>,
+        hw: &HwVars<Var<'t>>,
         analytical: Var<'t>,
     ) -> Var<'t> {
         match (self.kind, &self.mlp) {

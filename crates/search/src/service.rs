@@ -668,6 +668,7 @@ fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
     StartControl {
         cancel: Some(&*job.cancel),
         progress: Some(&job.progress[net_index]),
+        inner_threads: 1,
     }
 }
 

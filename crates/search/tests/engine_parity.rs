@@ -4,7 +4,7 @@
 //! the buffer-reusing backward sweep.
 
 use dosa_accel::{HardwareConfig, Hierarchy, MAX_PE_SIDE};
-use dosa_autodiff::Tape;
+use dosa_autodiff::{SegScratch, SegmentPlan, Tape};
 use dosa_model::{build_loss, LossOptions, RelaxedMapping};
 use dosa_search::engine::DiffLoss;
 use dosa_search::{cosa_mapping, EdpLoss, LoopOrderStrategy};
@@ -40,7 +40,8 @@ fn edp_engine_matches_sequential_loss_and_gradients() {
         .map(|l| grads_seq.wrt(*l))
         .collect();
 
-    // Engine path: DiffLoss::build + buffer-reusing backward_into.
+    // Engine path: DiffLoss::build + segmented backward on reused scratch,
+    // at several worker budgets — all must be bit-identical.
     let engine = EdpLoss {
         layers: &layers,
         hier: &hier,
@@ -49,31 +50,35 @@ fn edp_engine_matches_sequential_loss_and_gradients() {
         fixed_pe_side: None,
         spatial_cap: MAX_PE_SIDE,
     };
-    let tape = Tape::new();
-    let mut adj = Vec::new();
-    let (loss_var, leaves) = engine.build(&tape, &relaxed);
-    let view = tape.backward_into(loss_var, &mut adj);
-    let flat: Vec<f64> = leaves.iter().map(|l| view.wrt(*l)).collect();
+    for threads in [1, 2, 8] {
+        let tape = Tape::new();
+        let mut plan = SegmentPlan::new();
+        let mut leaves = Vec::new();
+        let mut scratch = SegScratch::new();
+        let loss_var = engine.build(&tape, &relaxed, &mut plan, &mut leaves);
+        let view = tape.backward_segmented(loss_var, &plan, threads, &mut scratch);
+        let flat: Vec<f64> = leaves.iter().map(|l| view.wrt(*l)).collect();
 
-    assert_eq!(
-        loss_var.value().to_bits(),
-        built.loss.value().to_bits(),
-        "loss value diverged: {} vs {}",
-        loss_var.value(),
-        built.loss.value()
-    );
-    assert_eq!(flat.len(), flat_seq.len());
-    for (i, (a, b)) in flat.iter().zip(&flat_seq).enumerate() {
         assert_eq!(
-            a.to_bits(),
-            b.to_bits(),
-            "gradient {i} diverged: {a} vs {b}"
+            loss_var.value().to_bits(),
+            built.loss.value().to_bits(),
+            "loss value diverged ({threads} threads): {} vs {}",
+            loss_var.value(),
+            built.loss.value()
+        );
+        assert_eq!(flat.len(), flat_seq.len());
+        for (i, (a, b)) in flat.iter().zip(&flat_seq).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "gradient {i} diverged ({threads} threads): {a} vs {b}"
+            );
+        }
+        assert!(
+            flat.iter().filter(|g| **g != 0.0).count() > 5,
+            "gradients look dead"
         );
     }
-    assert!(
-        flat.iter().filter(|g| **g != 0.0).count() > 5,
-        "gradients look dead"
-    );
 }
 
 #[test]
@@ -92,7 +97,9 @@ fn edp_engine_reproduces_golden_values() {
         spatial_cap: MAX_PE_SIDE,
     };
     let tape = Tape::new();
-    let (loss_var, leaves) = engine.build(&tape, &relaxed);
+    let mut plan = SegmentPlan::new();
+    let mut leaves = Vec::new();
+    let loss_var = engine.build(&tape, &relaxed, &mut plan, &mut leaves);
     let mut adj = Vec::new();
     let view = tape.backward_into(loss_var, &mut adj);
     let grad0 = view.wrt(leaves[0]);
