@@ -1,0 +1,340 @@
+//! Result-cache and checkpoint/resume demonstration through the job
+//! service: the same batched search run cold and then replayed from the
+//! content-addressed cache, a warm-started follow-up, and — in the
+//! `--smoke` variant — CI-enforced gates on the cache's invariants.
+//!
+//! The smoke asserts three things on every push:
+//!
+//! 1. **Cold-vs-cached bit parity** — attaching a cache never changes a
+//!    result bit, and a repeated identical batch replays with 100%
+//!    work-item hits;
+//! 2. **Resume after cancel** — a job cancelled mid-run and resubmitted
+//!    identically replays its completed items, re-runs fewer items than
+//!    it planned, and still matches the uninterrupted run bit for bit;
+//! 3. **Warm starts stay opt-in** — the default `WarmStart::Off` plans
+//!    exactly the cold run's work items.
+
+use crate::batch::poll_until_done;
+use crate::batch::BatchOutcome;
+use crate::plot::write_csv;
+use crate::scale::Scale;
+use dosa_accel::Hierarchy;
+use dosa_search::{
+    dosa_search, GdConfig, JobHandle, RandomSearchConfig, ResultCache, SearchRequest,
+    SearchService, Strategy, WarmStart,
+};
+use dosa_workload::{unique_layers, Layer, Network, Problem};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One phase's cache accounting for the report.
+struct PhaseRow {
+    phase: &'static str,
+    wall: Duration,
+    job: JobHandle,
+}
+
+fn report(rows: &[PhaseRow], out_dir: &Path) {
+    println!("\ncache phases:");
+    for row in rows {
+        let s = row.job.stats();
+        println!(
+            "  {:<12} {:>6.2}s  {:>3} items: {:>3} hits, {:>3} misses, {} warm",
+            row.phase,
+            row.wall.as_secs_f64(),
+            s.work_items,
+            s.cache_hits,
+            s.cache_misses,
+            s.warm_starts,
+        );
+    }
+    write_csv(
+        out_dir,
+        "cache.csv",
+        &[
+            "phase",
+            "wall_s",
+            "work_items",
+            "cache_hits",
+            "cache_misses",
+            "warm_starts",
+        ],
+        &rows
+            .iter()
+            .map(|row| {
+                let s = row.job.stats();
+                vec![
+                    row.phase.to_string(),
+                    format!("{:.3}", row.wall.as_secs_f64()),
+                    s.work_items.to_string(),
+                    s.cache_hits.to_string(),
+                    s.cache_misses.to_string(),
+                    s.warm_starts.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Run the target networks as one batched job three times against a
+/// shared [`ResultCache`]: cold (all misses, journaled as items
+/// complete), replayed (identical request, 100% hits, no fleet time),
+/// and warm-started (a different seed descending once more from the best
+/// cached mapping per network shape).
+pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
+    let hier = Hierarchy::gemmini();
+    let threads = rayon::current_num_threads();
+    let cache = ResultCache::in_memory(4096);
+    let service = SearchService::builder()
+        .threads(threads)
+        .cache(Arc::clone(&cache))
+        .build();
+
+    // Per-network seeds override the config seed, so the warm-start
+    // phase shifts them — otherwise its regular items would be identical
+    // to the cold run's and replay instead of descending anew.
+    let request = |cfg: GdConfig, warm: WarmStart, seed_offset: u64| {
+        let mut builder = SearchRequest::builder(hier.clone())
+            .config(cfg)
+            .warm_start(warm);
+        for (i, net) in networks.iter().enumerate() {
+            builder = builder.network_seeded(
+                net.name().to_string(),
+                unique_layers(*net),
+                seed + seed_offset + i as u64,
+            );
+        }
+        builder.build()
+    };
+    println!(
+        "cache: {} networks, {} worker threads, caching at {} granularity",
+        networks.len(),
+        threads,
+        Strategy::GradientDescent(scale.gd_main(seed)).cache_granularity(),
+    );
+    let mut rows = Vec::new();
+    for (phase, warm, seed_offset) in [
+        ("cold", WarmStart::Off, 0),
+        ("replay", WarmStart::Off, 0),
+        ("warm-start", WarmStart::NearestNeighbor, 100),
+    ] {
+        let begin = Instant::now();
+        let job = service
+            .submit(request(scale.gd_main(seed), warm, seed_offset))
+            .expect("scale presets always validate");
+        poll_until_done(phase, &job, Duration::from_millis(500));
+        let outcomes = job.wait();
+        rows.push(PhaseRow {
+            phase,
+            wall: begin.elapsed(),
+            job,
+        });
+        if phase == "warm-start" {
+            report(&rows, out_dir);
+            let stats = cache.stats();
+            println!(
+                "cache totals: {} hits / {} misses, {} journaled, {} entries",
+                stats.hits,
+                stats.misses,
+                stats.journaled,
+                cache.len()
+            );
+            return outcomes
+                .networks
+                .into_iter()
+                .map(|n| BatchOutcome {
+                    network: n.network,
+                    result: n.result,
+                })
+                .collect();
+        }
+    }
+    unreachable!("the warm-start phase returns")
+}
+
+/// Seconds-scale CI smoke of the cache path; see the module docs for the
+/// three gates.
+///
+/// # Panics
+///
+/// Panics if any gate fails — a replayed or resumed result diverging
+/// from its cold run by one bit, a repeat without 100% hits, or a resume
+/// that re-ran everything.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
+    let hier = Hierarchy::gemmini();
+    let resnet_subset: Vec<Layer> = unique_layers(Network::ResNet50)
+        .into_iter()
+        .take(2)
+        .collect();
+    let gemm = vec![Layer::once(
+        Problem::matmul("gemm", 64, 256, 256).expect("valid matmul"),
+    )];
+    let cfg = GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed,
+        ..GdConfig::default()
+    };
+    let cache = ResultCache::in_memory(1024);
+    let service = SearchService::builder()
+        .threads(rayon::current_num_threads())
+        .cache(Arc::clone(&cache))
+        .build();
+    let request = SearchRequest::builder(hier.clone())
+        .network_seeded("resnet50-subset", resnet_subset.clone(), seed)
+        .network_seeded("gemm", gemm.clone(), seed + 1)
+        .config(cfg)
+        .build();
+
+    // Gate 1: cold run journals, identical repeat replays 100% from the
+    // cache, and both match the cache-less standalone runs bit for bit.
+    println!("smoke: cold batched job against an empty cache");
+    let cold = service
+        .submit(request.clone())
+        .expect("smoke config validates");
+    poll_until_done("cold", &cold, Duration::from_millis(50));
+    let cold_results = cold.wait();
+    let cold_stats = cold.stats();
+    assert_eq!(
+        cold_stats.cache_misses, cold_stats.work_items,
+        "an empty cache must miss every work item"
+    );
+    println!("smoke: identical resubmission");
+    let replay = service.submit(request.clone()).expect("same request");
+    let replay_results = replay.wait();
+    let replay_stats = replay.stats();
+    assert!(
+        replay_stats.cache_hits > 0,
+        "repeated batch must hit the cache"
+    );
+    assert_eq!(
+        replay_stats.cache_hits, replay_stats.work_items,
+        "a repeated identical batch must replay every work item \
+         (hit {} of {})",
+        replay_stats.cache_hits, replay_stats.work_items,
+    );
+    for (name, layers, net_seed) in [
+        ("resnet50-subset", &resnet_subset, seed),
+        ("gemm", &gemm, seed + 1),
+    ] {
+        let standalone = dosa_search(
+            layers,
+            &hier,
+            &GdConfig {
+                seed: net_seed,
+                ..cfg
+            },
+        );
+        crate::batch::assert_parity(
+            cold_results.get(name).expect("network present"),
+            &standalone,
+            &format!("{name} (cache on, cold)"),
+        );
+        crate::batch::assert_parity(
+            replay_results.get(name).expect("network present"),
+            &standalone,
+            &format!("{name} (100% replayed)"),
+        );
+    }
+
+    // Gate 2: cancel mid-run, resubmit identically, re-run only the
+    // remainder, match the uninterrupted result bit for bit.
+    println!("smoke: resume after cancel");
+    let resume_request = SearchRequest::builder(hier.clone())
+        .network("gemm-resume", gemm.clone())
+        .strategy(Strategy::Random(RandomSearchConfig {
+            num_hw: 6,
+            samples_per_hw: 2500,
+            seed,
+        }))
+        .build();
+    let plain = SearchService::builder().threads(1).build();
+    let reference = plain
+        .submit(resume_request.clone())
+        .expect("valid")
+        .wait()
+        .into_single();
+    let resume_cache = ResultCache::in_memory(64);
+    let resume_service = SearchService::builder()
+        .threads(1)
+        .cache(Arc::clone(&resume_cache))
+        .build();
+    let interrupted = resume_service
+        .submit(resume_request.clone())
+        .expect("valid");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while resume_cache.stats().journaled == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no work item completed within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    interrupted.cancel();
+    interrupted.wait();
+    let resumed = resume_service.submit(resume_request).expect("valid");
+    let resumed_result = resumed.wait().into_single();
+    let stats = resumed.stats();
+    assert!(stats.cache_hits >= 1, "resume must replay completed items");
+    assert!(
+        stats.cache_misses < stats.work_items,
+        "resume must re-run fewer items than it planned \
+         ({} misses of {})",
+        stats.cache_misses,
+        stats.work_items,
+    );
+    crate::batch::assert_parity(&resumed_result, &reference, "resumed-after-cancel");
+    println!(
+        "smoke: resume replayed {} of {} items",
+        stats.cache_hits, stats.work_items
+    );
+
+    // Gate 3: warm starts are opt-in — the default plans no extras.
+    assert_eq!(cold_stats.warm_starts, 0);
+    assert_eq!(replay_stats.warm_starts, 0);
+
+    let rows = [
+        PhaseRow {
+            phase: "cold",
+            wall: Duration::ZERO,
+            job: cold,
+        },
+        PhaseRow {
+            phase: "replay",
+            wall: Duration::ZERO,
+            job: replay,
+        },
+        PhaseRow {
+            phase: "resume",
+            wall: Duration::ZERO,
+            job: resumed,
+        },
+    ];
+    report(&rows, out_dir);
+    println!("smoke: OK");
+    replay_results
+        .networks
+        .into_iter()
+        .map(|n| BatchOutcome {
+            network: n.network,
+            result: n.result,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_checks_its_own_cache_gates() {
+        let dir = std::env::temp_dir().join("dosa_cache_smoke_test");
+        let outcomes = run_smoke(13, &dir);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.result.best_edp.is_finite());
+        }
+    }
+}

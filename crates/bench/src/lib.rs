@@ -4,7 +4,8 @@
 //! figure of the paper's evaluation (§6), a batched multi-network service
 //! mode ([`batch`]), a three-[`Strategy`](dosa_search::Strategy) service
 //! comparison ([`strategies`]), a concurrent-scheduling demonstration
-//! ([`sched`]), shared terminal plotting and CSV output, and quick/paper
+//! ([`sched`]), a result-cache / checkpoint-resume demonstration
+//! ([`cache`]), shared terminal plotting and CSV output, and quick/paper
 //! scaling presets. The `repro` binary exposes each
 //! experiment as a subcommand; the Criterion benches under `benches/` run
 //! reduced versions of the same code paths.
@@ -13,6 +14,7 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod cache;
 pub mod fig10_11;
 pub mod fig12;
 pub mod fig4;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | bench | all
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | cache | bench | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
@@ -15,14 +15,17 @@
 //! batched jobs on one service; `sched` demonstrates the concurrent
 //! scheduler (a long BB-BO job sharing worker slots with short
 //! `ShortestFirst` GD jobs and a `Priority` random job, finishing out of
-//! submission order). `--smoke batch` / `--smoke strategies` / `--smoke
-//! sched` run seconds-scale versions that assert batched == standalone
-//! bit-parity (and, for `sched`, that jobs provably overlap), for CI.
+//! submission order); `cache` runs the same batch cold, replayed from
+//! the content-addressed result cache, and warm-started. `--smoke batch`
+//! / `--smoke strategies` / `--smoke sched` / `--smoke cache` run
+//! seconds-scale versions that assert batched == standalone bit-parity
+//! (and, for `sched`, that jobs provably overlap; for `cache`, 100%
+//! replay hits and resume-after-cancel parity), for CI.
 
 use dosa_accel::HardwareConfig;
 use dosa_bench::{
-    ablation, batch, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, perf, sched, strategies,
-    Scale,
+    ablation, batch, cache, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, perf, sched,
+    strategies, Scale,
 };
 use dosa_workload::Network;
 use std::path::PathBuf;
@@ -109,6 +112,9 @@ fn usage() {
            sched   concurrent-scheduling demo: a long BB-BO job plus\n\
                    short GD/random jobs sharing one service's worker\n\
                    slots, finishing out of submission order\n\
+           cache   result-cache demo over [workload..]: the same batch\n\
+                   cold, replayed 100% from the content-addressed\n\
+                   cache, then warm-started from cached neighbors\n\
            bench   measure the autodiff hot path (record / sweep /\n\
                    full GD step vs the legacy tape) and regenerate\n\
                    BENCH_6.json at the repository root\n\
@@ -116,11 +122,12 @@ fn usage() {
          workloads: unet | resnet50 | bert | retinanet\n\
          --threads N caps the service's worker threads (results are\n\
          identical for every N; only wall-clock time changes)\n\
-         --smoke batch / --smoke strategies / --smoke sched run\n\
-         seconds-scale jobs asserting batched == standalone parity (and,\n\
-         for sched, that concurrent jobs provably overlap); --smoke bench\n\
-         re-measures quickly and validates the checked-in BENCH_6.json\n\
-         — the CI smokes"
+         --smoke batch / --smoke strategies / --smoke sched / --smoke\n\
+         cache run seconds-scale jobs asserting batched == standalone\n\
+         parity (and, for sched, that concurrent jobs provably overlap;\n\
+         for cache, 100% replay hits and resume-after-cancel parity);\n\
+         --smoke bench re-measures quickly and validates the checked-in\n\
+         BENCH_6.json — the CI smokes"
     );
 }
 
@@ -220,6 +227,18 @@ fn main() -> ExitCode {
                 perf::run_smoke();
             } else {
                 perf::run();
+            }
+        }
+        "cache" => {
+            if args.smoke {
+                cache::run_smoke(seed, out);
+            } else {
+                let networks = if args.networks.is_empty() {
+                    Network::TARGETS.to_vec()
+                } else {
+                    args.networks.clone()
+                };
+                cache::run(scale, &networks, seed, out);
             }
         }
         "sched" => {

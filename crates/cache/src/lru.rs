@@ -1,0 +1,197 @@
+//! Cache storage: the [`CacheStore`] trait and the in-memory
+//! [`ShardedLru`] backend.
+
+use crate::key::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A content-addressed store a result cache can journal into and replay
+/// from. Implementations must be safe to share across the service's
+/// worker threads (`Send + Sync`); values are cloned out on
+/// [`get`](CacheStore::get), so callers typically store `Arc`ed results.
+///
+/// The in-memory [`ShardedLru`] is the only backend today; the trait
+/// exists so a persistent store (disk journal, redis, ...) can slot in
+/// behind the same service wiring without touching the search layer.
+pub trait CacheStore<V>: Send + Sync {
+    /// Look `key` up, cloning the stored value out on a hit.
+    fn get(&self, key: &CacheKey) -> Option<V>;
+
+    /// Insert (or overwrite) `key` → `value`.
+    fn put(&self, key: CacheKey, value: V);
+
+    /// Number of entries currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    /// Global tick of the last touch (insert or hit); the smallest tick
+    /// in a shard is its least-recently-used entry.
+    last_used: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+}
+
+/// An in-memory, capacity-bounded, approximately-LRU [`CacheStore`].
+///
+/// Keys are spread over a fixed set of shards by their precomputed hash,
+/// so concurrent workers journaling results rarely contend on one lock.
+/// Recency is tracked with a global atomic tick stamped on every insert
+/// and hit; when an insert overflows a shard's capacity, that shard
+/// evicts its smallest-tick entry (an `O(shard len)` scan — shards are
+/// small and eviction is off the lookup fast path, so the simplicity is
+/// worth more than a doubly-linked intrusive list). LRU is approximate
+/// *across* shards (each shard evicts its own oldest) and exact within
+/// one.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_cap: usize,
+    tick: AtomicU64,
+}
+
+const NUM_SHARDS: usize = 16;
+
+impl<V: Clone + Send> ShardedLru<V> {
+    /// A store holding at most `capacity` entries (at least one per
+    /// shard), evicting the least-recently-used entry of the overflowing
+    /// shard on insert.
+    pub fn new(capacity: usize) -> ShardedLru<V> {
+        let per_shard_cap = capacity.div_ceil(NUM_SHARDS).max(1);
+        ShardedLru {
+            shards: (0..NUM_SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard_cap,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
+        // The low bits of FNV-1a mix well; any fixed bit range works as
+        // long as it is derived from the canonical bytes.
+        &self.shards[(key.hash() as usize) % NUM_SHARDS]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl<V: Clone + Send + Sync> CacheStore<V> for ShardedLru<V> {
+    fn get(&self, key: &CacheKey) -> Option<V> {
+        let tick = self.next_tick();
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    fn put(&self, key: CacheKey, value: V) {
+        let tick = self.next_tick();
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.map.len() >= self.per_shard_cap && !shard.map.contains_key(&key) {
+            // Evict this shard's least-recently-used entry.
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Fingerprinter;
+
+    fn key(n: u64) -> CacheKey {
+        Fingerprinter::new("lru-test-v1").u64(n).finish()
+    }
+
+    #[test]
+    fn roundtrip_and_overwrite() {
+        let lru: ShardedLru<u64> = ShardedLru::new(64);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&key(1)), None);
+        lru.put(key(1), 10);
+        lru.put(key(2), 20);
+        assert_eq!(lru.get(&key(1)), Some(10));
+        assert_eq!(lru.get(&key(2)), Some(20));
+        assert_eq!(lru.len(), 2);
+        lru.put(key(1), 11);
+        assert_eq!(lru.get(&key(1)), Some(11));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_recent_entries_survive() {
+        // One entry per shard, so every same-shard insert evicts.
+        let lru: ShardedLru<u64> = ShardedLru::new(1);
+        for n in 0..200 {
+            lru.put(key(n), n);
+        }
+        assert!(lru.len() <= super::NUM_SHARDS);
+        // Each shard retains exactly the last key hashed into it.
+        let mut last_per_shard: HashMap<usize, u64> = HashMap::new();
+        for n in 0..200 {
+            last_per_shard.insert((key(n).hash() as usize) % super::NUM_SHARDS, n);
+        }
+        for (_, n) in last_per_shard {
+            assert_eq!(lru.get(&key(n)), Some(n), "most recent key {n} evicted");
+        }
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        // Capacity 32 → two entries per shard, so a third same-shard
+        // insert evicts whichever of the first two is least recent.
+        let lru: ShardedLru<u64> = ShardedLru::new(32);
+        let shard_of = |n: u64| (key(n).hash() as usize) % super::NUM_SHARDS;
+        let target = shard_of(0);
+        let same: Vec<u64> = (0..1000)
+            .filter(|&n| shard_of(n) == target)
+            .take(3)
+            .collect();
+        let [a, b, c] = same[..] else {
+            panic!("expected three same-shard keys")
+        };
+        lru.put(key(a), a);
+        lru.put(key(b), b);
+        assert_eq!(lru.get(&key(a)), Some(a)); // refresh a: b is now oldest
+        lru.put(key(c), c); // evicts b, not a
+        assert_eq!(lru.get(&key(a)), Some(a));
+        assert_eq!(lru.get(&key(c)), Some(c));
+        assert_eq!(lru.get(&key(b)), None);
+    }
+}

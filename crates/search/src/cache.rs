@@ -1,0 +1,507 @@
+//! The service-level result cache: content-addressed replay of completed
+//! work items, checkpoint/resume journaling, and the warm-start neighbor
+//! index.
+//!
+//! ## Why work items are cacheable at all
+//!
+//! Every work item the service fans out — a `(network, start point)`
+//! gradient descent, a `(network, hardware design)` random-search
+//! evaluation, a whole network's BB-BO run — is a **pure function** of
+//! its inputs: the workload dimensions, the memory hierarchy, the
+//! strategy configuration, the surrogate, the effective seed, and the
+//! item's stream index. That purity is the determinism invariant the CI
+//! parity gates already enforce (see `ARCHITECTURE.md`), which makes
+//! results content-addressable: fingerprint the inputs, and the cached
+//! result **is** the recomputed result, bit for bit.
+//!
+//! ## Key schema
+//!
+//! Keys are built with [`dosa_cache::Fingerprinter`] — an injective,
+//! type-tagged, length-prefixed encoding with canonicalized floats
+//! (`-0.0` → `0.0`, one NaN pattern) — under a versioned schema string
+//! per item kind:
+//!
+//! | builder | schema | covers |
+//! | --- | --- | --- |
+//! | [`gd_item_key`] | `gd-item-v1` | hierarchy, layer shapes, surrogate id, **every** `GdConfig` field, effective seed, start index |
+//! | [`random_item_key`] | `random-item-v1` | hierarchy, layer shapes, `samples_per_hw`, effective seed, design index |
+//! | [`bayes_network_key`] | `bayes-net-v1` | hierarchy, layer shapes, every `BbboConfig` field, effective seed |
+//! | [`network_shape_key`] | `net-shape-v1` | hierarchy + layer shapes only (the warm-start neighborhood) |
+//!
+//! Layer *names* are deliberately excluded — two networks with identical
+//! shapes share results. `GdConfig::start_points` and `rejection_factor`
+//! are included even though a single descent never reads them: the §5.3.1
+//! rejection rule's forced-acceptance bound depends on the total count,
+//! so the start point at index `i` is only a pure function of the seed
+//! *given* those fields. Conversely, a random-search design at index `i`
+//! is independent of `num_hw`, so that field is excluded and a shorter
+//! budget's items replay into a longer one's.
+//!
+//! Not everything has a stable canonical identity: a learned
+//! [`LatencyPredictor`](crate::LatencyPredictor) (its MLP weights live
+//! only in memory) and [`Surrogate::Custom`](crate::Surrogate) losses
+//! yield `None` keys, and their work items simply bypass the cache.
+//!
+//! ## Replay, journaling, and warm starts
+//!
+//! [`ResultCache`] wraps any [`CacheStore`] (the in-memory
+//! [`ShardedLru`] by default). The service
+//! consults it per work item *before* the item competes for a worker
+//! slot, journals each item's result the moment the item completes
+//! (never on cancellation, so partial results are never replayed), and
+//! maintains a secondary **warm index** from [`network_shape_key`] to the
+//! best relaxed mapping seen for that shape — the neighbor a
+//! [`WarmStart::NearestNeighbor`](crate::WarmStart) request seeds an
+//! extra descent from. See `ARCHITECTURE.md` ("Result cache & resume")
+//! for the lifecycle diagram and the determinism argument.
+
+use crate::bbbo::BbboConfig;
+use crate::gd::SearchResult;
+use crate::gd::{GdConfig, LoopOrderStrategy};
+use crate::latency_model::LatencyModelKind;
+use crate::random_search::RandomSearchConfig;
+use crate::request::Surrogate;
+use dosa_accel::Hierarchy;
+use dosa_cache::{CacheKey, CacheStore, Fingerprinter, ShardedLru};
+use dosa_model::RelaxedMapping;
+use dosa_timeloop::Stationarity;
+use dosa_workload::Layer;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default entry capacity of [`ResultCache::in_memory`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Append one memory level per field: name, tensor placement, spatial
+/// fanout dimension.
+fn fingerprint_hierarchy(mut fp: Fingerprinter, hier: &Hierarchy) -> Fingerprinter {
+    fp = fp.field("hierarchy");
+    for level in hier.levels() {
+        fp = fp.str(level.name);
+        for &stores in &level.stores {
+            fp = fp.bool(stores);
+        }
+        fp = fp.i64(level.spatial_dim.map_or(-1, |d| d as i64));
+    }
+    fp
+}
+
+/// Append every layer's *shape*: kind, the seven dimension sizes, the
+/// strides, and the repeat count. Names are excluded on purpose — the
+/// models never read them, so equally-shaped networks share cache lines.
+fn fingerprint_layers(mut fp: Fingerprinter, layers: &[Layer]) -> Fingerprinter {
+    fp = fp.field("layers").u64(layers.len() as u64);
+    for layer in layers {
+        let p = &layer.problem;
+        fp = fp.str(&p.kind().to_string());
+        for size in p.sizes() {
+            fp = fp.u64(size);
+        }
+        fp = fp.u64(p.stride_p()).u64(p.stride_q()).u64(layer.count);
+    }
+    fp
+}
+
+/// The surrogate's stable identity, or `None` if it has none (learned
+/// predictor weights and custom losses live only in memory, so their
+/// items must bypass the cache rather than risk aliasing).
+fn surrogate_id(surrogate: &Surrogate) -> Option<&'static str> {
+    match surrogate {
+        Surrogate::Edp => Some("edp"),
+        Surrogate::PredictedLatency(p) if p.kind == LatencyModelKind::Analytical => {
+            Some("latency-analytical")
+        }
+        Surrogate::PredictedLatency(_) => None,
+        Surrogate::Custom(_) => None,
+    }
+}
+
+fn loop_order_name(strategy: LoopOrderStrategy) -> &'static str {
+    match strategy {
+        LoopOrderStrategy::Baseline => "baseline",
+        LoopOrderStrategy::Iterate => "iterate",
+        LoopOrderStrategy::Softmax => "softmax",
+    }
+}
+
+/// Append every [`GdConfig`] field plus the effective seed. All fields
+/// go in — including `start_points`/`rejection_factor`, which shape the
+/// §5.3.1 start-point sequence itself (see the module docs).
+fn fingerprint_gd_config(fp: Fingerprinter, cfg: &GdConfig) -> Fingerprinter {
+    fp.field("gd-config")
+        .u64(cfg.start_points as u64)
+        .u64(cfg.steps_per_start as u64)
+        .u64(cfg.round_every as u64)
+        .f64(cfg.learning_rate)
+        .str(loop_order_name(cfg.strategy))
+        .i64(cfg.fixed_pe_side.map_or(-1, |s| s as i64))
+        .f64(cfg.rejection_factor)
+        .field("seed")
+        .u64(cfg.seed)
+}
+
+/// Content-address of one `(network, start point)` gradient-descent work
+/// item, or `None` when the surrogate has no stable identity. `cfg` must
+/// be the **network-effective** config (its `seed` already resolved via
+/// `SearchRequest::network_seed`).
+pub fn gd_item_key(
+    hier: &Hierarchy,
+    layers: &[Layer],
+    surrogate: &Surrogate,
+    cfg: &GdConfig,
+    start_index: usize,
+) -> Option<CacheKey> {
+    let surrogate = surrogate_id(surrogate)?;
+    let mut fp = Fingerprinter::new("gd-item-v1");
+    fp = fingerprint_hierarchy(fp, hier);
+    fp = fingerprint_layers(fp, layers);
+    fp = fp.field("surrogate").str(surrogate);
+    fp = fingerprint_gd_config(fp, cfg);
+    Some(fp.field("start").u64(start_index as u64).finish())
+}
+
+/// Content-address of one warm-started descent: the regular GD fields
+/// plus the seeding relaxed mappings **by content** (every log-space
+/// parameter bit and loop ordering), since a warm start's inputs come
+/// from the cache rather than the RNG stream.
+pub(crate) fn warm_item_key(
+    hier: &Hierarchy,
+    layers: &[Layer],
+    surrogate: &Surrogate,
+    cfg: &GdConfig,
+    start_index: usize,
+    relaxed: &[RelaxedMapping],
+) -> Option<CacheKey> {
+    let surrogate = surrogate_id(surrogate)?;
+    let mut fp = Fingerprinter::new("gd-warm-item-v1");
+    fp = fingerprint_hierarchy(fp, hier);
+    fp = fingerprint_layers(fp, layers);
+    fp = fp.field("surrogate").str(surrogate);
+    fp = fingerprint_gd_config(fp, cfg);
+    fp = fp.field("start").u64(start_index as u64).field("warm-seed");
+    for r in relaxed {
+        for p in r.params() {
+            fp = fp.f64(p);
+        }
+        for &order in &r.orders {
+            fp = fp.u64(stationarity_index(order));
+        }
+    }
+    Some(fp.finish())
+}
+
+fn stationarity_index(s: Stationarity) -> u64 {
+    match s {
+        Stationarity::WeightStationary => 0,
+        Stationarity::InputStationary => 1,
+        Stationarity::OutputStationary => 2,
+    }
+}
+
+/// Content-address of one `(network, hardware design)` random-search work
+/// item. `num_hw` is deliberately excluded: design `i` is drawn by a
+/// fixed number of RNG values, so it is a pure function of `(seed, i)`
+/// regardless of the total budget — a shorter run's items replay into a
+/// longer one's. `cfg` must be the network-effective config.
+pub fn random_item_key(
+    hier: &Hierarchy,
+    layers: &[Layer],
+    cfg: &RandomSearchConfig,
+    design_index: usize,
+) -> CacheKey {
+    let mut fp = Fingerprinter::new("random-item-v1");
+    fp = fingerprint_hierarchy(fp, hier);
+    fp = fingerprint_layers(fp, layers);
+    fp.field("samples-per-hw")
+        .u64(cfg.samples_per_hw as u64)
+        .field("seed")
+        .u64(cfg.seed)
+        .field("design")
+        .u64(design_index as u64)
+        .finish()
+}
+
+/// Content-address of one network's whole BB-BO run. The outer Gaussian
+/// process is sequential and every step conditions on all previous
+/// observations, so the cacheable unit is the whole network, not a step.
+/// `cfg` must be the network-effective config.
+pub fn bayes_network_key(hier: &Hierarchy, layers: &[Layer], cfg: &BbboConfig) -> CacheKey {
+    let mut fp = Fingerprinter::new("bayes-net-v1");
+    fp = fingerprint_hierarchy(fp, hier);
+    fp = fingerprint_layers(fp, layers);
+    fp.field("bbbo-config")
+        .u64(cfg.num_hw as u64)
+        .u64(cfg.init_random as u64)
+        .u64(cfg.samples_per_hw as u64)
+        .u64(cfg.candidates as u64)
+        .field("seed")
+        .u64(cfg.seed)
+        .finish()
+}
+
+/// The warm-start neighborhood key: hierarchy and layer shapes only, with
+/// seed, strategy, config, and surrogate all ignored — any search that
+/// ever optimized this shape is a neighbor worth seeding a descent from.
+pub fn network_shape_key(hier: &Hierarchy, layers: &[Layer]) -> CacheKey {
+    let mut fp = Fingerprinter::new("net-shape-v1");
+    fp = fingerprint_hierarchy(fp, hier);
+    fingerprint_layers(fp, layers).finish()
+}
+
+/// Observability counters of one [`ResultCache`] (service-wide, across
+/// all jobs; per-job counters live on
+/// [`JobHandle::stats`](crate::JobHandle::stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResultCacheStats {
+    /// Work-item lookups served from the cache.
+    pub hits: u64,
+    /// Work-item lookups that missed and ran on the fleet.
+    pub misses: u64,
+    /// Completed work items journaled into the store.
+    pub journaled: u64,
+}
+
+/// Best relaxed mapping seen for one network shape — the warm-start
+/// neighbor.
+struct WarmEntry {
+    best_edp: f64,
+    relaxed: Vec<RelaxedMapping>,
+}
+
+/// The search-facing result cache a
+/// [`SearchService`](crate::SearchService) consults per work item (see
+/// [`SearchServiceBuilder::cache`](crate::SearchServiceBuilder::cache)):
+/// a content-addressed [`CacheStore`] of completed work-item results,
+/// plus the warm-start neighbor index and lock-free hit/miss/journal
+/// counters.
+///
+/// One `ResultCache` may back any number of services; sharing one is how
+/// a resubmitted (e.g. previously cancelled) job replays its completed
+/// work items, and how repeated traffic for popular networks is served
+/// for a hash lookup instead of a descent.
+pub struct ResultCache {
+    store: Arc<dyn CacheStore<Arc<SearchResult>>>,
+    warm: Mutex<HashMap<CacheKey, WarmEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    journaled: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache over an in-memory [`ShardedLru`] holding at most
+    /// `capacity` work-item results
+    /// ([`DEFAULT_CACHE_CAPACITY`] is a reasonable default).
+    pub fn in_memory(capacity: usize) -> Arc<ResultCache> {
+        ResultCache::with_store(Arc::new(ShardedLru::new(capacity)))
+    }
+
+    /// A cache over any [`CacheStore`] backend — the seam a persistent
+    /// store slots into.
+    pub fn with_store(store: Arc<dyn CacheStore<Arc<SearchResult>>>) -> Arc<ResultCache> {
+        Arc::new(ResultCache {
+            store,
+            warm: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            journaled: AtomicU64::new(0),
+        })
+    }
+
+    /// Current hit/miss/journal counters (monotone, lock-free reads).
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            journaled: self.journaled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of work-item results currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no work-item results are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Look one work item up, counting the hit or miss.
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<SearchResult>> {
+        let found = self.store.get(key);
+        let counter = if found.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Journal one **completed** work item: store it under its content
+    /// address and offer its best mapping to the warm index under the
+    /// network's shape key. Callers must never journal a cancelled
+    /// (partial) result — a replayed partial would break the bit-parity
+    /// contract.
+    pub(crate) fn journal(&self, key: CacheKey, shape: Option<&CacheKey>, result: &SearchResult) {
+        self.store.put(key, Arc::new(result.clone()));
+        self.journaled.fetch_add(1, Ordering::Relaxed);
+        if let Some(shape) = shape {
+            self.offer_warm(shape, result);
+        }
+    }
+
+    /// Offer `result` as the warm-start neighbor for `shape` if it beats
+    /// the current entry (any strategy's best mappings qualify — they are
+    /// lifted to relaxed log-space form on the way in).
+    fn offer_warm(&self, shape: &CacheKey, result: &SearchResult) {
+        if !result.best_edp.is_finite() || result.best_mappings.is_empty() {
+            return;
+        }
+        let mut warm = self.warm.lock().expect("warm index poisoned");
+        let entry = warm.get(shape);
+        if entry.is_none_or(|e| result.best_edp < e.best_edp) {
+            warm.insert(
+                shape.clone(),
+                WarmEntry {
+                    best_edp: result.best_edp,
+                    relaxed: result
+                        .best_mappings
+                        .iter()
+                        .map(RelaxedMapping::from_mapping)
+                        .collect(),
+                },
+            );
+        }
+    }
+
+    /// The best relaxed mappings seen for `shape`, if any neighbor with
+    /// the expected layer count has been journaled.
+    pub(crate) fn warm_neighbor(
+        &self,
+        shape: &CacheKey,
+        layers: usize,
+    ) -> Option<Vec<RelaxedMapping>> {
+        let warm = self.warm.lock().expect("warm index poisoned");
+        warm.get(shape)
+            .filter(|e| e.relaxed.len() == layers)
+            .map(|e| e.relaxed.clone())
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResultCache")
+            .field("entries", &self.len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("journaled", &stats.journaled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosa_workload::Problem;
+
+    fn layers() -> Vec<Layer> {
+        vec![
+            Layer::repeated(Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap(), 2),
+            Layer::once(Problem::matmul("b", 64, 256, 256).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn layer_names_do_not_enter_keys() {
+        let hier = Hierarchy::gemmini();
+        let renamed = vec![
+            Layer::repeated(Problem::conv("z", 3, 3, 28, 28, 64, 64, 1).unwrap(), 2),
+            Layer::once(Problem::matmul("y", 64, 256, 256).unwrap()),
+        ];
+        assert_eq!(
+            network_shape_key(&hier, &layers()),
+            network_shape_key(&hier, &renamed)
+        );
+    }
+
+    #[test]
+    fn layer_shape_changes_do_enter_keys() {
+        let hier = Hierarchy::gemmini();
+        let wider = vec![
+            Layer::repeated(Problem::conv("a", 3, 3, 28, 28, 64, 128, 1).unwrap(), 2),
+            Layer::once(Problem::matmul("b", 64, 256, 256).unwrap()),
+        ];
+        let recount = vec![
+            Layer::repeated(Problem::conv("a", 3, 3, 28, 28, 64, 64, 1).unwrap(), 3),
+            Layer::once(Problem::matmul("b", 64, 256, 256).unwrap()),
+        ];
+        let base = network_shape_key(&hier, &layers());
+        assert_ne!(base, network_shape_key(&hier, &wider));
+        assert_ne!(base, network_shape_key(&hier, &recount));
+    }
+
+    #[test]
+    fn uncacheable_surrogates_yield_no_key() {
+        let hier = Hierarchy::gemmini();
+        let cfg = GdConfig::default();
+        assert!(gd_item_key(&hier, &layers(), &Surrogate::Edp, &cfg, 0).is_some());
+        let analytical = Surrogate::PredictedLatency(crate::LatencyPredictor::analytical());
+        assert!(gd_item_key(&hier, &layers(), &analytical, &cfg, 0).is_some());
+    }
+
+    #[test]
+    fn random_keys_ignore_num_hw_but_nothing_else() {
+        let hier = Hierarchy::gemmini();
+        let cfg = RandomSearchConfig {
+            num_hw: 10,
+            samples_per_hw: 100,
+            seed: 7,
+        };
+        let other_budget = RandomSearchConfig { num_hw: 3, ..cfg };
+        assert_eq!(
+            random_item_key(&hier, &layers(), &cfg, 2),
+            random_item_key(&hier, &layers(), &other_budget, 2)
+        );
+        let other_seed = RandomSearchConfig { seed: 8, ..cfg };
+        assert_ne!(
+            random_item_key(&hier, &layers(), &cfg, 2),
+            random_item_key(&hier, &layers(), &other_seed, 2)
+        );
+        assert_ne!(
+            random_item_key(&hier, &layers(), &cfg, 2),
+            random_item_key(&hier, &layers(), &cfg, 3)
+        );
+    }
+
+    #[test]
+    fn warm_index_keeps_the_best_neighbor() {
+        use dosa_accel::HardwareConfig;
+        let hier = Hierarchy::gemmini();
+        let cache = ResultCache::in_memory(64);
+        let shape = network_shape_key(&hier, &layers());
+        assert!(cache.warm_neighbor(&shape, 2).is_none());
+
+        let mappings: Vec<_> = layers()
+            .iter()
+            .map(|l| crate::cosa_mapping(&l.problem, &HardwareConfig::gemmini_default(), &hier))
+            .collect();
+        let mut good = SearchResult::empty();
+        good.consider(10.0, &HardwareConfig::gemmini_default(), &mappings);
+        let key_a = random_item_key(&hier, &layers(), &RandomSearchConfig::default(), 0);
+        cache.journal(key_a, Some(&shape), &good);
+        assert_eq!(cache.warm_neighbor(&shape, 2).map(|r| r.len()), Some(2));
+        // Wrong layer count → no neighbor.
+        assert!(cache.warm_neighbor(&shape, 3).is_none());
+
+        // A worse result must not displace the entry.
+        let mut worse = SearchResult::empty();
+        worse.consider(20.0, &HardwareConfig::gemmini_default(), &mappings);
+        let key_b = random_item_key(&hier, &layers(), &RandomSearchConfig::default(), 1);
+        cache.journal(key_b, Some(&shape), &worse);
+        let warm = cache.warm.lock().unwrap();
+        assert_eq!(warm.get(&shape).unwrap().best_edp, 10.0);
+    }
+}

@@ -25,6 +25,15 @@
 //!   the samples of the starts before it (recovering exactly the
 //!   sequential run's accounting), then re-sorted by cumulative sample
 //!   count and rewritten to the running global minimum.
+//!
+//! This purity — every start's descent is a function of `(loss inputs,
+//! cfg, seed, start_index)` alone — is also what makes per-start results
+//! content-addressable: the service's result cache
+//! ([`crate::cache`]) fingerprints exactly these inputs and replays
+//! `run_single_start`'s output bit for bit. Warm-started descents
+//! (seeded from a cached neighbor rather than the RNG) are keyed by the
+//! seeding mappings' content and always use the first start index past
+//! the regular ones, so they never perturb a cold run's RNG streams.
 
 use crate::adam::Adam;
 use crate::gd::{

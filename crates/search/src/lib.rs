@@ -48,6 +48,17 @@
 //! the crate map and the full request → validate → schedule → fan-out →
 //! merge lifecycle).
 //!
+//! A service may also carry a content-addressed [`ResultCache`]
+//! ([`SearchServiceBuilder::cache`]): completed work items are journaled
+//! under fingerprints of everything their results depend on, identical
+//! work later replays from the store instead of re-running (including
+//! the remainder-only re-run of a cancelled job resubmitted identically
+//! — checkpoint/resume), and a request can opt into seeding one extra
+//! descent from the best cached neighbor of its network shape
+//! ([`SearchRequestBuilder::warm_start`]). With the default
+//! [`WarmStart::Off`], results with the cache enabled are bit-identical
+//! to a cold run; see the [`cache`] module docs.
+//!
 //! ## Search strategies
 //!
 //! [`Strategy`] selects the algorithm a job runs; all three share the
@@ -167,6 +178,7 @@
 
 mod adam;
 mod bbbo;
+pub mod cache;
 mod cosa;
 pub mod engine;
 mod gd;
@@ -181,6 +193,7 @@ mod strategy;
 
 pub use adam::Adam;
 pub use bbbo::{bayesian_search, BbboConfig};
+pub use cache::{ResultCache, ResultCacheStats};
 pub use cosa::{cosa_mapping, cosa_mappings, cosa_order};
 pub use engine::{run_gd_search, DiffLoss, EdpLoss, PredictedLatencyLoss};
 pub use gd::{
@@ -197,11 +210,12 @@ pub use random_search::{
 };
 pub use request::{
     ConfigError, CustomSurrogate, NetworkSpec, SearchRequest, SearchRequestBuilder, Surrogate,
+    WarmStart,
 };
 pub use sched::SchedPolicy;
 pub use service::{
-    BatchResult, JobHandle, JobProgress, JobStatus, NetworkProgress, NetworkResult, SearchService,
-    SearchServiceBuilder,
+    BatchResult, JobHandle, JobProgress, JobStats, JobStatus, NetworkProgress, NetworkResult,
+    SearchService, SearchServiceBuilder,
 };
 pub use startpoints::{generate_start_point, generate_start_points, random_hw, StartPoint};
 pub use strategy::Strategy;

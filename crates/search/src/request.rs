@@ -74,6 +74,10 @@ pub enum ConfigError {
     /// `max_parallelism` was set to zero: the job could never hold a
     /// worker slot and would sit admitted-but-idle forever.
     ZeroParallelism,
+    /// Warm starting was requested with a strategy (named by the payload)
+    /// that has no descent to seed; [`WarmStart`] applies to
+    /// [`Strategy::GradientDescent`] only.
+    WarmStartNotApplicable(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -123,6 +127,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "max_parallelism must be at least 1 when set (the job could \
                      never hold a worker slot)"
+                )
+            }
+            ConfigError::WarmStartNotApplicable(strategy) => {
+                write!(
+                    f,
+                    "warm starting was requested but the {strategy} strategy has no \
+                     descent to seed (warm starts apply to gradient descent only)"
                 )
             }
         }
@@ -214,6 +225,30 @@ impl fmt::Debug for Surrogate {
     }
 }
 
+/// Whether a gradient-descent job seeds an extra descent from the best
+/// cached result for its network shape.
+///
+/// Warm starting is **opt-in by design**: a warm-started result depends
+/// on whatever the service's [`ResultCache`](crate::ResultCache) happens
+/// to hold, so it trades the bit-identical-to-a-cold-run guarantee for a
+/// (monotone — the extra start can only match or improve the best) head
+/// start. With the default [`WarmStart::Off`], enabling the cache never
+/// changes any result bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum WarmStart {
+    /// No warm start; results are bit-identical to a cold run even with
+    /// a cache attached. The default.
+    #[default]
+    Off,
+    /// Seed one extra descent per network from the best relaxed mapping
+    /// any previous job journaled for the same network shape (same
+    /// hierarchy and layer shapes; seed, budget, and surrogate may all
+    /// differ). Silently skipped when the service has no cache or the
+    /// cache has no neighbor yet.
+    NearestNeighbor,
+}
+
 /// One named network inside a (possibly batched) request.
 #[derive(Debug, Clone)]
 pub struct NetworkSpec {
@@ -241,6 +276,7 @@ pub struct SearchRequest {
     pub(crate) strategy: Strategy,
     pub(crate) policy: SchedPolicy,
     pub(crate) max_parallelism: Option<usize>,
+    pub(crate) warm_start: WarmStart,
 }
 
 impl SearchRequest {
@@ -254,6 +290,7 @@ impl SearchRequest {
                 strategy: Strategy::default(),
                 policy: SchedPolicy::default(),
                 max_parallelism: None,
+                warm_start: WarmStart::Off,
             },
         }
     }
@@ -296,6 +333,13 @@ impl SearchRequest {
         self.max_parallelism
     }
 
+    /// Whether this job seeds an extra descent from a cached neighbor
+    /// ([`WarmStart::Off`] unless set via
+    /// [`SearchRequestBuilder::warm_start`]).
+    pub fn warm_start(&self) -> WarmStart {
+        self.warm_start
+    }
+
     /// Coarse estimate of the total model evaluations this request will
     /// consume: the strategy's per-network estimate
     /// ([`Strategy::estimated_samples`]) times the batch size. Used as
@@ -321,6 +365,11 @@ impl SearchRequest {
             && !matches!(self.surrogate, Surrogate::Edp)
         {
             return Err(ConfigError::SurrogateNotApplicable(self.strategy.name()));
+        }
+        if !matches!(self.strategy, Strategy::GradientDescent(_))
+            && self.warm_start != WarmStart::Off
+        {
+            return Err(ConfigError::WarmStartNotApplicable(self.strategy.name()));
         }
         if self.networks.is_empty() {
             return Err(ConfigError::EmptyBatch);
@@ -419,6 +468,17 @@ impl SearchRequestBuilder {
     /// service budget at submission.
     pub fn max_parallelism(mut self, n: usize) -> SearchRequestBuilder {
         self.request.max_parallelism = Some(n);
+        self
+    }
+
+    /// Opt into seeding one extra descent per network from the best
+    /// cached neighbor of its shape (default: [`WarmStart::Off`]). Does
+    /// nothing unless the service carries a
+    /// [`ResultCache`](crate::ResultCache); rejected at validation for
+    /// non-gradient-descent strategies. See [`WarmStart`] for the
+    /// determinism tradeoff.
+    pub fn warm_start(mut self, warm: WarmStart) -> SearchRequestBuilder {
+        self.request.warm_start = warm;
         self
     }
 
@@ -571,6 +631,28 @@ mod tests {
             mixed.validate(),
             Err(ConfigError::SurrogateNotApplicable("random"))
         );
+    }
+
+    #[test]
+    fn warm_start_requires_gradient_descent() {
+        use crate::RandomSearchConfig;
+        let hier = Hierarchy::gemmini();
+        let mixed = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .warm_start(WarmStart::NearestNeighbor)
+            .strategy(Strategy::Random(RandomSearchConfig::default()))
+            .build();
+        assert_eq!(
+            mixed.validate(),
+            Err(ConfigError::WarmStartNotApplicable("random"))
+        );
+
+        let gd = SearchRequest::builder(hier)
+            .network("a", vec![layer()])
+            .warm_start(WarmStart::NearestNeighbor)
+            .build();
+        gd.validate().unwrap();
+        assert_eq!(gd.warm_start(), WarmStart::NearestNeighbor);
     }
 
     #[test]

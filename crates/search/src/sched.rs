@@ -22,6 +22,12 @@
 //! — a long job capped at `k` slots provably leaves `N - k` slots for
 //! everyone else.
 //!
+//! Work items replayed from the service's result cache
+//! ([`SearchServiceBuilder::cache`](crate::SearchServiceBuilder::cache))
+//! never enter slot accounting at all: the runner resolves them during
+//! planning, before the fan-out, so a fully-cached job consumes zero
+//! worker slots and leaves the whole budget to jobs doing real work.
+//!
 //! ## Arbitration
 //!
 //! When a slot frees (or a new job arrives), every job with waiting work

@@ -67,26 +67,46 @@
 //! merged best-so-far histories stay monotone non-increasing with
 //! strictly increasing sample counts. A job cancelled while still queued
 //! completes immediately with empty results.
+//!
+//! ## Result cache, checkpoint/resume, warm starts
+//!
+//! A service built with [`SearchServiceBuilder::cache`] consults a
+//! content-addressed [`ResultCache`] per work item *before* the item
+//! competes for a worker slot: hits are replayed into the item's planned
+//! position (so merge order — and therefore every result bit — is
+//! unchanged), misses run on the fleet and are journaled the moment they
+//! complete. Because journaling is per item and never covers a cancelled
+//! (partial) item, a cancelled job resubmitted identically replays its
+//! completed items from the cache and re-runs only the remainder —
+//! checkpoint/resume without any explicit checkpoint format. With the
+//! default [`WarmStart::Off`] the cache is invisible in results: every
+//! [`BatchResult`] is bit-identical to a cold run. A request may also opt
+//! into [`WarmStart::NearestNeighbor`], seeding one extra descent per
+//! network from the best cached mapping of the same network shape;
+//! [`JobHandle::stats`] reports per-job hits, misses, and warm starts.
+//! See the [`cache`] module for the key schema.
 
 use crate::bbbo::{run_bayesian_search, BbboConfig};
+use crate::cache::{self, ResultCache};
 use crate::engine::{
     merge_start_results, run_single_start, DiffLoss, EdpLoss, Fleet, PredictedLatencyLoss,
     ProgressCounters, StartControl,
 };
 use crate::gd::{GdConfig, LoopOrderStrategy, SearchResult};
 use crate::random_search::{plan_random_designs, run_random_design, RandomSearchConfig};
-use crate::request::{ConfigError, SearchRequest, Surrogate};
+use crate::request::{ConfigError, SearchRequest, Surrogate, WarmStart};
 #[cfg(doc)]
 use crate::sched::SchedPolicy;
 use crate::sched::{JobGate, JobRank, SlotTable};
-use crate::startpoints::{generate_start_points, StartPoint};
+use crate::startpoints::{generate_start_points, warm_start_point, StartPoint};
 use crate::strategy::Strategy;
 use dosa_accel::{Hierarchy, MAX_PE_SIDE};
+use dosa_cache::CacheKey;
 use dosa_model::LossOptions;
 use dosa_workload::Layer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -197,6 +217,46 @@ impl JobProgress {
     }
 }
 
+/// Per-job cache observability, snapshot by [`JobHandle::stats`].
+///
+/// On a service without a cache every counter except `work_items` stays
+/// zero. With a cache, `cache_hits + cache_misses == work_items` once the
+/// job is terminal (uncacheable items — e.g. a custom surrogate's — count
+/// as misses: they ran on the fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobStats {
+    /// Work items this job planned (including any warm-start items).
+    pub work_items: usize,
+    /// Work items replayed from the service's [`ResultCache`].
+    pub cache_hits: usize,
+    /// Work items that ran on the fleet (cache absent, item uncacheable,
+    /// or a genuine miss).
+    pub cache_misses: usize,
+    /// Extra descents seeded from a cached neighbor
+    /// ([`WarmStart::NearestNeighbor`]).
+    pub warm_starts: usize,
+}
+
+/// Lock-free backing counters of [`JobStats`].
+#[derive(Default)]
+struct JobCounters {
+    work_items: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    warm_starts: AtomicUsize,
+}
+
+impl JobCounters {
+    fn snapshot(&self) -> JobStats {
+        JobStats {
+            work_items: self.work_items.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct JobState {
     status: JobStatus,
     results: Option<BatchResult>,
@@ -217,6 +277,10 @@ struct JobShared {
     table: Arc<SlotTable>,
     /// One live counter pair per network, in request order.
     progress: Vec<ProgressCounters>,
+    /// The service's result cache, if one was configured.
+    cache: Option<Arc<ResultCache>>,
+    /// Per-job cache hit/miss/warm-start counters.
+    stats: JobCounters,
     state: Mutex<JobState>,
     done: Condvar,
 }
@@ -303,6 +367,15 @@ impl JobHandle {
         }
     }
 
+    /// Per-job cache counters (non-blocking): how many work items this
+    /// job planned, how many were replayed from the service's
+    /// [`ResultCache`] versus run on the fleet, and how many extra
+    /// warm-start descents were seeded. Counters are final once
+    /// [`status()`](JobHandle::status) is terminal.
+    pub fn stats(&self) -> JobStats {
+        self.job.stats.snapshot()
+    }
+
     /// Block until the job reaches a terminal state and return its
     /// per-network results ([`JobStatus::Cancelled`] jobs return their
     /// partial results).
@@ -343,6 +416,8 @@ struct ServiceShared {
     /// The shared worker-slot ledger all running jobs draw from.
     table: Arc<SlotTable>,
     threads: usize,
+    /// The service's result cache, consulted per work item when present.
+    cache: Option<Arc<ResultCache>>,
     next_id: AtomicU64,
 }
 
@@ -350,6 +425,7 @@ struct ServiceShared {
 #[derive(Debug, Clone, Default)]
 pub struct SearchServiceBuilder {
     threads: Option<usize>,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl SearchServiceBuilder {
@@ -362,6 +438,18 @@ impl SearchServiceBuilder {
     /// one process. Results are bit-identical for every budget.
     pub fn threads(mut self, n: usize) -> SearchServiceBuilder {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Attach a content-addressed [`ResultCache`] (default: none). The
+    /// service consults it per work item before scheduling, journals
+    /// completed items into it, and draws warm-start neighbors from it;
+    /// sharing one cache across services (or across a service's lifetime)
+    /// is what makes checkpoint/resume and warm starts work. With the
+    /// default [`WarmStart::Off`] on every request, attaching a cache
+    /// never changes any result bit — see the module docs.
+    pub fn cache(mut self, cache: Arc<ResultCache>) -> SearchServiceBuilder {
+        self.cache = Some(cache);
         self
     }
 
@@ -381,6 +469,7 @@ impl SearchServiceBuilder {
             shutdown: AtomicBool::new(false),
             table: Arc::new(SlotTable::new(threads)),
             threads,
+            cache: self.cache,
             next_id: AtomicU64::new(0),
         });
         let dispatcher_shared = Arc::clone(&shared);
@@ -418,6 +507,11 @@ impl SearchService {
         self.shared.threads
     }
 
+    /// The service's result cache, if one was attached at build time.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.shared.cache.as_ref()
+    }
+
     /// Validate `request` and enqueue it, returning a handle immediately.
     /// The dispatcher admits queued jobs in [`SchedPolicy`] rank order as
     /// admission slots free up; admitted jobs then share the worker
@@ -444,6 +538,8 @@ impl SearchService {
             cancel: Arc::new(AtomicBool::new(false)),
             table: Arc::clone(&self.shared.table),
             progress,
+            cache: self.shared.cache.clone(),
+            stats: JobCounters::default(),
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 results: None,
@@ -682,8 +778,41 @@ fn demux_merge(networks: usize, per_item: Vec<(usize, SearchResult)>) -> Vec<Sea
     per_network.into_iter().map(merge_start_results).collect()
 }
 
+/// One planned `(network, start)` gradient-descent work item, carrying
+/// its content address when the item is cacheable.
+struct GdItem {
+    net_index: usize,
+    start_index: usize,
+    start: StartPoint,
+    key: Option<CacheKey>,
+}
+
+/// Look one work item up in the job's cache (if any), keeping the
+/// per-job hit/miss counters. `None` means the item must run on the
+/// fleet.
+fn consult_cache(job: &JobShared, key: Option<&CacheKey>) -> Option<Arc<SearchResult>> {
+    let cache = job.cache.as_ref()?;
+    let found = key.and_then(|k| cache.lookup(k));
+    let counter = if found.is_some() {
+        &job.stats.cache_hits
+    } else {
+        &job.stats.cache_misses
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    found
+}
+
+/// Replay one cache hit: credit its samples and best EDP to the
+/// network's live progress counters, exactly as running it would have.
+fn replay_hit(job: &JobShared, net_index: usize, result: &SearchResult) {
+    let ctrl = network_ctrl(job, net_index);
+    ctrl.count_samples(result.samples);
+    ctrl.observe_best(result.best_edp);
+}
+
 /// Gradient descent: plan every network, then fan all `(network, start)`
-/// work items into the fleet.
+/// work items into the fleet — except the items the job's cache replays,
+/// which fill their planned positions without ever competing for a slot.
 fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResult> {
     let request = &job.request;
     let hier = &request.hier;
@@ -692,7 +821,8 @@ fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResul
     // Start points are generated sequentially per network before any
     // parallelism, exactly as the blocking path does.
     let mut plans: Vec<(Box<dyn DiffLoss + '_>, GdConfig)> = Vec::new();
-    let mut items: Vec<(usize, usize, StartPoint)> = Vec::new();
+    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
+    let mut items: Vec<GdItem> = Vec::new();
     for (net_index, net) in request.networks().iter().enumerate() {
         let mut net_cfg = *cfg;
         net_cfg.seed = request.network_seed(net_index);
@@ -707,62 +837,187 @@ fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResul
             net_cfg.rejection_factor,
         );
         for (start_index, start) in starts.into_iter().enumerate() {
-            items.push((net_index, start_index, start));
+            let key = job.cache.as_ref().and_then(|_| {
+                cache::gd_item_key(hier, &net.layers, &request.surrogate, &net_cfg, start_index)
+            });
+            items.push(GdItem {
+                net_index,
+                start_index,
+                start,
+                key,
+            });
+        }
+        let shape = job
+            .cache
+            .as_ref()
+            .map(|_| cache::network_shape_key(hier, &net.layers));
+        // Warm start: seed one extra descent from the best cached
+        // neighbor of this network's shape. The warm item is appended
+        // *after* the regular starts at the first unused start index, so
+        // every regular start's RNG stream and merge position is exactly
+        // what a cold run produces.
+        if request.warm_start() == WarmStart::NearestNeighbor {
+            if let (Some(cache), Some(shape)) = (&job.cache, &shape) {
+                if let Some(relaxed) = cache.warm_neighbor(shape, net.layers.len()) {
+                    let key = cache::warm_item_key(
+                        hier,
+                        &net.layers,
+                        &request.surrogate,
+                        &net_cfg,
+                        net_cfg.start_points,
+                        &relaxed,
+                    );
+                    let start = warm_start_point(&net.layers, hier, &opts, relaxed);
+                    items.push(GdItem {
+                        net_index,
+                        start_index: net_cfg.start_points,
+                        start,
+                        key,
+                    });
+                    job.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         plans.push((loss, net_cfg));
+        shapes.push(shape);
+    }
+    job.stats
+        .work_items
+        .fetch_add(items.len(), Ordering::Relaxed);
+
+    // Consult the cache per item before anything competes for a slot:
+    // hits land directly at their planned positions, misses go to the
+    // fleet. Reassembling by position keeps the demultiplexed per-network
+    // order — and therefore every merged result bit — identical to a
+    // cold run regardless of which items hit.
+    let mut slots: Vec<Option<(usize, SearchResult)>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut misses: Vec<(usize, GdItem)> = Vec::new();
+    for (pos, item) in items.into_iter().enumerate() {
+        match consult_cache(job, item.key.as_ref()) {
+            Some(result) => {
+                replay_hit(job, item.net_index, &result);
+                slots[pos] = Some((item.net_index, (*result).clone()));
+            }
+            None => misses.push((pos, item)),
+        }
     }
 
-    // One fleet over all networks' starts. Results land at fixed item
-    // slots, so the demultiplexed per-network order matches a standalone
-    // run regardless of thread count, batch composition, or whatever
-    // other jobs share the service's slots.
-    let per_item: Vec<(usize, SearchResult)> =
-        fleet.run(items, |_slot, (net_index, start_index, start)| {
-            let (loss, net_cfg) = &plans[net_index];
-            let result = run_single_start(
-                &**loss,
-                start.relaxed,
-                start_index,
-                net_cfg,
-                network_ctrl(job, net_index),
-            );
-            (net_index, result)
-        });
+    // One fleet over all networks' remaining starts. Results land at
+    // fixed item slots, so the demultiplexed per-network order matches a
+    // standalone run regardless of thread count, batch composition, or
+    // whatever other jobs share the service's slots. Each completed item
+    // is journaled immediately — never on cancellation, so a partial
+    // result can never be replayed — which is what lets a cancelled job
+    // resubmitted identically re-run only its remainder.
+    let executed = fleet.run(misses, |_slot, (pos, item)| {
+        let (loss, net_cfg) = &plans[item.net_index];
+        let ctrl = network_ctrl(job, item.net_index);
+        let result = run_single_start(&**loss, item.start.relaxed, item.start_index, net_cfg, ctrl);
+        if !network_ctrl(job, item.net_index).cancelled() {
+            if let (Some(cache), Some(key)) = (&job.cache, item.key) {
+                cache.journal(key, shapes[item.net_index].as_ref(), &result);
+            }
+        }
+        (pos, item.net_index, result)
+    });
+    for (pos, net_index, result) in executed {
+        slots[pos] = Some((net_index, result));
+    }
+    let per_item: Vec<(usize, SearchResult)> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every planned item resolves to a result"))
+        .collect();
     demux_merge(request.networks().len(), per_item)
 }
 
 /// Random search: draw every network's hardware designs sequentially from
 /// its seed, then fan all `(network, design)` work items into the fleet —
-/// each design searched by its own RNG stream.
+/// each design searched by its own RNG stream. Cache consultation,
+/// journaling, and positional reassembly mirror [`execute_gd`].
 fn execute_random(job: &JobShared, fleet: &Fleet, cfg: &RandomSearchConfig) -> Vec<SearchResult> {
     let request = &job.request;
-    let mut items: Vec<(usize, crate::random_search::RandomDesign)> = Vec::new();
-    for net_index in 0..request.networks().len() {
+    let hier = &request.hier;
+    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
+    let mut items: Vec<(
+        usize,
+        usize,
+        crate::random_search::RandomDesign,
+        Option<CacheKey>,
+    )> = Vec::new();
+    for (net_index, net) in request.networks().iter().enumerate() {
         let mut net_cfg = *cfg;
         net_cfg.seed = request.network_seed(net_index);
-        for design in plan_random_designs(&net_cfg) {
-            items.push((net_index, design));
+        for (design_index, design) in plan_random_designs(&net_cfg).into_iter().enumerate() {
+            let key = job
+                .cache
+                .as_ref()
+                .map(|_| cache::random_item_key(hier, &net.layers, &net_cfg, design_index));
+            items.push((net_index, design_index, design, key));
+        }
+        shapes.push(
+            job.cache
+                .as_ref()
+                .map(|_| cache::network_shape_key(hier, &net.layers)),
+        );
+    }
+    job.stats
+        .work_items
+        .fetch_add(items.len(), Ordering::Relaxed);
+
+    let mut slots: Vec<Option<(usize, SearchResult)>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut misses = Vec::new();
+    for (pos, (net_index, design_index, design, key)) in items.into_iter().enumerate() {
+        match consult_cache(job, key.as_ref()) {
+            Some(result) => {
+                replay_hit(job, net_index, &result);
+                slots[pos] = Some((net_index, (*result).clone()));
+            }
+            None => misses.push((pos, net_index, design_index, design, key)),
         }
     }
-    let per_item: Vec<(usize, SearchResult)> = fleet.run(items, |_slot, (net_index, design)| {
-        let net = &request.networks()[net_index];
-        let result = run_random_design(
-            &net.layers,
-            &request.hier,
-            &design,
-            cfg.samples_per_hw,
-            network_ctrl(job, net_index),
-        );
-        (net_index, result)
-    });
+    let executed = fleet.run(
+        misses,
+        |_slot, (pos, net_index, _design_index, design, key)| {
+            let net = &request.networks()[net_index];
+            let result = run_random_design(
+                &net.layers,
+                hier,
+                &design,
+                cfg.samples_per_hw,
+                network_ctrl(job, net_index),
+            );
+            if !network_ctrl(job, net_index).cancelled() {
+                if let (Some(cache), Some(key)) = (&job.cache, key) {
+                    cache.journal(key, shapes[net_index].as_ref(), &result);
+                }
+            }
+            (pos, net_index, result)
+        },
+    );
+    for (pos, net_index, result) in executed {
+        slots[pos] = Some((net_index, result));
+    }
+    let per_item: Vec<(usize, SearchResult)> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every planned item resolves to a result"))
+        .collect();
     demux_merge(request.networks().len(), per_item)
 }
 
 /// BB-BO: each network's outer GP loop is inherently sequential, so
 /// networks run one after another — but every step's inner mapping
-/// samples and EI candidate scores fan out across the fleet.
+/// samples and EI candidate scores fan out across the fleet. The
+/// cacheable unit is the whole network (every GP step conditions on all
+/// previous observations), so one work item per network is consulted and
+/// journaled.
 fn execute_bayes(job: &JobShared, fleet: &Fleet, cfg: &BbboConfig) -> Vec<SearchResult> {
     let request = &job.request;
+    let hier = &request.hier;
+    job.stats
+        .work_items
+        .fetch_add(request.networks().len(), Ordering::Relaxed);
     request
         .networks()
         .iter()
@@ -770,13 +1025,28 @@ fn execute_bayes(job: &JobShared, fleet: &Fleet, cfg: &BbboConfig) -> Vec<Search
         .map(|(net_index, net)| {
             let mut net_cfg = *cfg;
             net_cfg.seed = request.network_seed(net_index);
-            run_bayesian_search(
+            let key = job
+                .cache
+                .as_ref()
+                .map(|_| cache::bayes_network_key(hier, &net.layers, &net_cfg));
+            if let Some(result) = consult_cache(job, key.as_ref()) {
+                replay_hit(job, net_index, &result);
+                return (*result).clone();
+            }
+            let result = run_bayesian_search(
                 &net.layers,
-                &request.hier,
+                hier,
                 &net_cfg,
                 fleet,
                 network_ctrl(job, net_index),
-            )
+            );
+            if !network_ctrl(job, net_index).cancelled() {
+                if let (Some(cache), Some(key)) = (&job.cache, key) {
+                    let shape = cache::network_shape_key(hier, &net.layers);
+                    cache.journal(key, Some(&shape), &result);
+                }
+            }
+            result
         })
         .collect()
 }

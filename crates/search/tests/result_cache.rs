@@ -1,0 +1,296 @@
+//! Integration tests of the content-addressed result cache: enabling the
+//! cache must never change a result bit, a repeated identical batch must
+//! replay entirely from the cache, a cancelled job resubmitted
+//! identically must re-run only its remainder, warm starting must stay
+//! opt-in, and request-level fingerprints must be injective field by
+//! field.
+
+use dosa_accel::Hierarchy;
+use dosa_search::cache::{gd_item_key, network_shape_key};
+use dosa_search::{
+    GdConfig, JobStats, RandomSearchConfig, ResultCache, SearchRequest, SearchResult,
+    SearchService, Strategy, Surrogate, WarmStart,
+};
+use dosa_workload::{Layer, Problem};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn matmul_net() -> Vec<Layer> {
+    vec![Layer::once(Problem::matmul("gemm", 64, 256, 256).unwrap())]
+}
+
+fn conv_net() -> Vec<Layer> {
+    vec![
+        Layer::once(Problem::conv("c", 3, 3, 14, 14, 32, 32, 1).unwrap()),
+        Layer::once(Problem::matmul("fc", 32, 64, 64).unwrap()),
+    ]
+}
+
+fn tiny_cfg(seed: u64) -> GdConfig {
+    GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed,
+        ..GdConfig::default()
+    }
+}
+
+fn batched_request(seed: u64) -> SearchRequest {
+    SearchRequest::builder(Hierarchy::gemmini())
+        .network("gemm", matmul_net())
+        .network_seeded("conv", conv_net(), seed + 1)
+        .config(tiny_cfg(seed))
+        .build()
+}
+
+/// Bit-level equality of two search results (the same check the repro
+/// driver's parity gates apply).
+fn assert_bit_identical(a: &SearchResult, b: &SearchResult, what: &str) {
+    assert_eq!(
+        a.best_edp.to_bits(),
+        b.best_edp.to_bits(),
+        "{what}: best_edp differs"
+    );
+    assert_eq!(a.best_hw, b.best_hw, "{what}: best_hw differs");
+    assert_eq!(a.samples, b.samples, "{what}: samples differ");
+    assert_eq!(a.history, b.history, "{what}: history differs");
+}
+
+#[test]
+fn cache_on_equals_cache_off_and_repeat_hits_fully() {
+    let request = batched_request(11);
+
+    // Cold reference: no cache anywhere.
+    let plain = SearchService::builder().threads(2).build();
+    let reference = plain.submit(request.clone()).unwrap().wait();
+
+    let cache = ResultCache::in_memory(256);
+    let service = SearchService::builder()
+        .threads(2)
+        .cache(Arc::clone(&cache))
+        .build();
+
+    // First cached run: all misses, results bit-identical to no-cache.
+    let first = service.submit(request.clone()).unwrap();
+    let first_results = first.wait();
+    let stats = first.stats();
+    assert_eq!(stats.work_items, 4, "2 networks x 2 start points");
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, stats.work_items);
+    assert_eq!(stats.warm_starts, 0);
+    for net in ["gemm", "conv"] {
+        assert_bit_identical(
+            first_results.get(net).unwrap(),
+            reference.get(net).unwrap(),
+            &format!("{net}: cache-on vs cache-off"),
+        );
+    }
+
+    // Identical resubmission: 100% work-item hits, bit-identical batch.
+    let second = service.submit(request).unwrap();
+    let second_results = second.wait();
+    let stats = second.stats();
+    assert_eq!(stats.cache_hits, stats.work_items, "expected a full replay");
+    assert_eq!(stats.cache_misses, 0);
+    for net in ["gemm", "conv"] {
+        assert_bit_identical(
+            second_results.get(net).unwrap(),
+            reference.get(net).unwrap(),
+            &format!("{net}: replayed vs cold"),
+        );
+    }
+    assert!(cache.stats().hits >= 4);
+    assert_eq!(cache.stats().journaled, 4);
+}
+
+#[test]
+fn jobs_without_a_cache_report_zeroed_cache_stats() {
+    let service = SearchService::builder().threads(2).build();
+    let job = service.submit(batched_request(3)).unwrap();
+    job.wait();
+    let stats = job.stats();
+    assert_eq!(
+        stats,
+        JobStats {
+            work_items: 4,
+            ..JobStats::default()
+        }
+    );
+}
+
+#[test]
+fn resume_after_cancel_reruns_only_the_remainder() {
+    // Work items chunky enough that cancellation lands mid-job: random
+    // search designs on one worker thread.
+    let request = SearchRequest::builder(Hierarchy::gemmini())
+        .network("conv", conv_net())
+        .strategy(Strategy::Random(RandomSearchConfig {
+            num_hw: 6,
+            samples_per_hw: 2500,
+            seed: 5,
+        }))
+        .build();
+
+    // Uninterrupted reference, no cache.
+    let plain = SearchService::builder().threads(1).build();
+    let reference = plain.submit(request.clone()).unwrap().wait().into_single();
+
+    let cache = ResultCache::in_memory(256);
+    let service = SearchService::builder()
+        .threads(1)
+        .cache(Arc::clone(&cache))
+        .build();
+
+    // Run until at least one work item has been journaled, then cancel.
+    let interrupted = service.submit(request.clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while cache.stats().journaled == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no work item completed within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    interrupted.cancel();
+    interrupted.wait();
+
+    // Identical resubmission: completed items replay, only the remainder
+    // re-runs, and the final result is bit-identical to the
+    // uninterrupted reference.
+    let resumed = service.submit(request).unwrap();
+    let resumed_result = resumed.wait().into_single();
+    let stats = resumed.stats();
+    assert_eq!(stats.work_items, 6);
+    assert!(stats.cache_hits >= 1, "resume must replay completed items");
+    assert!(
+        stats.cache_misses < stats.work_items,
+        "resume must not re-run everything (hits {}, misses {})",
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    assert_bit_identical(&resumed_result, &reference, "resumed vs uninterrupted");
+}
+
+#[test]
+fn warm_start_is_opt_in_and_counted() {
+    let hier = Hierarchy::gemmini();
+    let cache = ResultCache::in_memory(256);
+    let service = SearchService::builder()
+        .threads(2)
+        .cache(Arc::clone(&cache))
+        .build();
+
+    // Nothing journaled yet: a warm-started request finds no neighbor.
+    let cold_warm = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", matmul_net())
+                .config(tiny_cfg(21))
+                .warm_start(WarmStart::NearestNeighbor)
+                .build(),
+        )
+        .unwrap();
+    let cold_result = cold_warm.wait().into_single();
+    assert_eq!(cold_warm.stats().warm_starts, 0);
+    assert_eq!(cold_warm.stats().work_items, 2);
+
+    // Same shape, different seed: the journaled neighbor seeds one extra
+    // descent, which can only match or improve the merged best.
+    let warmed = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", matmul_net())
+                .config(tiny_cfg(22))
+                .warm_start(WarmStart::NearestNeighbor)
+                .build(),
+        )
+        .unwrap();
+    let warmed_result = warmed.wait().into_single();
+    let stats = warmed.stats();
+    assert_eq!(stats.warm_starts, 1);
+    assert_eq!(stats.work_items, 3, "2 regular starts + 1 warm start");
+    assert!(warmed_result.samples > 0);
+    assert!(warmed_result.best_edp.is_finite());
+
+    // Off by default: the same request without warm_start plans only the
+    // regular starts and stays bit-identical to a cold run, cache or not.
+    let off = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", matmul_net())
+                .config(tiny_cfg(23))
+                .build(),
+        )
+        .unwrap();
+    let off_result = off.wait().into_single();
+    assert_eq!(off.stats().warm_starts, 0);
+    assert_eq!(off.stats().work_items, 2);
+    let plain = SearchService::builder().threads(2).build();
+    let cold = plain
+        .submit(
+            SearchRequest::builder(hier)
+                .network("gemm", matmul_net())
+                .config(tiny_cfg(23))
+                .build(),
+        )
+        .unwrap()
+        .wait()
+        .into_single();
+    assert_bit_identical(&off_result, &cold, "warm-start-off vs no cache");
+    drop(cold_result);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request-level fingerprints: perturbing any single field of a GD
+    /// work item's identity produces a different key.
+    #[test]
+    fn gd_item_keys_are_injective_per_field(
+        seed in 0u64..u64::MAX - 1,
+        start_index in 0usize..64,
+        lr in 1e-4f64..1.0,
+        steps in 1usize..2000,
+    ) {
+        let hier = Hierarchy::gemmini();
+        let layers = conv_net();
+        let cfg = GdConfig { learning_rate: lr, steps_per_start: steps, seed, ..GdConfig::default() };
+        let base = gd_item_key(&hier, &layers, &Surrogate::Edp, &cfg, start_index).unwrap();
+
+        let other_seed = GdConfig { seed: seed + 1, ..cfg };
+        prop_assert!(base != gd_item_key(&hier, &layers, &Surrogate::Edp, &other_seed, start_index).unwrap());
+
+        let other_steps = GdConfig { steps_per_start: steps + 1, ..cfg };
+        prop_assert!(base != gd_item_key(&hier, &layers, &Surrogate::Edp, &other_steps, start_index).unwrap());
+
+        let other_lr = GdConfig { learning_rate: f64::from_bits(lr.to_bits() + 1), ..cfg };
+        prop_assert!(base != gd_item_key(&hier, &layers, &Surrogate::Edp, &other_lr, start_index).unwrap());
+
+        prop_assert!(base != gd_item_key(&hier, &layers, &Surrogate::Edp, &cfg, start_index + 1).unwrap());
+
+        let other_net = matmul_net();
+        prop_assert!(base != gd_item_key(&hier, &other_net, &Surrogate::Edp, &cfg, start_index).unwrap());
+    }
+
+    /// `-0.0` and `0.0` learning rates canonicalize to one key (the only
+    /// f64 pair IEEE `==` conflates), and the shape key ignores every
+    /// config field.
+    #[test]
+    fn float_zero_canonicalization_and_shape_keys(seed in 0u64..u64::MAX) {
+        let hier = Hierarchy::gemmini();
+        let layers = matmul_net();
+        let pos = GdConfig { learning_rate: 0.0, seed, ..GdConfig::default() };
+        let neg = GdConfig { learning_rate: -0.0, seed, ..GdConfig::default() };
+        prop_assert_eq!(
+            gd_item_key(&hier, &layers, &Surrogate::Edp, &pos, 0).unwrap(),
+            gd_item_key(&hier, &layers, &Surrogate::Edp, &neg, 0).unwrap()
+        );
+        // The warm-start neighborhood is identical across seeds/configs.
+        prop_assert_eq!(
+            network_shape_key(&hier, &layers),
+            network_shape_key(&hier, &layers)
+        );
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`nn`] — the learned latency-correction MLP,
 //! * [`rtl`] — the Gemmini-RTL simulator substitute,
 //! * [`search`] — DOSA's one-loop GD search and the baselines,
+//! * [`cache`] — the content-addressed fingerprint/store substrate behind
+//!   the search service's result cache,
 //! * [`bench`](mod@bench) — the experiment harness behind the `repro`
 //!   binary.
 //!
@@ -132,6 +134,41 @@
 //!   [`search::SearchService::submit`].
 //! * **Per-service thread budget** — [`search::SearchServiceBuilder::threads`]
 //!   scopes parallelism to the service instance; no global pool.
+//! * **Result caching & resume** — a service built with
+//!   [`search::SearchServiceBuilder::cache`] journals every completed
+//!   work item into a content-addressed [`search::ResultCache`] and
+//!   replays identical work instead of re-running it: a repeated
+//!   identical request completes with 100% work-item hits, a cancelled
+//!   job resubmitted identically re-runs only its remainder, and either
+//!   way the [`search::BatchResult`] stays bit-identical to a cold run.
+//!   Requests can additionally opt into
+//!   [`search::WarmStart::NearestNeighbor`] to seed one extra descent
+//!   from the best cached mapping of the same network shape
+//!   ([`search::JobHandle::stats`] counts hits/misses/warm starts;
+//!   enforced in CI via `repro --smoke cache`).
+//!
+//! ```
+//! use dosa::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let layers = vec![Layer::once(Problem::matmul("m", 8, 32, 32)?)];
+//! let cache = ResultCache::in_memory(1024);
+//! let service = SearchService::builder().threads(2).cache(Arc::clone(&cache)).build();
+//! let request = SearchRequest::builder(Hierarchy::gemmini())
+//!     .network("gemm", layers)
+//!     .config(GdConfig { start_points: 1, steps_per_start: 10, round_every: 5,
+//!                        ..GdConfig::default() })
+//!     .build();
+//! let first = service.submit(request.clone()).expect("valid").wait();
+//! let rerun = service.submit(request).expect("valid");
+//! let second = rerun.wait();
+//! assert_eq!(rerun.stats().cache_hits, rerun.stats().work_items); // full replay
+//! assert_eq!(
+//!     first.into_single().best_edp.to_bits(),
+//!     second.into_single().best_edp.to_bits(),
+//! );
+//! # Ok::<(), dosa::workload::ProblemError>(())
+//! ```
 //!
 //! The blocking searchers [`search::dosa_search`],
 //! [`search::dosa_search_rtl`], [`search::random_search`] and
@@ -148,6 +185,7 @@
 pub use dosa_accel as accel;
 pub use dosa_autodiff as autodiff;
 pub use dosa_bench as bench;
+pub use dosa_cache as cache;
 pub use dosa_model as model;
 pub use dosa_nn as nn;
 pub use dosa_rtl as rtl;
@@ -158,13 +196,14 @@ pub use dosa_workload as workload;
 /// Commonly used items for examples and downstream code.
 pub mod prelude {
     pub use dosa_accel::{EnergyModel, HardwareConfig, Hierarchy};
+    pub use dosa_cache::{CacheKey, CacheStore, Fingerprinter, ShardedLru};
     pub use dosa_model::{build_loss, LossOptions, RelaxedMapping};
     pub use dosa_search::{
         bayesian_search, cosa_mapping, dosa_search, dosa_search_rtl, random_search, run_gd_search,
         BatchResult, BbboConfig, ConfigError, CustomSurrogate, DiffLoss, EdpLoss, GdConfig,
-        JobHandle, JobProgress, JobStatus, LatencyModelKind, LatencyPredictor, LoopOrderStrategy,
-        PredictedLatencyLoss, RandomSearchConfig, SchedPolicy, SearchRequest, SearchService,
-        Strategy, Surrogate,
+        JobHandle, JobProgress, JobStats, JobStatus, LatencyModelKind, LatencyPredictor,
+        LoopOrderStrategy, PredictedLatencyLoss, RandomSearchConfig, ResultCache, ResultCacheStats,
+        SchedPolicy, SearchRequest, SearchService, Strategy, Surrogate, WarmStart,
     };
     pub use dosa_timeloop::{
         evaluate_layer, evaluate_model, min_hw, min_hw_for_all, Mapping, Stationarity,
