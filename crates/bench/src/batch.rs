@@ -131,6 +131,7 @@ pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec
 
     let outcomes: Vec<BatchOutcome> = job
         .wait()
+        .expect("batched job failed")
         .networks
         .into_iter()
         .map(|n| BatchOutcome {
@@ -178,7 +179,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
     println!("smoke: batched {{ResNet-50 subset, gemm}} job");
     let job = service.submit(request).expect("smoke config validates");
     poll_until_done("batch", &job, Duration::from_millis(50));
-    let batch = job.wait();
+    let batch = job.wait().expect("batched job failed");
 
     // The service guarantee, enforced: batched == standalone, bit for bit.
     for (name, layers, net_seed) in [

@@ -124,7 +124,7 @@ pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec
             .submit(request(scale.gd_main(seed), warm, seed_offset))
             .expect("scale presets always validate");
         poll_until_done(phase, &job, Duration::from_millis(500));
-        let outcomes = job.wait();
+        let outcomes = job.wait().expect("cached job failed");
         rows.push(PhaseRow {
             phase,
             wall: begin.elapsed(),
@@ -195,7 +195,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
         .submit(request.clone())
         .expect("smoke config validates");
     poll_until_done("cold", &cold, Duration::from_millis(50));
-    let cold_results = cold.wait();
+    let cold_results = cold.wait().expect("cold job failed");
     let cold_stats = cold.stats();
     assert_eq!(
         cold_stats.cache_misses, cold_stats.work_items,
@@ -203,7 +203,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
     );
     println!("smoke: identical resubmission");
     let replay = service.submit(request.clone()).expect("same request");
-    let replay_results = replay.wait();
+    let replay_results = replay.wait().expect("replay job failed");
     let replay_stats = replay.stats();
     assert!(
         replay_stats.cache_hits > 0,
@@ -255,6 +255,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
         .submit(resume_request.clone())
         .expect("valid")
         .wait()
+        .expect("warm job failed")
         .into_single();
     let resume_cache = ResultCache::in_memory(64);
     let resume_service = SearchService::builder()
@@ -273,9 +274,9 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<BatchOutcome> {
         std::thread::sleep(Duration::from_millis(2));
     }
     interrupted.cancel();
-    interrupted.wait();
+    interrupted.wait().expect("interrupted job failed");
     let resumed = resume_service.submit(resume_request).expect("valid");
-    let resumed_result = resumed.wait().into_single();
+    let resumed_result = resumed.wait().expect("resumed job failed").into_single();
     let stats = resumed.stats();
     assert!(stats.cache_hits >= 1, "resume must replay completed items");
     assert!(

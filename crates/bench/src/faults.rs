@@ -1,0 +1,447 @@
+//! Fault-isolation demonstration and CI gate: `repro faults` injects
+//! deterministic faults ([`FaultPlan`]) into jobs sharing one
+//! [`SearchService`] and reports how the failure domains held. The
+//! `--smoke` variant **asserts** the robustness contracts end to end:
+//! a panicking work item fails only its own job while a concurrent
+//! sibling stays bit-identical to its solo run; a non-finite descent
+//! fails with the typed [`JobError::NonFiniteLoss`]; a
+//! [`DeadlinePolicy::Degrade`] job expiring mid-run returns a bitwise
+//! **prefix** of the uninterrupted run; a [`DeadlinePolicy::Kill`] job
+//! fails with [`JobError::DeadlineExceeded`] without touching its
+//! siblings; and installing an empty (zero-fault) plan changes no result
+//! bit.
+
+use crate::batch::assert_parity;
+use crate::plot::write_csv;
+use crate::scale::Scale;
+use dosa_accel::Hierarchy;
+use dosa_search::{
+    dosa_search, DeadlinePolicy, FaultKind, FaultPlan, GdConfig, JobError, JobStatus,
+    SearchRequest, SearchService,
+};
+use dosa_workload::{unique_layers, Layer, Network, Problem};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One job's outcome in the fault-injection run.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// Job label (workload + what was injected).
+    pub label: String,
+    /// Terminal status the job reached.
+    pub status: JobStatus,
+    /// The typed error, for jobs that ended [`JobStatus::Failed`].
+    pub error: Option<JobError>,
+    /// Best EDP across the job's networks (`INFINITY` for failed jobs).
+    pub best_edp: f64,
+    /// Wall-clock time from submission to terminal.
+    pub elapsed: Duration,
+}
+
+fn write_outcomes(out_dir: &Path, name: &str, outcomes: &[FaultOutcome]) {
+    write_csv(
+        out_dir,
+        name,
+        &["label", "status", "error", "best_edp", "elapsed_ms"],
+        &outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.label.clone(),
+                    format!("{:?}", o.status),
+                    o.error
+                        .as_ref()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    format!("{:.6e}", o.best_edp),
+                    o.elapsed.as_millis().to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Run the fault-isolation demonstration: one healthy GD job per
+/// workload plus one "chaos" job per workload carrying a seeded
+/// [`FaultPlan`], all on one service — then report which jobs failed
+/// (with their typed errors) and that every healthy job still matches
+/// its standalone run bit for bit.
+pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec<FaultOutcome> {
+    let hier = Hierarchy::gemmini();
+    let threads = rayon::current_num_threads().max(2);
+    let service = SearchService::builder().threads(threads).build();
+    let cfg = scale.gd_main(seed);
+    println!(
+        "fault isolation: {} healthy + {} seeded-chaos GD jobs on {} worker slots",
+        networks.len(),
+        networks.len(),
+        threads
+    );
+
+    let t0 = Instant::now();
+    let mut jobs = Vec::new();
+    for (i, net) in networks.iter().enumerate() {
+        let healthy = service
+            .submit(
+                SearchRequest::builder(hier.clone())
+                    .network(net.name().to_string(), unique_layers(*net))
+                    .config(GdConfig {
+                        seed: seed + i as u64,
+                        ..cfg
+                    })
+                    .build(),
+            )
+            .expect("scale presets always validate");
+        jobs.push((format!("{}/healthy", net.name()), healthy));
+        let plan = FaultPlan::seeded(seed + i as u64, cfg.start_points, 0.5);
+        let injected = plan.len();
+        let chaos = service
+            .submit(
+                SearchRequest::builder(hier.clone())
+                    .network(net.name().to_string(), unique_layers(*net))
+                    .config(GdConfig {
+                        seed: seed + i as u64,
+                        ..cfg
+                    })
+                    .fault_plan(plan)
+                    .build(),
+            )
+            .expect("scale presets always validate");
+        jobs.push((format!("{}/chaos({} faults)", net.name(), injected), chaos));
+    }
+
+    let mut outcomes = Vec::new();
+    for (i, (label, job)) in jobs.iter().enumerate() {
+        let result = job.wait();
+        let best_edp = result
+            .as_ref()
+            .map(|b| {
+                b.networks
+                    .iter()
+                    .map(|n| n.result.best_edp)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .unwrap_or(f64::INFINITY);
+        let outcome = FaultOutcome {
+            label: label.clone(),
+            status: job.status(),
+            error: job.error(),
+            best_edp,
+            elapsed: t0.elapsed(),
+        };
+        println!(
+            "  {:<28} {:?}{}",
+            outcome.label,
+            outcome.status,
+            outcome
+                .error
+                .as_ref()
+                .map(|e| format!(" — {e}"))
+                .unwrap_or_default()
+        );
+        // Every healthy job must have survived its chaotic sibling with
+        // its full, finite result.
+        if i % 2 == 0 {
+            assert_eq!(
+                outcome.status,
+                JobStatus::Completed,
+                "healthy job {label} was disturbed by a sibling's faults"
+            );
+            assert!(outcome.best_edp.is_finite());
+        }
+        outcomes.push(outcome);
+    }
+    write_outcomes(out_dir, "faults.csv", &outcomes);
+    outcomes
+}
+
+/// A small two-start GD config whose items each take tens of
+/// milliseconds — enough work that concurrency and deadlines are real,
+/// small enough for a seconds-scale smoke.
+fn smoke_cfg(seed: u64) -> GdConfig {
+    GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed,
+        ..GdConfig::default()
+    }
+}
+
+fn gemm_layers() -> Vec<Layer> {
+    vec![Layer::once(
+        Problem::matmul("gemm", 64, 256, 256).expect("valid matmul"),
+    )]
+}
+
+/// Seconds-scale CI smoke of the fault-isolation, deadline, and
+/// degradation contracts. Asserts, in order:
+///
+/// 1. **Panic isolation** — a [`FaultKind::Panic`] injected into one of
+///    job A's work items ends A `Failed(WorkerPanic { item: 1 })` while
+///    concurrent job B on the same two-slot service stays bit-identical
+///    to its solo run.
+/// 2. **Typed non-finite failure** — [`FaultKind::NonFiniteLoss`] ends
+///    the job `Failed(NonFiniteLoss { item: 0, step: 1 })`.
+/// 3. **Degrade prefix parity** — a `Degrade` job whose deadline expires
+///    mid-run (one item held by an injected [`FaultKind::Delay`])
+///    completes with `degraded: true` and a history that is a bitwise
+///    **prefix** of the uninterrupted run's, with strictly fewer samples.
+/// 4. **Deadline kill under load** — a `Kill` job with a short deadline
+///    fails with [`JobError::DeadlineExceeded`] while a concurrent
+///    sibling stays bit-identical to its solo run.
+/// 5. **Zero-fault no-op** — installing an empty [`FaultPlan`] changes
+///    no result bit versus no plan at all.
+///
+/// # Panics
+///
+/// Panics if any contract is violated — that is the point: CI fails if
+/// fault containment, deadline handling, or degrade determinism
+/// regresses.
+pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<FaultOutcome> {
+    let hier = Hierarchy::gemmini();
+    let gemm = gemm_layers();
+    let mut outcomes = Vec::new();
+
+    // 1. Panic isolation: A's item 1 panics; B must not notice.
+    let service = SearchService::builder().threads(2).build();
+    let t0 = Instant::now();
+    let cfg_a = smoke_cfg(seed);
+    let a = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(cfg_a)
+                .fault_plan(FaultPlan::new().inject(1, FaultKind::Panic))
+                .build(),
+        )
+        .expect("smoke config validates");
+    let cfg_b = smoke_cfg(seed + 1);
+    let b = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(cfg_b)
+                .build(),
+        )
+        .expect("smoke config validates");
+    let a_err = a.wait().expect_err("the injected panic must fail job A");
+    assert_eq!(a.status(), JobStatus::Failed);
+    assert_eq!(a.error(), Some(a_err.clone()));
+    match &a_err {
+        JobError::WorkerPanic { item: 1, payload } => {
+            assert!(
+                payload.contains("injected fault"),
+                "panic payload lost: {payload}"
+            );
+        }
+        other => panic!("expected WorkerPanic at item 1, got {other}"),
+    }
+    let b_result = b
+        .wait()
+        .expect("job B must survive its sibling's panic")
+        .into_single();
+    assert_parity(
+        &b_result,
+        &dosa_search(&gemm, &hier, &cfg_b),
+        "faults smoke: sibling of a panicking job",
+    );
+    println!("smoke: injected panic contained to job A ({a_err}); job B bit-identical to solo");
+    outcomes.push(FaultOutcome {
+        label: "panic@1".into(),
+        status: JobStatus::Failed,
+        error: Some(a_err),
+        best_edp: f64::INFINITY,
+        elapsed: t0.elapsed(),
+    });
+
+    // 2. Typed non-finite failure: the injected NaN is adjudicated by
+    //    the first rounding checkpoint and attributed to step 1.
+    let nf = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(smoke_cfg(seed + 2))
+                .fault_plan(FaultPlan::new().inject(0, FaultKind::NonFiniteLoss))
+                .build(),
+        )
+        .expect("smoke config validates");
+    let nf_err = nf
+        .wait()
+        .expect_err("the injected non-finite loss must fail the job");
+    assert_eq!(
+        nf_err,
+        JobError::NonFiniteLoss { item: 0, step: 1 },
+        "non-finite guard misattributed the failure"
+    );
+    println!("smoke: injected NaN loss failed typed ({nf_err})");
+    outcomes.push(FaultOutcome {
+        label: "non-finite@0".into(),
+        status: JobStatus::Failed,
+        error: Some(nf_err),
+        best_edp: f64::INFINITY,
+        elapsed: t0.elapsed(),
+    });
+
+    // 3. Degrade prefix parity. Single worker slot, four planned items:
+    //    item 1 is delayed past the deadline, so items 2 and 3 never
+    //    start and the job completes degraded on items {0, 1}. The
+    //    uninterrupted run of the identical request is the reference.
+    let full_cfg = GdConfig {
+        start_points: 4,
+        ..smoke_cfg(seed + 3)
+    };
+    let single = SearchService::builder().threads(1).build();
+    let full = single
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(full_cfg)
+                .build(),
+        )
+        .expect("smoke config validates")
+        .wait()
+        .expect("uninterrupted reference job failed")
+        .into_single();
+    let degraded_job = single
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(full_cfg)
+                .fault_plan(FaultPlan::new().inject(1, FaultKind::Delay(2_500)))
+                .deadline(Duration::from_millis(700))
+                .deadline_policy(DeadlinePolicy::Degrade)
+                .build(),
+        )
+        .expect("smoke config validates");
+    let degraded_batch = degraded_job
+        .wait()
+        .expect("a Degrade deadline completes, never fails");
+    assert!(
+        degraded_batch.degraded,
+        "the deadline provably expired mid-run, so the batch must be flagged degraded"
+    );
+    assert_eq!(degraded_job.status(), JobStatus::Completed);
+    let degraded = degraded_batch.into_single();
+    assert!(
+        degraded.samples < full.samples,
+        "degraded run must have done strictly less work ({} vs {})",
+        degraded.samples,
+        full.samples
+    );
+    assert!(
+        !degraded.history.is_empty(),
+        "items completed before the deadline must be merged"
+    );
+    assert_eq!(
+        degraded.history,
+        full.history[..degraded.history.len()],
+        "degraded history must be a bitwise prefix of the uninterrupted run"
+    );
+    println!(
+        "smoke: Degrade returned a bitwise prefix ({} of {} history points, {} of {} samples)",
+        degraded.history.len(),
+        full.history.len(),
+        degraded.samples,
+        full.samples
+    );
+    outcomes.push(FaultOutcome {
+        label: "degrade@700ms".into(),
+        status: JobStatus::Completed,
+        error: None,
+        best_edp: degraded.best_edp,
+        elapsed: t0.elapsed(),
+    });
+
+    // 4. Deadline kill under load: the delayed job dies with the typed
+    //    deadline error; its concurrent sibling is bit-identical to solo.
+    let pair = SearchService::builder().threads(2).build();
+    let killed = pair
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(smoke_cfg(seed + 4))
+                .fault_plan(FaultPlan::new().inject(0, FaultKind::Delay(2_500)))
+                .deadline(Duration::from_millis(300))
+                .build(), // DeadlinePolicy::Kill is the default
+        )
+        .expect("smoke config validates");
+    let cfg_side = smoke_cfg(seed + 5);
+    let side = pair
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(cfg_side)
+                .build(),
+        )
+        .expect("smoke config validates");
+    let kill_err = killed
+        .wait()
+        .expect_err("the Kill deadline must fail the job");
+    assert_eq!(kill_err, JobError::DeadlineExceeded);
+    assert_eq!(killed.status(), JobStatus::Failed);
+    assert_parity(
+        &side.wait().expect("sibling job failed").into_single(),
+        &dosa_search(&gemm, &hier, &cfg_side),
+        "faults smoke: sibling of a deadline-killed job",
+    );
+    println!("smoke: Kill deadline failed typed ({kill_err}); sibling bit-identical to solo");
+    outcomes.push(FaultOutcome {
+        label: "kill@300ms".into(),
+        status: JobStatus::Failed,
+        error: Some(kill_err),
+        best_edp: f64::INFINITY,
+        elapsed: t0.elapsed(),
+    });
+
+    // 5. Zero-fault no-op: an empty plan must not perturb a single bit.
+    let cfg_z = smoke_cfg(seed + 6);
+    let with_empty_plan = service
+        .submit(
+            SearchRequest::builder(hier.clone())
+                .network("gemm", gemm.clone())
+                .config(cfg_z)
+                .fault_plan(FaultPlan::new())
+                .build(),
+        )
+        .expect("smoke config validates")
+        .wait()
+        .expect("zero-fault job failed")
+        .into_single();
+    assert_parity(
+        &with_empty_plan,
+        &dosa_search(&gemm, &hier, &cfg_z),
+        "faults smoke: zero-fault plan vs no plan",
+    );
+    outcomes.push(FaultOutcome {
+        label: "zero-fault".into(),
+        status: JobStatus::Completed,
+        error: None,
+        best_edp: with_empty_plan.best_edp,
+        elapsed: t0.elapsed(),
+    });
+
+    write_outcomes(out_dir, "faults_smoke.csv", &outcomes);
+    println!(
+        "smoke: OK (panic contained, non-finite typed, degrade prefix-exact, \
+         kill typed, zero-fault bit-exact)"
+    );
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_checks_its_own_fault_assertions() {
+        let dir = std::env::temp_dir().join("dosa_faults_smoke_test");
+        let outcomes = run_smoke(11, &dir);
+        assert_eq!(outcomes.len(), 5);
+        assert!(matches!(
+            outcomes[0].error,
+            Some(JobError::WorkerPanic { item: 1, .. })
+        ));
+        assert_eq!(outcomes[3].error, Some(JobError::DeadlineExceeded));
+    }
+}

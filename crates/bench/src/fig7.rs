@@ -69,7 +69,12 @@ fn submit_runs(
 }
 
 fn collect_runs(job: JobHandle) -> Vec<SearchResult> {
-    job.wait().networks.into_iter().map(|n| n.result).collect()
+    job.wait()
+        .expect("strategy job failed")
+        .networks
+        .into_iter()
+        .map(|n| n.result)
+        .collect()
 }
 
 /// Run Figure 7 for one workload: the three searchers are three batched

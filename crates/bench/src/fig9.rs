@@ -90,6 +90,7 @@ pub fn run_network(scale: Scale, network: Network, seed: u64) -> Fig9Result {
         .submit(builder.build())
         .expect("scale presets always validate")
         .wait()
+        .expect("ablation job failed")
         .networks
         .into_iter()
         .map(|n| n.result)

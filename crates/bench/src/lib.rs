@@ -15,6 +15,7 @@
 pub mod ablation;
 pub mod batch;
 pub mod cache;
+pub mod faults;
 pub mod fig10_11;
 pub mod fig12;
 pub mod fig4;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | cache | bench | all
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | cache | faults | bench | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
@@ -16,16 +16,20 @@
 //! scheduler (a long BB-BO job sharing worker slots with short
 //! `ShortestFirst` GD jobs and a `Priority` random job, finishing out of
 //! submission order); `cache` runs the same batch cold, replayed from
-//! the content-addressed result cache, and warm-started. `--smoke batch`
-//! / `--smoke strategies` / `--smoke sched` / `--smoke cache` run
+//! the content-addressed result cache, and warm-started; `faults`
+//! injects deterministic faults into jobs sharing one service and shows
+//! the failure domains holding. `--smoke batch` / `--smoke strategies`
+//! / `--smoke sched` / `--smoke cache` / `--smoke faults` run
 //! seconds-scale versions that assert batched == standalone bit-parity
 //! (and, for `sched`, that jobs provably overlap; for `cache`, 100%
-//! replay hits and resume-after-cancel parity), for CI.
+//! replay hits and resume-after-cancel parity; for `faults`, panic
+//! containment, typed deadline kills, degrade prefix-parity, and
+//! zero-fault bit-exactness), for CI.
 
 use dosa_accel::HardwareConfig;
 use dosa_bench::{
-    ablation, batch, cache, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, perf, sched,
-    strategies, Scale,
+    ablation, batch, cache, faults, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, perf,
+    sched, strategies, Scale,
 };
 use dosa_workload::Network;
 use std::path::PathBuf;
@@ -115,6 +119,9 @@ fn usage() {
            cache   result-cache demo over [workload..]: the same batch\n\
                    cold, replayed 100% from the content-addressed\n\
                    cache, then warm-started from cached neighbors\n\
+           faults  fault-injection demo over [workload..]: healthy\n\
+                   jobs sharing a service with seeded-chaos jobs,\n\
+                   showing per-job failure domains holding\n\
            bench   measure the autodiff hot path (record / sweep /\n\
                    full GD step vs the legacy tape) and regenerate\n\
                    BENCH_6.json at the repository root\n\
@@ -123,11 +130,13 @@ fn usage() {
          --threads N caps the service's worker threads (results are\n\
          identical for every N; only wall-clock time changes)\n\
          --smoke batch / --smoke strategies / --smoke sched / --smoke\n\
-         cache run seconds-scale jobs asserting batched == standalone\n\
-         parity (and, for sched, that concurrent jobs provably overlap;\n\
-         for cache, 100% replay hits and resume-after-cancel parity);\n\
-         --smoke bench re-measures quickly and validates the checked-in\n\
-         BENCH_6.json — the CI smokes"
+         cache / --smoke faults run seconds-scale jobs asserting\n\
+         batched == standalone bit-parity (and, for sched, that\n\
+         concurrent jobs provably overlap; for cache, 100% replay hits\n\
+         and resume-after-cancel parity; for faults, panic containment,\n\
+         typed deadline kills, degrade prefix-parity, and zero-fault\n\
+         bit-exactness); --smoke bench re-measures quickly and\n\
+         validates the checked-in BENCH_6.json — the CI smokes"
     );
 }
 
@@ -239,6 +248,18 @@ fn main() -> ExitCode {
                     args.networks.clone()
                 };
                 cache::run(scale, &networks, seed, out);
+            }
+        }
+        "faults" => {
+            if args.smoke {
+                faults::run_smoke(seed, out);
+            } else {
+                let networks = if args.networks.is_empty() {
+                    Network::TARGETS.to_vec()
+                } else {
+                    args.networks.clone()
+                };
+                faults::run(scale, &networks, seed, out);
             }
         }
         "sched" => {

@@ -222,7 +222,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
         )
         .expect("smoke config validates");
     let t0 = Instant::now();
-    let short_result = short.wait().into_single();
+    let short_result = short.wait().expect("short job failed").into_single();
     let short_elapsed = t0.elapsed();
     assert_eq!(
         long.status(),
@@ -236,7 +236,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
         long.progress().total_samples()
     );
     long.cancel();
-    let long_partial = long.wait().into_single();
+    let long_partial = long.wait().expect("cancelled job failed").into_single();
     assert_parity(
         &short_result,
         &dosa_search(&gemm, &hier, &short_cfg),
@@ -280,8 +280,8 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
                 .build(),
         )
         .expect("smoke config validates");
-    let gd_batch = gd_job.wait();
-    let random_result = random_job.wait().into_single();
+    let gd_batch = gd_job.wait().expect("gd job failed");
+    let random_result = random_job.wait().expect("random job failed").into_single();
     for (name, layers, net_seed) in [
         ("resnet50-subset", &resnet_subset, seed),
         ("gemm", &gemm, seed + 1),

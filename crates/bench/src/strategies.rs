@@ -52,6 +52,7 @@ fn submit(
 fn drain(job: JobHandle, strategy: &'static str, poll: Duration) -> Vec<StrategyOutcome> {
     poll_until_done(strategy, &job, poll);
     job.wait()
+        .expect("strategy job failed")
         .networks
         .into_iter()
         .map(|n| StrategyOutcome {
@@ -229,7 +230,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<StrategyOutcome> {
             println!("smoke: batched {label} job on {threads} worker thread(s)");
             let job = service.submit(request).expect("smoke config validates");
             poll_until_done(label, &job, Duration::from_millis(50));
-            let batch = job.wait();
+            let batch = job.wait().expect("strategy job failed");
             assert_parity(
                 batch.get("resnet50-subset").expect("network present"),
                 &solo_resnet,

@@ -4,7 +4,15 @@
 use crate::key::CacheKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a shard, recovering the guard if a previous holder panicked. The
+/// critical sections below only move plain map entries — they can't be
+/// left mid-update by a panic — so a poisoned shard is always safe to
+/// keep serving rather than wedging every worker that shares the cache.
+fn lock_shard<V>(shard: &Mutex<Shard<V>>) -> MutexGuard<'_, Shard<V>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A content-addressed store a result cache can journal into and replay
 /// from. Implementations must be safe to share across the service's
@@ -93,7 +101,7 @@ impl<V: Clone + Send> ShardedLru<V> {
 impl<V: Clone + Send + Sync> CacheStore<V> for ShardedLru<V> {
     fn get(&self, key: &CacheKey) -> Option<V> {
         let tick = self.next_tick();
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = lock_shard(self.shard(key));
         let entry = shard.map.get_mut(key)?;
         entry.last_used = tick;
         Some(entry.value.clone())
@@ -101,7 +109,7 @@ impl<V: Clone + Send + Sync> CacheStore<V> for ShardedLru<V> {
 
     fn put(&self, key: CacheKey, value: V) {
         let tick = self.next_tick();
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = lock_shard(self.shard(&key));
         if shard.map.len() >= self.per_shard_cap && !shard.map.contains_key(&key) {
             // Evict this shard's least-recently-used entry.
             if let Some(oldest) = shard
@@ -123,10 +131,7 @@ impl<V: Clone + Send + Sync> CacheStore<V> for ShardedLru<V> {
     }
 
     fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 }
 

@@ -273,7 +273,10 @@ pub fn bayesian_search(layers: &[Layer], hier: &Hierarchy, cfg: &BbboConfig) -> 
         .strategy(Strategy::BayesOpt(*cfg))
         .build();
     match service.submit(request) {
-        Ok(handle) => handle.wait().into_single(),
+        Ok(handle) => handle
+            .wait()
+            .unwrap_or_else(|err| panic!("search job failed: {err}"))
+            .into_single(),
         Err(e) => panic!("invalid BB-BO request: {e}"),
     }
 }

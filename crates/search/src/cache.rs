@@ -359,7 +359,7 @@ impl ResultCache {
         if !result.best_edp.is_finite() || result.best_mappings.is_empty() {
             return;
         }
-        let mut warm = self.warm.lock().expect("warm index poisoned");
+        let mut warm = crate::fault::lock(&self.warm);
         let entry = warm.get(shape);
         if entry.is_none_or(|e| result.best_edp < e.best_edp) {
             warm.insert(
@@ -383,7 +383,7 @@ impl ResultCache {
         shape: &CacheKey,
         layers: usize,
     ) -> Option<Vec<RelaxedMapping>> {
-        let warm = self.warm.lock().expect("warm index poisoned");
+        let warm = crate::fault::lock(&self.warm);
         warm.get(shape)
             .filter(|e| e.relaxed.len() == layers)
             .map(|e| e.relaxed.clone())

@@ -36,6 +36,7 @@
 //! the regular ones, so they never perturb a cold run's RNG streams.
 
 use crate::adam::Adam;
+use crate::fault::{self, payload_string};
 use crate::gd::{
     choose_best_orderings, evaluate_rounded, GdConfig, LoopOrderStrategy, SearchPoint, SearchResult,
 };
@@ -53,6 +54,7 @@ use dosa_workload::{Layer, Problem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Record a best-so-far history point every this many gradient steps (in
@@ -368,6 +370,12 @@ pub(crate) struct StartControl<'a> {
     /// step. `1` keeps the sweep serial; the result is bit-identical for
     /// every budget (see [`dosa_autodiff::SegmentPlan`]).
     pub(crate) inner_threads: usize,
+    /// Fault injection ([`FaultKind::NonFiniteLoss`](crate::FaultKind)):
+    /// report the first gradient step's loss as NaN *and* poison the
+    /// rounding checkpoint's reference EDP, so the descent's real
+    /// two-half guard (suspect mark, then rounding adjudication) trips
+    /// end to end. Never set outside the test-only fault hook.
+    pub(crate) force_non_finite: bool,
 }
 
 impl Default for StartControl<'_> {
@@ -376,6 +384,7 @@ impl Default for StartControl<'_> {
             cancel: None,
             progress: None,
             inner_threads: 1,
+            force_non_finite: false,
         }
     }
 }
@@ -450,23 +459,64 @@ impl Fleet {
     /// in item order. Output order — and therefore every deterministic
     /// reduction built on it — is independent of thread count and
     /// scheduling; this is the engine's only parallel primitive.
+    ///
+    /// A panic inside `f` is contained per item by [`Fleet::try_run`] and
+    /// re-raised here with its original payload once every other item has
+    /// finished — the blocking shims keep panic semantics while the
+    /// service uses `try_run` for typed per-item failures.
     pub(crate) fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        match &self.mode {
+        self.try_run(items, f)
+            .unwrap_or_else(|fault| std::panic::resume_unwind(Box::new(fault.payload)))
+    }
+
+    /// [`Fleet::run`] with panic containment: each item's `f` runs inside
+    /// `catch_unwind`, so one panicking item is one failure domain —
+    /// its worker slot is released normally, **every other item still
+    /// runs to completion** (journaling to the result cache as usual),
+    /// and the lowest-indexed fault is reported, deterministically,
+    /// once the fan-out drains. The catch sits *inside* the worker, which
+    /// preserves the original panic payload that `std::thread::scope`
+    /// would otherwise replace with "a scoped thread panicked".
+    pub(crate) fn try_run<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, ItemFault>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let caught: Vec<Result<R, String>> = match &self.mode {
             FleetMode::Pool(pool) => pool.install(|| {
                 items
                     .into_par_iter()
                     .enumerate()
-                    .map(|(i, t)| f(i, t))
+                    .map(|(i, t)| {
+                        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(payload_string)
+                    })
                     .collect()
             }),
-            FleetMode::Gated(gate) => gated_run(gate, items, f),
+            FleetMode::Gated(gate) => gated_run(gate, items, &f),
+        };
+        let mut results = Vec::with_capacity(caught.len());
+        for (item, out) in caught.into_iter().enumerate() {
+            match out {
+                Ok(r) => results.push(r),
+                Err(payload) => return Err(ItemFault { item, payload }),
+            }
         }
+        Ok(results)
     }
+}
+
+/// A contained work-item panic from [`Fleet::try_run`]: the fan-out index
+/// of the (lowest) faulting item and its stringified panic payload.
+#[derive(Debug, Clone)]
+pub(crate) struct ItemFault {
+    pub(crate) item: usize,
+    pub(crate) payload: String,
 }
 
 /// The gated fan-out: up to the job's parallelism cap of scoped workers
@@ -477,7 +527,12 @@ impl Fleet {
 /// `f` runs unslotted: every work function short-circuits on the cancel
 /// flag, so the item yields its (empty or partial) result immediately and
 /// the fan-out drains without competing for capacity.
-fn gated_run<T, R, F>(gate: &JobGate, items: Vec<T>, f: F) -> Vec<R>
+///
+/// Each item's `f` runs inside `catch_unwind` **with the permit held by
+/// the caller frame**, so a panicking item still releases its slot on the
+/// way out and poisons nothing — the panic becomes that item's `Err`
+/// while every sibling runs normally.
+fn gated_run<T, R, F>(gate: &JobGate, items: Vec<T>, f: &F) -> Vec<Result<R, String>>
 where
     T: Send,
     R: Send,
@@ -487,22 +542,25 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let run_one = |i: usize, item: T| {
+        let permit = gate.acquire();
+        let out = catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(payload_string);
+        drop(permit);
+        out
+    };
     let workers = gate.max_par().min(n).max(1);
     if workers == 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| {
-                let _permit = gate.acquire();
-                f(i, item)
-            })
+            .map(|(i, item)| run_one(i, item))
             .collect();
     }
     let work: Vec<std::sync::Mutex<Option<T>>> = items
         .into_iter()
         .map(|t| std::sync::Mutex::new(Some(t)))
         .collect();
-    let results: Vec<std::sync::Mutex<Option<R>>> =
+    let results: Vec<std::sync::Mutex<Option<Result<R, String>>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -512,15 +570,11 @@ where
                 if i >= n {
                     break;
                 }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot poisoned")
+                let item = fault::lock(&work[i])
                     .take()
                     .expect("each index is claimed once");
-                let permit = gate.acquire();
-                let out = f(i, item);
-                drop(permit);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                let out = run_one(i, item);
+                *fault::lock(&results[i]) = Some(out);
             });
         }
     });
@@ -528,7 +582,7 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("worker filled every slot")
         })
         .collect()
@@ -576,20 +630,39 @@ pub fn run_gd_search<L: DiffLoss + ?Sized>(
             inner_threads,
             ..StartControl::default()
         };
-        run_single_start(loss, start.relaxed, index, cfg, ctrl)
+        run_single_start(loss, start.relaxed, index, cfg, ctrl).unwrap_or_else(|e| {
+            panic!(
+                "non-finite loss at gradient step {} of start point {index}",
+                e.step
+            )
+        })
     });
     merge_start_results(per_start)
 }
 
+/// A gradient step whose loss went NaN: the typed per-item failure
+/// [`run_single_start`] reports instead of letting a poisoned descent
+/// merge a silently bogus `best_edp`. The service surfaces it as
+/// [`JobError::NonFiniteLoss`](crate::JobError); the blocking paths
+/// panic on it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NonFiniteLoss {
+    /// The 1-based gradient step at which the loss went non-finite.
+    pub(crate) step: usize,
+}
+
 /// One start point's full descent: the loop previously duplicated between
-/// `dosa_search` and `dosa_search_rtl`.
+/// `dosa_search` and `dosa_search_rtl`. Fails with [`NonFiniteLoss`] the
+/// moment a gradient step's differentiable loss (or a rounding's
+/// reference EDP) goes NaN, so a poisoned descent can never contribute a
+/// silently bogus best point to the merge.
 pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
     loss: &L,
     mut relaxed: Vec<RelaxedMapping>,
     index: usize,
     cfg: &GdConfig,
     ctrl: StartControl<'_>,
-) -> SearchResult {
+) -> Result<SearchResult, NonFiniteLoss> {
     let layers = loss.layers();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(index as u64));
     loss.prepare_start(&mut relaxed, &mut rng);
@@ -607,6 +680,9 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
     }
     let mut flat: Vec<f64> = Vec::new();
     let mut adam = Adam::new(params.len(), cfg.learning_rate);
+    // First gradient step whose loss went NaN since the last rounding
+    // that evaluated finite; see the guard comments below.
+    let mut suspect_since: Option<usize> = None;
 
     for step in 1..=cfg.steps_per_start {
         // Cooperative cancellation: stop issuing gradient steps at the
@@ -623,6 +699,26 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
         plan.clear();
         leaves.clear();
         let loss_var = loss.build(&tape, &relaxed, &mut plan, &mut leaves);
+        // Non-finite loss guard, step half: a NaN loss marks the descent
+        // suspect from this step on. It is not failed yet — extreme but
+        // honest points overflow the surrogate transiently (inf, and
+        // through inf−inf even NaN) and the zeroed-gradient step below
+        // recovers them, as this loop always did — but the *next* rounding
+        // checkpoint must adjudicate: a finite reference EDP proves the
+        // recovery and clears the mark, a NaN one fails the item with the
+        // step where the poisoning began. Every step has a next rounding
+        // (the final step always rounds), so no NaN episode goes
+        // unadjudicated and a poisoned descent can never merge a silently
+        // bogus best point. (`force_non_finite` is the test-only fault
+        // injection forcing exactly this path.)
+        let loss_value = if ctrl.force_non_finite && step == 1 {
+            f64::NAN
+        } else {
+            loss_var.value()
+        };
+        if loss_value.is_nan() {
+            suspect_since.get_or_insert(step);
+        }
         let grads = tape.backward_segmented(loss_var, &plan, ctrl.inner_threads, &mut scratch);
         grads.wrt_into(&leaves, &mut flat);
         for g in flat.iter_mut() {
@@ -645,6 +741,20 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
                 .map(|(l, r)| r.round_with_cap(&l.problem, loss.spatial_cap()))
                 .collect();
             let (hw, edp) = loss.finish_round(&mut relaxed, &mut mappings);
+            // Non-finite loss guard, rounding half: a NaN reference EDP
+            // would never win `consider`'s comparison and so would vanish
+            // silently — surface it as the typed failure, attributed to
+            // the gradient step where the descent first went NaN (this
+            // step, if the descent itself looked healthy). A finite EDP
+            // proves any suspect episode recovered. `INFINITY` stays
+            // legal — it is the "nothing landed yet" sentinel.
+            let edp = if ctrl.force_non_finite { f64::NAN } else { edp };
+            if edp.is_nan() {
+                return Err(NonFiniteLoss {
+                    step: suspect_since.unwrap_or(step),
+                });
+            }
+            suspect_since = None;
             result.samples += 1;
             ctrl.count_samples(1);
             result.consider(edp, &hw, &mappings);
@@ -667,7 +777,7 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
             result.record();
         }
     }
-    result
+    Ok(result)
 }
 
 /// Deterministic reduction of per-start results: best EDP wins (ties to

@@ -268,7 +268,10 @@ pub fn dosa_search(layers: &[Layer], hier: &Hierarchy, cfg: &GdConfig) -> Search
         Ok(handle) => handle,
         Err(e) => panic!("invalid GdConfig: {e}"),
     };
-    handle.wait().into_single()
+    handle
+        .wait()
+        .unwrap_or_else(|err| panic!("search job failed: {err}"))
+        .into_single()
 }
 
 #[cfg(test)]

@@ -20,7 +20,18 @@
 //! * [`JobHandle::cancel`] — cooperative cancellation at the next
 //!   gradient-step or mapping-sample boundary, keeping the partial (still
 //!   monotone) results,
-//! * [`JobHandle::wait`] — block for the per-network [`BatchResult`].
+//! * [`JobHandle::wait`] — block for the per-network [`BatchResult`],
+//!   or the typed [`JobError`] of a failed job.
+//!
+//! Work items are **fault-isolated**: a panicking or non-finite item
+//! fails only its own job (terminal [`JobStatus::Failed`], error from
+//! [`JobHandle::error`]) and every sibling job is bit-identical to an
+//! uncontended run. A request may carry a deadline
+//! ([`SearchRequestBuilder::deadline`]) with a [`DeadlinePolicy`]: `Kill`
+//! fails the job at the deadline, `Degrade` returns the deterministic
+//! merge of the work items that finished — a bitwise prefix of the
+//! uninterrupted run — flagged [`BatchResult::degraded`]. See the
+//! [`fault`] module and the [`service`] module docs.
 //!
 //! Invalid configurations are rejected at the service boundary with a
 //! typed [`ConfigError`] ([`GdConfig::validate`],
@@ -87,7 +98,7 @@
 //!         }))
 //!         .build(),
 //! )?;
-//! assert!(job.wait().into_single().best_edp.is_finite());
+//! assert!(job.wait()?.into_single().best_edp.is_finite());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -112,7 +123,7 @@
 //!         }))
 //!         .build(),
 //! )?;
-//! let result = job.wait().into_single();
+//! let result = job.wait()?.into_single();
 //! assert_eq!(result.samples, 2 * 10);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -138,7 +149,7 @@
 //!         }))
 //!         .build(),
 //! )?;
-//! assert!(job.wait().into_single().best_edp.is_finite());
+//! assert!(job.wait()?.into_single().best_edp.is_finite());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -181,6 +192,7 @@ mod bbbo;
 pub mod cache;
 mod cosa;
 pub mod engine;
+pub mod fault;
 mod gd;
 mod gp;
 mod latency_model;
@@ -196,6 +208,7 @@ pub use bbbo::{bayesian_search, BbboConfig};
 pub use cache::{ResultCache, ResultCacheStats};
 pub use cosa::{cosa_mapping, cosa_mappings, cosa_order};
 pub use engine::{run_gd_search, DiffLoss, EdpLoss, PredictedLatencyLoss};
+pub use fault::{DeadlinePolicy, FaultKind, FaultPlan, JobError};
 pub use gd::{
     choose_best_orderings, dosa_search, evaluate_rounded, GdConfig, LoopOrderStrategy, SearchPoint,
     SearchResult,

@@ -185,7 +185,10 @@ pub fn random_search(layers: &[Layer], hier: &Hierarchy, cfg: &RandomSearchConfi
         .strategy(Strategy::Random(*cfg))
         .build();
     match service.submit(request) {
-        Ok(handle) => handle.wait().into_single(),
+        Ok(handle) => handle
+            .wait()
+            .unwrap_or_else(|err| panic!("search job failed: {err}"))
+            .into_single(),
         Err(e) => panic!("invalid random-search request: {e}"),
     }
 }

@@ -12,6 +12,7 @@
 //! guarantee).
 
 use crate::engine::DiffLoss;
+use crate::fault::{DeadlinePolicy, FaultPlan};
 use crate::gd::GdConfig;
 use crate::latency_model::LatencyPredictor;
 use crate::sched::SchedPolicy;
@@ -21,6 +22,7 @@ use dosa_model::LossOptions;
 use dosa_workload::Layer;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A strategy configuration or [`SearchRequest`] rejected at the service
 /// boundary.
@@ -78,6 +80,9 @@ pub enum ConfigError {
     /// that has no descent to seed; [`WarmStart`] applies to
     /// [`Strategy::GradientDescent`] only.
     WarmStartNotApplicable(&'static str),
+    /// A deadline of zero duration was set: the job would expire before
+    /// its first work item could start.
+    ZeroDeadline,
 }
 
 impl fmt::Display for ConfigError {
@@ -134,6 +139,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "warm starting was requested but the {strategy} strategy has no \
                      descent to seed (warm starts apply to gradient descent only)"
+                )
+            }
+            ConfigError::ZeroDeadline => {
+                write!(
+                    f,
+                    "deadline must be non-zero (a zero deadline expires before the \
+                     first work item can start)"
                 )
             }
         }
@@ -277,6 +289,9 @@ pub struct SearchRequest {
     pub(crate) policy: SchedPolicy,
     pub(crate) max_parallelism: Option<usize>,
     pub(crate) warm_start: WarmStart,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) deadline_policy: DeadlinePolicy,
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl SearchRequest {
@@ -291,6 +306,9 @@ impl SearchRequest {
                 policy: SchedPolicy::default(),
                 max_parallelism: None,
                 warm_start: WarmStart::Off,
+                deadline: None,
+                deadline_policy: DeadlinePolicy::default(),
+                fault_plan: None,
             },
         }
     }
@@ -340,6 +358,27 @@ impl SearchRequest {
         self.warm_start
     }
 
+    /// The job's deadline, if it declared one
+    /// ([`SearchRequestBuilder::deadline`]). Measured from submission.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// What happens when the deadline expires
+    /// ([`DeadlinePolicy::Kill`] unless set via
+    /// [`SearchRequestBuilder::deadline_policy`]). Meaningless without a
+    /// deadline.
+    pub fn deadline_policy(&self) -> DeadlinePolicy {
+        self.deadline_policy
+    }
+
+    /// The deterministic fault-injection plan attached to this request,
+    /// if any (the test-only chaos hook; see
+    /// [`SearchRequestBuilder::fault_plan`]).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_deref()
+    }
+
     /// Coarse estimate of the total model evaluations this request will
     /// consume: the strategy's per-network estimate
     /// ([`Strategy::estimated_samples`]) times the batch size. Used as
@@ -360,6 +399,9 @@ impl SearchRequest {
         self.strategy.validate()?;
         if self.max_parallelism == Some(0) {
             return Err(ConfigError::ZeroParallelism);
+        }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroDeadline);
         }
         if !matches!(self.strategy, Strategy::GradientDescent(_))
             && !matches!(self.surrogate, Surrogate::Edp)
@@ -479,6 +521,38 @@ impl SearchRequestBuilder {
     /// determinism tradeoff.
     pub fn warm_start(mut self, warm: WarmStart) -> SearchRequestBuilder {
         self.request.warm_start = warm;
+        self
+    }
+
+    /// Give the job a deadline, measured from **submission** (queue time
+    /// counts — this is the SLO a caller experiences). What happens at
+    /// expiry is decided by [`deadline_policy`](Self::deadline_policy):
+    /// the default [`DeadlinePolicy::Kill`] fails the job with
+    /// [`JobError::DeadlineExceeded`](crate::JobError::DeadlineExceeded);
+    /// [`DeadlinePolicy::Degrade`] returns the deterministic merge of the
+    /// work items completed so far, flagged
+    /// [`degraded`](crate::BatchResult::degraded). Rejected at validation
+    /// if zero.
+    pub fn deadline(mut self, deadline: Duration) -> SearchRequestBuilder {
+        self.request.deadline = Some(deadline);
+        self
+    }
+
+    /// Select what happens when the [`deadline`](Self::deadline) expires
+    /// (default: [`DeadlinePolicy::Kill`]). Has no effect without a
+    /// deadline.
+    pub fn deadline_policy(mut self, policy: DeadlinePolicy) -> SearchRequestBuilder {
+        self.request.deadline_policy = policy;
+        self
+    }
+
+    /// Attach a deterministic [`FaultPlan`] — the service's **test-only
+    /// chaos hook**, used by the `repro faults` robustness gates to
+    /// inject panics, delays, and non-finite losses at chosen work-item
+    /// positions. An empty plan is a guaranteed bit-exact no-op; a plan
+    /// only ever affects the job it is attached to.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> SearchRequestBuilder {
+        self.request.fault_plan = Some(Arc::new(plan));
         self
     }
 
@@ -686,5 +760,34 @@ mod tests {
             .max_parallelism(0)
             .build();
         assert_eq!(zero.validate(), Err(ConfigError::ZeroParallelism));
+    }
+
+    #[test]
+    fn deadline_knobs_default_and_validate() {
+        let hier = Hierarchy::gemmini();
+        let plain = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .build();
+        assert_eq!(plain.deadline(), None);
+        assert_eq!(plain.deadline_policy(), DeadlinePolicy::Kill);
+        assert!(plain.fault_plan().is_none());
+        plain.validate().unwrap();
+
+        let dl = SearchRequest::builder(hier.clone())
+            .network("a", vec![layer()])
+            .deadline(Duration::from_millis(200))
+            .deadline_policy(DeadlinePolicy::Degrade)
+            .fault_plan(FaultPlan::new().inject(0, crate::FaultKind::Delay(1)))
+            .build();
+        assert_eq!(dl.deadline(), Some(Duration::from_millis(200)));
+        assert_eq!(dl.deadline_policy(), DeadlinePolicy::Degrade);
+        assert_eq!(dl.fault_plan().map(FaultPlan::len), Some(1));
+        dl.validate().unwrap();
+
+        let zero = SearchRequest::builder(hier)
+            .network("a", vec![layer()])
+            .deadline(Duration::ZERO)
+            .build();
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroDeadline));
     }
 }

@@ -44,6 +44,7 @@
 //! item slots, so a job's output is bit-identical under any interleaving
 //! (see `ARCHITECTURE.md` at the repository root for the full invariant).
 
+use crate::fault;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -105,13 +106,13 @@ use std::sync::{Arc, Condvar, Mutex};
 /// )?;
 ///
 /// // The short job completes while the long one is still running.
-/// let result = short.wait().into_single();
+/// let result = short.wait().expect("job failed").into_single();
 /// assert!(result.best_edp.is_finite());
 /// assert!(!long.status().is_terminal());
 ///
 /// // Wind the long job down promptly; its partial result stays valid.
 /// long.cancel();
-/// assert!(long.wait().into_single().samples < 200_000);
+/// assert!(long.wait().expect("job failed").into_single().samples < 200_000);
 /// # Ok::<(), dosa_search::ConfigError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -249,12 +250,12 @@ impl SlotTable {
         // still holds the lock, so notifying without it could fire while
         // no one is parked and the wakeup would be lost — stalling
         // cancellation until an unrelated slot transition.
-        drop(self.state.lock().expect("slot table poisoned"));
+        drop(fault::lock(&self.state));
         self.changed.notify_all();
     }
 
     fn register(&self, id: u64, rank: JobRank, max_par: usize) {
-        let mut state = self.state.lock().expect("slot table poisoned");
+        let mut state = fault::lock(&self.state);
         debug_assert!(
             state.jobs.iter().all(|e| e.id != id),
             "job registered twice"
@@ -270,7 +271,7 @@ impl SlotTable {
     }
 
     fn deregister(&self, id: u64) {
-        let mut state = self.state.lock().expect("slot table poisoned");
+        let mut state = fault::lock(&self.state);
         if let Some(ix) = state.jobs.iter().position(|e| e.id == id) {
             let entry = state.jobs.swap_remove(ix);
             debug_assert_eq!(entry.held, 0, "job deregistered while holding slots");
@@ -278,16 +279,17 @@ impl SlotTable {
         self.changed.notify_all();
     }
 
-    /// Block until job `id` is granted a slot, or until `cancel` flips —
-    /// cancellation frees the scheduler promptly: a cancelled job's
+    /// Block until job `id` is granted a slot, or until `cancel` or
+    /// `halt` flips — cancellation (and deadline degradation, which sets
+    /// the job's halt flag) frees the scheduler promptly: the job's
     /// waiting items stop competing immediately instead of draining the
     /// queue. Returns whether a slot was actually granted (and must be
     /// released).
-    fn acquire(&self, id: u64, cancel: &AtomicBool) -> bool {
-        let mut state = self.state.lock().expect("slot table poisoned");
+    fn acquire(&self, id: u64, cancel: &AtomicBool, halt: &AtomicBool) -> bool {
+        let mut state = fault::lock(&self.state);
         state.entry_mut(id).waiting += 1;
         loop {
-            if cancel.load(Ordering::Relaxed) {
+            if cancel.load(Ordering::Relaxed) || halt.load(Ordering::Relaxed) {
                 state.entry_mut(id).waiting -= 1;
                 self.changed.notify_all();
                 return false;
@@ -301,12 +303,12 @@ impl SlotTable {
                 self.changed.notify_all();
                 return true;
             }
-            state = self.changed.wait(state).expect("slot table poisoned");
+            state = fault::wait(&self.changed, state);
         }
     }
 
     fn release(&self, id: u64) {
-        let mut state = self.state.lock().expect("slot table poisoned");
+        let mut state = fault::lock(&self.state);
         let entry = state.entry_mut(id);
         debug_assert!(entry.held > 0, "release without a held slot");
         entry.held -= 1;
@@ -316,9 +318,7 @@ impl SlotTable {
 
     #[cfg(test)]
     fn waiting(&self, id: u64) -> usize {
-        self.state
-            .lock()
-            .expect("slot table poisoned")
+        fault::lock(&self.state)
             .jobs
             .iter()
             .find(|e| e.id == id)
@@ -336,6 +336,12 @@ pub(crate) struct JobGate {
     id: u64,
     max_par: usize,
     cancel: Arc<AtomicBool>,
+    /// The job's degrade flag: set when a [`DeadlinePolicy::Degrade`]
+    /// deadline expires, at which point waiting work items stop competing
+    /// for slots (in-flight items keep theirs and finish normally).
+    ///
+    /// [`DeadlinePolicy::Degrade`]: crate::DeadlinePolicy::Degrade
+    halt: Arc<AtomicBool>,
 }
 
 impl JobGate {
@@ -346,6 +352,7 @@ impl JobGate {
         rank: JobRank,
         max_par: usize,
         cancel: Arc<AtomicBool>,
+        halt: Arc<AtomicBool>,
     ) -> JobGate {
         table.register(id, rank, max_par);
         JobGate {
@@ -353,6 +360,7 @@ impl JobGate {
             id,
             max_par: max_par.max(1),
             cancel,
+            halt,
         }
     }
 
@@ -361,11 +369,11 @@ impl JobGate {
         self.max_par
     }
 
-    /// Block until this job wins a slot (or is cancelled, in which case
-    /// the permit is empty and the caller proceeds to its fast
-    /// cancellation path). The slot is held until the permit drops.
+    /// Block until this job wins a slot (or is cancelled / degraded, in
+    /// which case the permit is empty and the caller proceeds to its fast
+    /// wind-down path). The slot is held until the permit drops.
     pub(crate) fn acquire(&self) -> SlotPermit<'_> {
-        let granted = self.table.acquire(self.id, &self.cancel);
+        let granted = self.table.acquire(self.id, &self.cancel, &self.halt);
         SlotPermit {
             table: &self.table,
             id: self.id,
@@ -430,9 +438,10 @@ mod tests {
     fn slots_are_granted_and_released_in_bookkeeping_order() {
         let table = SlotTable::new(2);
         let cancel = AtomicBool::new(false);
+        let halt = AtomicBool::new(false);
         table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 2);
-        assert!(table.acquire(0, &cancel));
-        assert!(table.acquire(0, &cancel));
+        assert!(table.acquire(0, &cancel, &halt));
+        assert!(table.acquire(0, &cancel, &halt));
         {
             let state = table.state.lock().unwrap();
             assert_eq!(state.free, 0);
@@ -448,12 +457,29 @@ mod tests {
     fn max_parallelism_caps_a_jobs_held_slots() {
         let table = SlotTable::new(2);
         let cancel = AtomicBool::new(false);
+        let halt = AtomicBool::new(false);
         table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
-        assert!(table.acquire(0, &cancel));
+        assert!(table.acquire(0, &cancel, &halt));
         // The job holds its cap; its next acquire must wait even though a
         // slot is free — until cancellation releases the waiter.
         cancel.store(true, Ordering::Relaxed);
-        assert!(!table.acquire(0, &cancel));
+        assert!(!table.acquire(0, &cancel, &halt));
+        table.release(0);
+        table.deregister(0);
+    }
+
+    /// The degrade flag releases waiters exactly like cancellation does —
+    /// without touching the cancel flag running items observe.
+    #[test]
+    fn halt_flag_releases_waiters_without_cancelling() {
+        let table = SlotTable::new(1);
+        let cancel = AtomicBool::new(false);
+        let halt = AtomicBool::new(false);
+        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
+        assert!(table.acquire(0, &cancel, &halt));
+        halt.store(true, Ordering::Relaxed);
+        assert!(!table.acquire(0, &cancel, &halt));
+        assert!(!cancel.load(Ordering::Relaxed));
         table.release(0);
         table.deregister(0);
     }
@@ -464,10 +490,11 @@ mod tests {
     fn freed_slot_goes_to_the_best_ranked_waiter() {
         let table = Arc::new(SlotTable::new(1));
         let holder_cancel = AtomicBool::new(false);
+        let holder_halt = AtomicBool::new(false);
         table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
         table.register(1, JobRank::new(SchedPolicy::Fifo, 0, 1), 1);
         table.register(2, JobRank::new(SchedPolicy::Priority(5), 0, 2), 1);
-        assert!(table.acquire(0, &holder_cancel));
+        assert!(table.acquire(0, &holder_cancel, &holder_halt));
 
         let (tx, rx) = mpsc::channel::<u64>();
         let mut waiters = Vec::new();
@@ -476,7 +503,8 @@ mod tests {
             let tx = tx.clone();
             waiters.push(std::thread::spawn(move || {
                 let cancel = AtomicBool::new(false);
-                assert!(table.acquire(id, &cancel));
+                let halt = AtomicBool::new(false);
+                assert!(table.acquire(id, &cancel, &halt));
                 tx.send(id).expect("receiver alive");
                 table.release(id);
             }));

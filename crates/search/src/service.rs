@@ -85,6 +85,29 @@
 //! network from the best cached mapping of the same network shape;
 //! [`JobHandle::stats`] reports per-job hits, misses, and warm starts.
 //! See the [`cache`] module for the key schema.
+//!
+//! ## Failure domains, deadlines & degradation
+//!
+//! One work item is one failure domain: a panicking item (or one whose
+//! gradient step produces a non-finite loss) fails **only its own job**
+//! with a typed [`JobError`], releases its worker slot normally, and
+//! leaves every sibling job bit-identical to an uncontended run. The
+//! failed job ends in the terminal [`JobStatus::Failed`] state —
+//! [`wait()`](JobHandle::wait) returns the error,
+//! [`error()`](JobHandle::error) retrieves it non-blockingly — and no
+//! service-wide lock is ever left poisoned (see [`crate::fault`]).
+//!
+//! A request may carry a [`deadline`](crate::SearchRequestBuilder::deadline)
+//! (measured from submission, so queue time counts) with a
+//! [`DeadlinePolicy`]: `Kill` terminates the job with
+//! [`JobError::DeadlineExceeded`]; `Degrade` stops admitting new work
+//! items at the deadline and completes with the deterministic merge of
+//! every item finished so far, flagged [`BatchResult::degraded`] — a
+//! bitwise **prefix** of the uninterrupted run's history, because items
+//! are merged in plan order, truncated at the first never-started item,
+//! and the merge's running-minimum rewrite is prefix-stable. Completed
+//! items journal to the result cache as usual, so resubmitting a
+//! degraded job resumes from its finished prefix.
 
 use crate::bbbo::{run_bayesian_search, BbboConfig};
 use crate::cache::{self, ResultCache};
@@ -92,6 +115,7 @@ use crate::engine::{
     merge_start_results, run_single_start, DiffLoss, EdpLoss, Fleet, PredictedLatencyLoss,
     ProgressCounters, StartControl,
 };
+use crate::fault::{self, payload_string, DeadlinePolicy, FaultKind, JobError};
 use crate::gd::{GdConfig, LoopOrderStrategy, SearchResult};
 use crate::random_search::{plan_random_designs, run_random_design, RandomSearchConfig};
 use crate::request::{ConfigError, SearchRequest, Surrogate, WarmStart};
@@ -106,15 +130,19 @@ use dosa_model::LossOptions;
 use dosa_workload::Layer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Lifecycle state of a submitted job.
 ///
 /// ```text
-/// Queued ──admitted──▶ Running ──▶ Completed
+/// Queued ──admitted──▶ Running ──▶ Completed (incl. degraded)
 ///    │                    │
+///    │                    ├──────▶ Failed (panic, non-finite loss,
+///    │                    │                deadline Kill)
 ///    └──cancel()──────────┴──────▶ Cancelled
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,16 +153,28 @@ pub enum JobStatus {
     /// Admitted to the fleet: its runner is live and its work items are
     /// executing on — or competing for — the service's worker slots.
     Running,
-    /// Finished normally; full results are available.
+    /// Finished normally; full results are available. A deadline job
+    /// under [`DeadlinePolicy::Degrade`] also completes here, with
+    /// [`BatchResult::degraded`] set.
     Completed,
     /// Cancelled; partial (possibly empty) results are available.
     Cancelled,
+    /// Failed with a typed [`JobError`] — a work item panicked or went
+    /// non-finite, the deadline expired under [`DeadlinePolicy::Kill`],
+    /// or the runner itself died. The error is retrievable from
+    /// [`JobHandle::error`] and returned by [`JobHandle::wait`]; no other
+    /// job on the service is affected.
+    Failed,
 }
 
 impl JobStatus {
-    /// Whether the job has reached a terminal state (results available).
+    /// Whether the job has reached a terminal state (results or a typed
+    /// error available).
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobStatus::Completed | JobStatus::Cancelled)
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Cancelled | JobStatus::Failed
+        )
     }
 }
 
@@ -153,6 +193,11 @@ pub struct NetworkResult {
 pub struct BatchResult {
     /// One entry per network, in submission order.
     pub networks: Vec<NetworkResult>,
+    /// Whether a [`DeadlinePolicy::Degrade`] deadline expired mid-run:
+    /// the per-network results are the deterministic merge of the work
+    /// items completed before the deadline — a bitwise prefix of the
+    /// uninterrupted run's history — rather than the full budget.
+    pub degraded: bool,
 }
 
 impl BatchResult {
@@ -260,6 +305,8 @@ impl JobCounters {
 struct JobState {
     status: JobStatus,
     results: Option<BatchResult>,
+    /// Why the job ended [`JobStatus::Failed`], when it did.
+    error: Option<JobError>,
 }
 
 struct JobShared {
@@ -273,6 +320,18 @@ struct JobShared {
     /// waiting work items stop competing for capacity the moment it
     /// flips.
     cancel: Arc<AtomicBool>,
+    /// Degrade flag ([`DeadlinePolicy::Degrade`]): set at the deadline so
+    /// not-yet-started work items are skipped (and stop competing for
+    /// slots) while in-flight items finish bit-exactly. Deliberately
+    /// **not** observed by the per-step cancel check.
+    halt: Arc<AtomicBool>,
+    /// Set by the deadline watchdog under [`DeadlinePolicy::Kill`] just
+    /// before it flips `cancel`, so the runner can tell a deadline kill
+    /// (→ [`JobStatus::Failed`]) from a user cancel (→
+    /// [`JobStatus::Cancelled`]).
+    deadline_hit: AtomicBool,
+    /// Submission instant the deadline is measured from.
+    submitted: Instant,
     /// The service's slot table, for waking slot waiters on cancel.
     table: Arc<SlotTable>,
     /// One live counter pair per network, in request order.
@@ -297,6 +356,7 @@ impl JobShared {
                     result: SearchResult::empty(),
                 })
                 .collect(),
+            degraded: false,
         }
     }
 }
@@ -316,7 +376,14 @@ impl JobHandle {
 
     /// Current lifecycle state (non-blocking).
     pub fn status(&self) -> JobStatus {
-        self.job.state.lock().expect("job state poisoned").status
+        fault::lock(&self.job.state).status
+    }
+
+    /// Why the job failed, when [`status()`](JobHandle::status) is
+    /// [`JobStatus::Failed`] (non-blocking; `None` in every other
+    /// state). The same error is returned by [`wait()`](JobHandle::wait).
+    pub fn error(&self) -> Option<JobError> {
+        fault::lock(&self.job.state).error.clone()
     }
 
     /// Live per-network progress (non-blocking): sample totals and
@@ -359,7 +426,7 @@ impl JobHandle {
         self.job.cancel.store(true, Ordering::Relaxed);
         // Wake slot waiters so the cancelled job's demand drains promptly.
         self.job.table.wake();
-        let mut state = self.job.state.lock().expect("job state poisoned");
+        let mut state = fault::lock(&self.job.state);
         if state.status == JobStatus::Queued {
             state.status = JobStatus::Cancelled;
             state.results = Some(self.job.empty_results());
@@ -376,18 +443,25 @@ impl JobHandle {
         self.job.stats.snapshot()
     }
 
-    /// Block until the job reaches a terminal state and return its
-    /// per-network results ([`JobStatus::Cancelled`] jobs return their
-    /// partial results).
-    pub fn wait(&self) -> BatchResult {
-        let mut state = self.job.state.lock().expect("job state poisoned");
+    /// Block until the job reaches a terminal state. Completed jobs
+    /// return their full results (flagged [`BatchResult::degraded`] if a
+    /// [`DeadlinePolicy::Degrade`] deadline expired mid-run), cancelled
+    /// jobs their partial results; a [`JobStatus::Failed`] job returns
+    /// its typed [`JobError`] instead.
+    ///
+    /// Total: never panics, even if the job's runner thread died — a
+    /// runner panic surfaces as [`JobError::RunnerPanic`], and a terminal
+    /// job that somehow stored no results reports
+    /// [`JobError::ResultsUnavailable`].
+    pub fn wait(&self) -> Result<BatchResult, JobError> {
+        let mut state = fault::lock(&self.job.state);
         while !state.status.is_terminal() {
-            state = self.job.done.wait(state).expect("job state poisoned");
+            state = fault::wait(&self.job.done, state);
         }
-        state
-            .results
-            .clone()
-            .expect("terminal job always stores results")
+        if state.status == JobStatus::Failed {
+            return Err(state.error.clone().unwrap_or(JobError::ResultsUnavailable));
+        }
+        state.results.clone().ok_or(JobError::ResultsUnavailable)
     }
 }
 
@@ -536,6 +610,9 @@ impl SearchService {
             rank,
             max_par,
             cancel: Arc::new(AtomicBool::new(false)),
+            halt: Arc::new(AtomicBool::new(false)),
+            deadline_hit: AtomicBool::new(false),
+            submitted: Instant::now(),
             table: Arc::clone(&self.shared.table),
             progress,
             cache: self.shared.cache.clone(),
@@ -543,18 +620,14 @@ impl SearchService {
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 results: None,
+                error: None,
             }),
             done: Condvar::new(),
         });
         let handle = JobHandle {
             job: Arc::clone(&job),
         };
-        self.shared
-            .queue
-            .lock()
-            .expect("service queue poisoned")
-            .pending
-            .push(job);
+        fault::lock(&self.shared.queue).pending.push(job);
         self.shared.changed.notify_all();
         Ok(handle)
     }
@@ -568,7 +641,7 @@ impl Drop for SearchService {
         // and reading running under one lock means no job can slip from
         // one set to the other unseen.
         let (pending, running) = {
-            let mut queue = self.shared.queue.lock().expect("service queue poisoned");
+            let mut queue = fault::lock(&self.shared.queue);
             (
                 queue.pending.drain(..).collect::<Vec<_>>(),
                 queue.running.clone(),
@@ -605,7 +678,7 @@ fn dispatcher_loop(shared: Arc<ServiceShared>) {
             }
         }
         let admitted = {
-            let mut queue = shared.queue.lock().expect("service queue poisoned");
+            let mut queue = fault::lock(&shared.queue);
             loop {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     break None;
@@ -624,7 +697,7 @@ fn dispatcher_loop(shared: Arc<ServiceShared>) {
                         // Queued -> Running, unless cancel() already
                         // retired the job while it waited.
                         let admitted = {
-                            let mut state = job.state.lock().expect("job state poisoned");
+                            let mut state = fault::lock(&job.state);
                             if state.status == JobStatus::Cancelled {
                                 false
                             } else {
@@ -639,7 +712,7 @@ fn dispatcher_loop(shared: Arc<ServiceShared>) {
                         break Some(job);
                     }
                 }
-                queue = shared.changed.wait(queue).expect("service queue poisoned");
+                queue = fault::wait(&shared.changed, queue);
             }
         };
         match admitted {
@@ -660,31 +733,100 @@ fn dispatcher_loop(shared: Arc<ServiceShared>) {
 /// admission slot. Results and terminal status are stored **before** the
 /// admission slot is released, so an observer that sees a later job leave
 /// `Queued` is guaranteed to see this one terminal.
+///
+/// The execution is wrapped in `catch_unwind` so even a bug that escapes
+/// the per-item containment (planning code, the merge itself) ends the
+/// job in [`JobStatus::Failed`] with [`JobError::RunnerPanic`] rather
+/// than leaving waiters hanging on a dead thread.
 fn run_job(shared: &ServiceShared, job: &Arc<JobShared>) {
+    let watchdog = job.request.deadline().map(|deadline| {
+        let job = Arc::clone(job);
+        std::thread::spawn(move || deadline_watchdog(&job, deadline))
+    });
     let gate = JobGate::register(
         Arc::clone(&job.table),
         job.id,
         job.rank,
         job.max_par,
         Arc::clone(&job.cancel),
+        Arc::clone(&job.halt),
     );
     let fleet = Fleet::gated(gate);
-    let results = execute_job(job, &fleet);
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(job, &fleet)));
     drop(fleet); // deregisters the job from the slot table
     {
-        let mut state = job.state.lock().expect("job state poisoned");
-        state.status = if job.cancel.load(Ordering::Relaxed) {
-            JobStatus::Cancelled
-        } else {
-            JobStatus::Completed
+        let mut state = fault::lock(&job.state);
+        let (status, results, error) = match outcome {
+            Err(payload) => (
+                JobStatus::Failed,
+                None,
+                Some(JobError::RunnerPanic {
+                    payload: payload_string(payload),
+                }),
+            ),
+            Ok(Err(err)) => (JobStatus::Failed, None, Some(err)),
+            Ok(Ok(results)) => {
+                if job.cancel.load(Ordering::Relaxed) {
+                    if job.deadline_hit.load(Ordering::Relaxed) {
+                        (JobStatus::Failed, None, Some(JobError::DeadlineExceeded))
+                    } else {
+                        (JobStatus::Cancelled, Some(results), None)
+                    }
+                } else {
+                    (JobStatus::Completed, Some(results), None)
+                }
+            }
         };
-        state.results = Some(results);
+        state.status = status;
+        state.results = results;
+        state.error = error;
         job.done.notify_all();
     }
-    let mut queue = shared.queue.lock().expect("service queue poisoned");
+    if let Some(watchdog) = watchdog {
+        let _ = watchdog.join();
+    }
+    let mut queue = fault::lock(&shared.queue);
     queue.running.retain(|j| j.id != job.id);
     drop(queue);
     shared.changed.notify_all();
+}
+
+/// The per-job deadline watchdog: sleeps on the job's `done` condvar
+/// until the deadline (measured from **submission**, so queue time
+/// counts) or the job's terminal state, whichever comes first. At the
+/// deadline it applies the request's [`DeadlinePolicy`] *while holding
+/// the state lock*, so it can never race the runner's terminal
+/// transition: a job the runner already retired is left untouched, and a
+/// job the watchdog flags observes those flags when the runner takes the
+/// same lock to decide its terminal state.
+fn deadline_watchdog(job: &JobShared, deadline: std::time::Duration) {
+    let due = job.submitted + deadline;
+    let mut state = fault::lock(&job.state);
+    loop {
+        if state.status.is_terminal() {
+            return;
+        }
+        let now = Instant::now();
+        if now >= due {
+            break;
+        }
+        state = fault::wait_timeout(&job.done, state, due - now);
+    }
+    match job.request.deadline_policy() {
+        DeadlinePolicy::Kill => {
+            // A user cancel that already won stays a cancel; otherwise
+            // `deadline_hit` is published before `cancel` so the runner
+            // can only ever observe them together.
+            if !job.cancel.load(Ordering::Relaxed) {
+                job.deadline_hit.store(true, Ordering::Relaxed);
+                job.cancel.store(true, Ordering::Relaxed);
+            }
+        }
+        DeadlinePolicy::Degrade => job.halt.store(true, Ordering::Relaxed),
+    }
+    drop(state);
+    // Wake slot waiters so the expired job's demand drains promptly.
+    job.table.wake();
 }
 
 /// Instantiate the surrogate for one network, returning the loss the
@@ -736,12 +878,15 @@ fn build_surrogate<'a>(
 /// Run one job: dispatch on the request's [`Strategy`], fan the
 /// strategy's work items into the job's gated fleet (each item holding
 /// one of the service's shared worker slots while it executes), and
-/// demultiplex the per-network results.
-fn execute_job(job: &JobShared, fleet: &Fleet) -> BatchResult {
+/// demultiplex the per-network results. `Err` means a work item failed
+/// (panic or non-finite loss) and the whole job fails with that typed
+/// error; `Ok` carries the degrade flag when a [`DeadlinePolicy::Degrade`]
+/// deadline expired mid-run.
+fn execute_job(job: &JobShared, fleet: &Fleet) -> Result<BatchResult, JobError> {
     let results = match job.request.strategy() {
-        Strategy::GradientDescent(cfg) => execute_gd(job, fleet, cfg),
-        Strategy::Random(cfg) => execute_random(job, fleet, cfg),
-        Strategy::BayesOpt(cfg) => execute_bayes(job, fleet, cfg),
+        Strategy::GradientDescent(cfg) => execute_gd(job, fleet, cfg)?,
+        Strategy::Random(cfg) => execute_random(job, fleet, cfg)?,
+        Strategy::BayesOpt(cfg) => execute_bayes(job, fleet, cfg)?,
     };
     let networks = job
         .request
@@ -756,7 +901,10 @@ fn execute_job(job: &JobShared, fleet: &Fleet) -> BatchResult {
             }
         })
         .collect();
-    BatchResult { networks }
+    Ok(BatchResult {
+        networks,
+        degraded: job.halt.load(Ordering::Relaxed),
+    })
 }
 
 /// The per-network cancellation/progress control surface of `job`.
@@ -765,15 +913,47 @@ fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
         cancel: Some(&*job.cancel),
         progress: Some(&job.progress[net_index]),
         inner_threads: 1,
+        force_non_finite: false,
     }
 }
 
-/// Demultiplex slot-indexed `(network, result)` items back into one
-/// deterministically merged result per network.
-fn demux_merge(networks: usize, per_item: Vec<(usize, SearchResult)>) -> Vec<SearchResult> {
+/// Apply the request's fault plan (if any) to the work item at planned
+/// position `pos`, just before it runs: `Panic` unwinds (contained by the
+/// fleet and surfaced as [`JobError::WorkerPanic`]), `Delay` sleeps to
+/// widen race/deadline windows, `NonFiniteLoss` returns `true` to arm the
+/// descent's non-finite guard (a no-op for black-box items, which have no
+/// gradient loss to poison).
+fn apply_fault(job: &JobShared, pos: usize) -> bool {
+    match job.request.fault_plan().and_then(|p| p.fault_at(pos)) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at work item {pos}"),
+        Some(FaultKind::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            false
+        }
+        Some(FaultKind::NonFiniteLoss) => true,
+        None => false,
+    }
+}
+
+/// Demultiplex slot-indexed `(network, outcome)` items back into one
+/// deterministically merged result per network. `None` outcomes are items
+/// a [`DeadlinePolicy::Degrade`] deadline skipped before they started:
+/// each network's item list is truncated at its first skip, so the merge
+/// is over a plan-order **prefix** of the items — and because
+/// [`merge_start_results`] is prefix-stable, the merged history is a
+/// bitwise prefix of the uninterrupted run's. Items that completed
+/// *after* a skipped sibling are deliberately dropped: which of them beat
+/// the deadline depends on scheduling, and determinism outranks salvaging
+/// them.
+fn demux_merge(networks: usize, per_item: Vec<(usize, Option<SearchResult>)>) -> Vec<SearchResult> {
     let mut per_network: Vec<Vec<SearchResult>> = (0..networks).map(|_| Vec::new()).collect();
-    for (net_index, result) in per_item {
-        per_network[net_index].push(result);
+    let mut truncated: Vec<bool> = vec![false; networks];
+    for (net_index, outcome) in per_item {
+        match outcome {
+            Some(result) if !truncated[net_index] => per_network[net_index].push(result),
+            Some(_) => {}
+            None => truncated[net_index] = true,
+        }
     }
     per_network.into_iter().map(merge_start_results).collect()
 }
@@ -813,7 +993,15 @@ fn replay_hit(job: &JobShared, net_index: usize, result: &SearchResult) {
 /// Gradient descent: plan every network, then fan all `(network, start)`
 /// work items into the fleet — except the items the job's cache replays,
 /// which fill their planned positions without ever competing for a slot.
-fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResult> {
+/// `Err` means an item panicked ([`JobError::WorkerPanic`]) or its
+/// descent went non-finite ([`JobError::NonFiniteLoss`]); the error's
+/// `item` is the planned work-item position, and when several items fail
+/// the lowest position wins deterministically.
+fn execute_gd(
+    job: &JobShared,
+    fleet: &Fleet,
+    cfg: &GdConfig,
+) -> Result<Vec<SearchResult>, JobError> {
     let request = &job.request;
     let hier = &request.hier;
 
@@ -890,14 +1078,14 @@ fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResul
     // fleet. Reassembling by position keeps the demultiplexed per-network
     // order — and therefore every merged result bit — identical to a
     // cold run regardless of which items hit.
-    let mut slots: Vec<Option<(usize, SearchResult)>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let mut misses: Vec<(usize, GdItem)> = Vec::new();
     for (pos, item) in items.into_iter().enumerate() {
         match consult_cache(job, item.key.as_ref()) {
             Some(result) => {
                 replay_hit(job, item.net_index, &result);
-                slots[pos] = Some((item.net_index, (*result).clone()));
+                slots[pos] = Some((item.net_index, Some((*result).clone())));
             }
             None => misses.push((pos, item)),
         }
@@ -909,33 +1097,67 @@ fn execute_gd(job: &JobShared, fleet: &Fleet, cfg: &GdConfig) -> Vec<SearchResul
     // whatever other jobs share the service's slots. Each completed item
     // is journaled immediately — never on cancellation, so a partial
     // result can never be replayed — which is what lets a cancelled job
-    // resubmitted identically re-run only its remainder.
-    let executed = fleet.run(misses, |_slot, (pos, item)| {
-        let (loss, net_cfg) = &plans[item.net_index];
-        let ctrl = network_ctrl(job, item.net_index);
-        let result = run_single_start(&**loss, item.start.relaxed, item.start_index, net_cfg, ctrl);
-        if !network_ctrl(job, item.net_index).cancelled() {
-            if let (Some(cache), Some(key)) = (&job.cache, item.key) {
-                cache.journal(key, shapes[item.net_index].as_ref(), &result);
+    // resubmitted identically re-run only its remainder. Misses are in
+    // plan order, so the fan-out index maps monotonically to the planned
+    // position and a contained panic's `ItemFault` (lowest fan-out index)
+    // is also the lowest-positioned panic.
+    let miss_positions: Vec<usize> = misses.iter().map(|(pos, _)| *pos).collect();
+    let executed = fleet
+        .try_run(misses, |_slot, (pos, item)| {
+            if job.halt.load(Ordering::Relaxed) {
+                return (pos, item.net_index, Ok(None));
+            }
+            let mut ctrl = network_ctrl(job, item.net_index);
+            ctrl.force_non_finite = apply_fault(job, pos);
+            let (loss, net_cfg) = &plans[item.net_index];
+            match run_single_start(&**loss, item.start.relaxed, item.start_index, net_cfg, ctrl) {
+                Ok(result) => {
+                    if !network_ctrl(job, item.net_index).cancelled() {
+                        if let (Some(cache), Some(key)) = (&job.cache, item.key) {
+                            cache.journal(key, shapes[item.net_index].as_ref(), &result);
+                        }
+                    }
+                    (pos, item.net_index, Ok(Some(result)))
+                }
+                Err(nf) => (pos, item.net_index, Err(nf.step)),
+            }
+        })
+        .map_err(|panicked| JobError::WorkerPanic {
+            item: miss_positions[panicked.item],
+            payload: panicked.payload,
+        })?;
+    let mut first_non_finite: Option<(usize, usize)> = None;
+    for (pos, net_index, outcome) in executed {
+        match outcome {
+            Ok(result) => slots[pos] = Some((net_index, result)),
+            Err(step) => {
+                if first_non_finite.is_none_or(|(p, _)| pos < p) {
+                    first_non_finite = Some((pos, step));
+                }
             }
         }
-        (pos, item.net_index, result)
-    });
-    for (pos, net_index, result) in executed {
-        slots[pos] = Some((net_index, result));
     }
-    let per_item: Vec<(usize, SearchResult)> = slots
+    if let Some((item, step)) = first_non_finite {
+        return Err(JobError::NonFiniteLoss { item, step });
+    }
+    let per_item: Vec<(usize, Option<SearchResult>)> = slots
         .into_iter()
-        .map(|slot| slot.expect("every planned item resolves to a result"))
+        .map(|slot| slot.expect("every planned item resolves to an outcome"))
         .collect();
-    demux_merge(request.networks().len(), per_item)
+    Ok(demux_merge(request.networks().len(), per_item))
 }
 
 /// Random search: draw every network's hardware designs sequentially from
 /// its seed, then fan all `(network, design)` work items into the fleet —
 /// each design searched by its own RNG stream. Cache consultation,
-/// journaling, and positional reassembly mirror [`execute_gd`].
-fn execute_random(job: &JobShared, fleet: &Fleet, cfg: &RandomSearchConfig) -> Vec<SearchResult> {
+/// journaling, positional reassembly, fault handling, and degrade
+/// truncation mirror [`execute_gd`] ([`FaultKind::NonFiniteLoss`] is a
+/// no-op here: black-box items have no gradient loss to poison).
+fn execute_random(
+    job: &JobShared,
+    fleet: &Fleet,
+    cfg: &RandomSearchConfig,
+) -> Result<Vec<SearchResult>, JobError> {
     let request = &job.request;
     let hier = &request.hier;
     let mut shapes: Vec<Option<CacheKey>> = Vec::new();
@@ -965,45 +1187,55 @@ fn execute_random(job: &JobShared, fleet: &Fleet, cfg: &RandomSearchConfig) -> V
         .work_items
         .fetch_add(items.len(), Ordering::Relaxed);
 
-    let mut slots: Vec<Option<(usize, SearchResult)>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let mut misses = Vec::new();
     for (pos, (net_index, design_index, design, key)) in items.into_iter().enumerate() {
         match consult_cache(job, key.as_ref()) {
             Some(result) => {
                 replay_hit(job, net_index, &result);
-                slots[pos] = Some((net_index, (*result).clone()));
+                slots[pos] = Some((net_index, Some((*result).clone())));
             }
             None => misses.push((pos, net_index, design_index, design, key)),
         }
     }
-    let executed = fleet.run(
-        misses,
-        |_slot, (pos, net_index, _design_index, design, key)| {
-            let net = &request.networks()[net_index];
-            let result = run_random_design(
-                &net.layers,
-                hier,
-                &design,
-                cfg.samples_per_hw,
-                network_ctrl(job, net_index),
-            );
-            if !network_ctrl(job, net_index).cancelled() {
-                if let (Some(cache), Some(key)) = (&job.cache, key) {
-                    cache.journal(key, shapes[net_index].as_ref(), &result);
+    let miss_positions: Vec<usize> = misses.iter().map(|(pos, ..)| *pos).collect();
+    let executed = fleet
+        .try_run(
+            misses,
+            |_slot, (pos, net_index, _design_index, design, key)| {
+                if job.halt.load(Ordering::Relaxed) {
+                    return (pos, net_index, None);
                 }
-            }
-            (pos, net_index, result)
-        },
-    );
+                apply_fault(job, pos);
+                let net = &request.networks()[net_index];
+                let result = run_random_design(
+                    &net.layers,
+                    hier,
+                    &design,
+                    cfg.samples_per_hw,
+                    network_ctrl(job, net_index),
+                );
+                if !network_ctrl(job, net_index).cancelled() {
+                    if let (Some(cache), Some(key)) = (&job.cache, key) {
+                        cache.journal(key, shapes[net_index].as_ref(), &result);
+                    }
+                }
+                (pos, net_index, Some(result))
+            },
+        )
+        .map_err(|panicked| JobError::WorkerPanic {
+            item: miss_positions[panicked.item],
+            payload: panicked.payload,
+        })?;
     for (pos, net_index, result) in executed {
         slots[pos] = Some((net_index, result));
     }
-    let per_item: Vec<(usize, SearchResult)> = slots
+    let per_item: Vec<(usize, Option<SearchResult>)> = slots
         .into_iter()
-        .map(|slot| slot.expect("every planned item resolves to a result"))
+        .map(|slot| slot.expect("every planned item resolves to an outcome"))
         .collect();
-    demux_merge(request.networks().len(), per_item)
+    Ok(demux_merge(request.networks().len(), per_item))
 }
 
 /// BB-BO: each network's outer GP loop is inherently sequential, so
@@ -1011,8 +1243,17 @@ fn execute_random(job: &JobShared, fleet: &Fleet, cfg: &RandomSearchConfig) -> V
 /// samples and EI candidate scores fan out across the fleet. The
 /// cacheable unit is the whole network (every GP step conditions on all
 /// previous observations), so one work item per network is consulted and
-/// journaled.
-fn execute_bayes(job: &JobShared, fleet: &Fleet, cfg: &BbboConfig) -> Vec<SearchResult> {
+/// journaled — and the failure domain is likewise the network: a panic
+/// anywhere in a network's search (its own code or an inner fleet item)
+/// fails the job with [`JobError::WorkerPanic`] carrying that network's
+/// item index. A [`DeadlinePolicy::Degrade`] deadline skips networks not
+/// yet started (they come back empty); the one in flight finishes
+/// bit-exactly.
+fn execute_bayes(
+    job: &JobShared,
+    fleet: &Fleet,
+    cfg: &BbboConfig,
+) -> Result<Vec<SearchResult>, JobError> {
     let request = &job.request;
     let hier = &request.hier;
     job.stats
@@ -1031,22 +1272,32 @@ fn execute_bayes(job: &JobShared, fleet: &Fleet, cfg: &BbboConfig) -> Vec<Search
                 .map(|_| cache::bayes_network_key(hier, &net.layers, &net_cfg));
             if let Some(result) = consult_cache(job, key.as_ref()) {
                 replay_hit(job, net_index, &result);
-                return (*result).clone();
+                return Ok((*result).clone());
             }
-            let result = run_bayesian_search(
-                &net.layers,
-                hier,
-                &net_cfg,
-                fleet,
-                network_ctrl(job, net_index),
-            );
+            if job.halt.load(Ordering::Relaxed) {
+                return Ok(SearchResult::empty());
+            }
+            apply_fault(job, net_index);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_bayesian_search(
+                    &net.layers,
+                    hier,
+                    &net_cfg,
+                    fleet,
+                    network_ctrl(job, net_index),
+                )
+            }))
+            .map_err(|payload| JobError::WorkerPanic {
+                item: net_index,
+                payload: payload_string(payload),
+            })?;
             if !network_ctrl(job, net_index).cancelled() {
                 if let (Some(cache), Some(key)) = (&job.cache, key) {
                     let shape = cache::network_shape_key(hier, &net.layers);
                     cache.journal(key, Some(&shape), &result);
                 }
             }
-            result
+            Ok(result)
         })
         .collect()
 }
@@ -1126,8 +1377,8 @@ mod tests {
         let a = service.submit(tiny_request(1)).unwrap();
         let b = service.submit(tiny_request(2)).unwrap();
         assert_ne!(a.id(), b.id());
-        let ra = a.wait();
-        let rb = b.wait();
+        let ra = a.wait().unwrap();
+        let rb = b.wait().unwrap();
         assert_eq!(a.status(), JobStatus::Completed);
         assert_eq!(b.status(), JobStatus::Completed);
         assert!(ra.get("m").unwrap().best_edp.is_finite());
@@ -1143,13 +1394,13 @@ mod tests {
             .collect();
         let last = handles.last().unwrap();
         last.cancel();
-        let result = last.wait();
+        let result = last.wait().unwrap();
         assert_eq!(last.status(), JobStatus::Cancelled);
         // Either it never ran (empty) or cancellation raced the dispatcher
         // and it wound down early; both keep the result well-formed.
         assert_eq!(result.networks.len(), 1);
         for h in &handles[..5] {
-            h.wait();
+            h.wait().unwrap();
         }
     }
 
@@ -1161,7 +1412,7 @@ mod tests {
             .collect();
         drop(service);
         for h in &handles {
-            let result = h.wait(); // must not hang
+            let result = h.wait().unwrap(); // must not hang
             assert!(h.status().is_terminal());
             assert_eq!(result.networks.len(), 1);
         }

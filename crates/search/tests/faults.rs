@@ -1,0 +1,272 @@
+//! Property tests of the fault-isolation layer: for ANY proptest-chosen
+//! interleaving of cancellation, deadlines (both policies), and injected
+//! faults, a job must either fail with a typed [`JobError`] or return
+//! per-network histories that stay strictly monotone (sample counts
+//! strictly increasing, best EDP non-increasing) and are **bitwise
+//! prefixes** of the same request's uninterrupted run. When the chaos is
+//! benign (delays only, nothing expired, nothing cancelled), the result
+//! must be bit-identical — the fault hook is a guaranteed no-op.
+
+use dosa_accel::Hierarchy;
+use dosa_search::{
+    DeadlinePolicy, FaultKind, FaultPlan, GdConfig, JobError, JobStatus, SearchPoint,
+    SearchRequest, SearchRequestBuilder, SearchResult, SearchService,
+};
+use dosa_workload::{Layer, Problem};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn networks() -> Vec<(&'static str, Vec<Layer>)> {
+    vec![
+        (
+            "gemm",
+            vec![Layer::once(Problem::matmul("gemm", 64, 256, 256).unwrap())],
+        ),
+        (
+            "conv",
+            vec![Layer::once(
+                Problem::conv("c", 3, 3, 14, 14, 32, 32, 1).unwrap(),
+            )],
+        ),
+    ]
+}
+
+fn tiny_cfg(seed: u64) -> GdConfig {
+    GdConfig {
+        start_points: 2,
+        steps_per_start: 40,
+        round_every: 20,
+        seed,
+        ..GdConfig::default()
+    }
+}
+
+fn request(seed: u64) -> SearchRequestBuilder {
+    let mut builder = SearchRequest::builder(Hierarchy::gemmini());
+    for (i, (name, layers)) in networks().into_iter().enumerate() {
+        builder = builder.network_seeded(name, layers, seed + i as u64);
+    }
+    builder.config(tiny_cfg(seed))
+}
+
+/// Decode one proptest-drawn `(selector, delay)` pair into at most one
+/// fault, weighted toward the benign outcomes.
+fn decode_fault((selector, delay_ms): (u8, u64)) -> Option<FaultKind> {
+    match selector {
+        0..=4 => None,
+        5..=7 => Some(FaultKind::Delay(delay_ms)),
+        8 => Some(FaultKind::Panic),
+        _ => Some(FaultKind::NonFiniteLoss),
+    }
+}
+
+/// samples strictly increasing, best EDP non-increasing — the invariant
+/// `merge_start_results` promises for every history it emits.
+fn assert_strictly_monotone(history: &[SearchPoint], what: &str) {
+    for w in history.windows(2) {
+        assert!(
+            w[0].samples < w[1].samples,
+            "{what}: history sample counts must be strictly increasing ({} then {})",
+            w[0].samples,
+            w[1].samples
+        );
+        assert!(
+            w[1].best_edp <= w[0].best_edp,
+            "{what}: history best EDP must be non-increasing ({} then {})",
+            w[0].best_edp,
+            w[1].best_edp
+        );
+    }
+}
+
+/// `survivor`'s history is a bitwise prefix of `full`'s.
+fn assert_bitwise_prefix(survivor: &SearchResult, full: &SearchResult, what: &str) {
+    assert!(
+        survivor.history.len() <= full.history.len(),
+        "{what}: surviving history longer than the uninterrupted run's"
+    );
+    for (i, (s, f)) in survivor.history.iter().zip(&full.history).enumerate() {
+        assert_eq!(s.samples, f.samples, "{what}: samples diverge at {i}");
+        assert_eq!(
+            s.best_edp.to_bits(),
+            f.best_edp.to_bits(),
+            "{what}: best EDP diverges at {i}"
+        );
+    }
+    assert!(
+        survivor.samples <= full.samples,
+        "{what}: survivor consumed more samples than the uninterrupted run"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline robustness property: whatever combination of faults,
+    /// deadline, and cancellation the case throws at a job, the outcome
+    /// is either a typed failure (with `status() == Failed` and the error
+    /// retrievable) or a batch whose surviving per-network histories are
+    /// strictly monotone bitwise prefixes of the uninterrupted run.
+    #[test]
+    fn chaos_outcomes_are_typed_or_bitwise_prefixes(
+        seed in 0u64..64,
+        threads in 1usize..=2,
+        raw_faults in proptest::collection::vec((0u8..10, 5u64..40), 4),
+        // 0 = no deadline, 1 = Kill, 2 = Degrade.
+        deadline_kind in 0u8..3,
+        deadline_ms in 5u64..60,
+        // 0 = no cancel, 1 = cancel after `cancel_ms`.
+        cancel_kind in 0u8..2,
+        cancel_ms in 0u64..30,
+    ) {
+        // Uninterrupted reference: same request, no chaos. The service
+        // must outlive the wait — dropping it cancels in-flight jobs.
+        let plain = SearchService::builder().threads(threads).build();
+        let reference_job = plain
+            .submit(request(seed).build())
+            .expect("request validates");
+        let reference = reference_job.wait().expect("uninterrupted run cannot fail");
+        prop_assert!(!reference.degraded);
+        prop_assert_eq!(reference_job.status(), JobStatus::Completed);
+
+        let faults: Vec<Option<FaultKind>> =
+            raw_faults.into_iter().map(decode_fault).collect();
+        let mut plan = FaultPlan::new();
+        for (pos, fault) in faults.iter().enumerate() {
+            if let Some(kind) = *fault {
+                plan = plan.inject(pos, kind);
+            }
+        }
+        let mut builder = request(seed).fault_plan(plan);
+        if deadline_kind > 0 {
+            builder = builder
+                .deadline(Duration::from_millis(deadline_ms))
+                .deadline_policy(if deadline_kind == 2 {
+                    DeadlinePolicy::Degrade
+                } else {
+                    DeadlinePolicy::Kill
+                });
+        }
+        let service = SearchService::builder().threads(threads).build();
+        let chaos = service.submit(builder.build()).expect("request validates");
+        if cancel_kind == 1 {
+            std::thread::sleep(Duration::from_millis(cancel_ms));
+            chaos.cancel();
+        }
+
+        match chaos.wait() {
+            Err(err) => {
+                prop_assert!(
+                    matches!(
+                        err,
+                        JobError::WorkerPanic { .. }
+                            | JobError::NonFiniteLoss { .. }
+                            | JobError::DeadlineExceeded
+                    ),
+                    "unexpected failure mode: {err}"
+                );
+                prop_assert_eq!(chaos.status(), JobStatus::Failed);
+                prop_assert!(chaos.error().is_some(), "Failed job must expose its error");
+                match err {
+                    JobError::WorkerPanic { item, .. } => {
+                        prop_assert!(matches!(faults[item], Some(FaultKind::Panic)));
+                    }
+                    JobError::NonFiniteLoss { item, .. } => {
+                        prop_assert!(matches!(faults[item], Some(FaultKind::NonFiniteLoss)));
+                    }
+                    _ => {}
+                }
+            }
+            Ok(batch) => {
+                // No fatal fault fired before the job wrapped up: every
+                // network survives with a monotone bitwise prefix.
+                prop_assert!(chaos.error().is_none());
+                if cancel_kind == 0 {
+                    // Nobody cancelled: only a Degrade expiry may stop a
+                    // job short of Completed, and it reports Completed too.
+                    prop_assert_eq!(chaos.status(), JobStatus::Completed);
+                }
+                for (name, _) in networks() {
+                    let survivor = batch.get(name).expect("every network reports a result");
+                    let full = reference.get(name).expect("reference has every network");
+                    assert_strictly_monotone(&survivor.history, name);
+                    assert_bitwise_prefix(survivor, full, name);
+                }
+                // Benign chaos (delays at most, nothing truncated the
+                // run): the fault hook must have been a bit-exact no-op.
+                let benign = faults
+                    .iter()
+                    .flatten()
+                    .all(|kind| matches!(kind, FaultKind::Delay(_)));
+                if benign
+                    && cancel_kind == 0
+                    && !batch.degraded
+                    && chaos.status() == JobStatus::Completed
+                {
+                    for (name, _) in networks() {
+                        let survivor = batch.get(name).expect("network present");
+                        let full = reference.get(name).expect("network present");
+                        prop_assert_eq!(survivor.samples, full.samples);
+                        prop_assert_eq!(
+                            survivor.best_edp.to_bits(),
+                            full.best_edp.to_bits(),
+                            "benign chaos changed {}'s best EDP",
+                            name
+                        );
+                        prop_assert_eq!(&survivor.history, &full.history);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Degrade-focused variant: every work item is slowed enough that a
+    /// short `Degrade` deadline usually expires mid-run on a sequential
+    /// service. Whatever prefix of the plan survives, the job still
+    /// reports `Completed`, and each network's history is a strictly
+    /// monotone bitwise prefix of the uninterrupted run's.
+    #[test]
+    fn degrade_expiry_returns_a_completed_bitwise_prefix(
+        seed in 64u64..96,
+        delays in proptest::collection::vec(10u64..40, 4),
+        deadline_ms in 5u64..35,
+    ) {
+        let plain = SearchService::builder().threads(1).build();
+        let reference = plain
+            .submit(request(seed).build())
+            .expect("request validates")
+            .wait()
+            .expect("uninterrupted run cannot fail");
+
+        let mut plan = FaultPlan::new();
+        for (pos, ms) in delays.iter().enumerate() {
+            plan = plan.inject(pos, FaultKind::Delay(*ms));
+        }
+        let service = SearchService::builder().threads(1).build();
+        let degraded_job = service
+            .submit(
+                request(seed)
+                    .fault_plan(plan)
+                    .deadline(Duration::from_millis(deadline_ms))
+                    .deadline_policy(DeadlinePolicy::Degrade)
+                    .build(),
+            )
+            .expect("request validates");
+        let batch = degraded_job
+            .wait()
+            .expect("Degrade never fails a job, it truncates it");
+        prop_assert_eq!(degraded_job.status(), JobStatus::Completed);
+        prop_assert!(degraded_job.error().is_none());
+        for (name, _) in networks() {
+            let survivor = batch.get(name).expect("every network reports a result");
+            let full = reference.get(name).expect("reference has every network");
+            assert_strictly_monotone(&survivor.history, name);
+            assert_bitwise_prefix(survivor, full, name);
+            if !batch.degraded {
+                // The deadline never fired: the run must be bit-exact.
+                prop_assert_eq!(&survivor.history, &full.history);
+                prop_assert_eq!(survivor.samples, full.samples);
+            }
+        }
+    }
+}

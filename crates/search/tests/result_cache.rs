@@ -64,7 +64,7 @@ fn cache_on_equals_cache_off_and_repeat_hits_fully() {
 
     // Cold reference: no cache anywhere.
     let plain = SearchService::builder().threads(2).build();
-    let reference = plain.submit(request.clone()).unwrap().wait();
+    let reference = plain.submit(request.clone()).unwrap().wait().unwrap();
 
     let cache = ResultCache::in_memory(256);
     let service = SearchService::builder()
@@ -74,7 +74,7 @@ fn cache_on_equals_cache_off_and_repeat_hits_fully() {
 
     // First cached run: all misses, results bit-identical to no-cache.
     let first = service.submit(request.clone()).unwrap();
-    let first_results = first.wait();
+    let first_results = first.wait().unwrap();
     let stats = first.stats();
     assert_eq!(stats.work_items, 4, "2 networks x 2 start points");
     assert_eq!(stats.cache_hits, 0);
@@ -90,7 +90,7 @@ fn cache_on_equals_cache_off_and_repeat_hits_fully() {
 
     // Identical resubmission: 100% work-item hits, bit-identical batch.
     let second = service.submit(request).unwrap();
-    let second_results = second.wait();
+    let second_results = second.wait().unwrap();
     let stats = second.stats();
     assert_eq!(stats.cache_hits, stats.work_items, "expected a full replay");
     assert_eq!(stats.cache_misses, 0);
@@ -109,7 +109,7 @@ fn cache_on_equals_cache_off_and_repeat_hits_fully() {
 fn jobs_without_a_cache_report_zeroed_cache_stats() {
     let service = SearchService::builder().threads(2).build();
     let job = service.submit(batched_request(3)).unwrap();
-    job.wait();
+    job.wait().unwrap();
     let stats = job.stats();
     assert_eq!(
         stats,
@@ -135,7 +135,12 @@ fn resume_after_cancel_reruns_only_the_remainder() {
 
     // Uninterrupted reference, no cache.
     let plain = SearchService::builder().threads(1).build();
-    let reference = plain.submit(request.clone()).unwrap().wait().into_single();
+    let reference = plain
+        .submit(request.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_single();
 
     let cache = ResultCache::in_memory(256);
     let service = SearchService::builder()
@@ -154,13 +159,13 @@ fn resume_after_cancel_reruns_only_the_remainder() {
         std::thread::sleep(Duration::from_millis(2));
     }
     interrupted.cancel();
-    interrupted.wait();
+    interrupted.wait().unwrap();
 
     // Identical resubmission: completed items replay, only the remainder
     // re-runs, and the final result is bit-identical to the
     // uninterrupted reference.
     let resumed = service.submit(request).unwrap();
-    let resumed_result = resumed.wait().into_single();
+    let resumed_result = resumed.wait().unwrap().into_single();
     let stats = resumed.stats();
     assert_eq!(stats.work_items, 6);
     assert!(stats.cache_hits >= 1, "resume must replay completed items");
@@ -192,7 +197,7 @@ fn warm_start_is_opt_in_and_counted() {
                 .build(),
         )
         .unwrap();
-    let cold_result = cold_warm.wait().into_single();
+    let cold_result = cold_warm.wait().unwrap().into_single();
     assert_eq!(cold_warm.stats().warm_starts, 0);
     assert_eq!(cold_warm.stats().work_items, 2);
 
@@ -207,7 +212,7 @@ fn warm_start_is_opt_in_and_counted() {
                 .build(),
         )
         .unwrap();
-    let warmed_result = warmed.wait().into_single();
+    let warmed_result = warmed.wait().unwrap().into_single();
     let stats = warmed.stats();
     assert_eq!(stats.warm_starts, 1);
     assert_eq!(stats.work_items, 3, "2 regular starts + 1 warm start");
@@ -224,7 +229,7 @@ fn warm_start_is_opt_in_and_counted() {
                 .build(),
         )
         .unwrap();
-    let off_result = off.wait().into_single();
+    let off_result = off.wait().unwrap().into_single();
     assert_eq!(off.stats().warm_starts, 0);
     assert_eq!(off.stats().work_items, 2);
     let plain = SearchService::builder().threads(2).build();
@@ -237,6 +242,7 @@ fn warm_start_is_opt_in_and_counted() {
         )
         .unwrap()
         .wait()
+        .unwrap()
         .into_single();
     assert_bit_identical(&off_result, &cold, "warm-start-off vs no cache");
     drop(cold_result);

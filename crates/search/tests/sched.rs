@@ -89,7 +89,7 @@ fn short_gd_job_completes_while_long_bayes_job_is_running() {
         )
         .unwrap();
 
-    let result = short.wait().into_single();
+    let result = short.wait().unwrap().into_single();
     assert_eq!(short.status(), JobStatus::Completed);
     assert_eq!(
         long.status(),
@@ -98,7 +98,7 @@ fn short_gd_job_completes_while_long_bayes_job_is_running() {
          finishes — jobs did not overlap"
     );
     long.cancel();
-    let partial = long.wait().into_single();
+    let partial = long.wait().unwrap().into_single();
     assert_eq!(long.status(), JobStatus::Cancelled);
     assert!(partial.samples < 10_000 * 50 / 4, "cancel was not prompt");
 
@@ -154,7 +154,7 @@ fn priority_job_is_admitted_before_earlier_fifo_traffic() {
     // Free the single admission slot; the dispatcher must now pick the
     // Priority(5) job over the earlier-submitted Fifo job.
     blocker.cancel();
-    let result = priority.wait().into_single();
+    let result = priority.wait().unwrap().into_single();
     assert!(result.best_edp.is_finite());
     // With one slot, the Fifo job could only have run before the priority
     // job if the scheduler ordered it first — in which case it would be
@@ -165,8 +165,8 @@ fn priority_job_is_admitted_before_earlier_fifo_traffic() {
         "the Fifo job finished before the Priority(5) job — priority was ignored"
     );
     fifo.cancel();
-    fifo.wait();
-    blocker.wait();
+    fifo.wait().unwrap();
+    blocker.wait().unwrap();
 }
 
 /// Cancelling a running job frees its capacity for the queued one: on a
@@ -209,7 +209,7 @@ fn cancelling_a_running_job_frees_slots_for_the_queued_one() {
         "a single-slot service must not admit the second job while the first runs"
     );
     long.cancel();
-    let result = queued.wait().into_single();
+    let result = queued.wait().unwrap().into_single();
     assert_eq!(queued.status(), JobStatus::Completed);
     assert_eq!(long.status(), JobStatus::Cancelled);
     let standalone = dosa_search(&matmul_net(), &hier, &cfg);
@@ -308,9 +308,9 @@ fn every_strategy_is_bit_identical_under_concurrent_load() {
         )
         .unwrap();
 
-    let gd_batch = gd.wait();
-    let random_result = random.wait().into_single();
-    let bayes_result = bayes.wait().into_single();
+    let gd_batch = gd.wait().unwrap();
+    let random_result = random.wait().unwrap().into_single();
+    let bayes_result = bayes.wait().unwrap().into_single();
 
     let solo_resnet = dosa_search(&resnet_subset(), &hier, &GdConfig { seed: 11, ..gd_cfg });
     let solo_gemm = dosa_search(&matmul_net(), &hier, &GdConfig { seed: 14, ..gd_cfg });
@@ -364,7 +364,7 @@ fn dropping_the_service_winds_down_concurrent_jobs() {
     }
     drop(service);
     for job in &jobs {
-        let result = job.wait(); // must not hang
+        let result = job.wait().unwrap(); // must not hang
         assert!(job.status().is_terminal());
         assert_eq!(result.networks.len(), 1);
         for w in result.networks[0].result.history.windows(2) {

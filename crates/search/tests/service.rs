@@ -69,7 +69,8 @@ fn batched_results_match_individual_submissions_bit_for_bit() {
                 .build(),
         )
         .unwrap()
-        .wait();
+        .wait()
+        .unwrap();
 
     // Individual service submissions with the same per-network seeds.
     let solo_resnet = service
@@ -81,6 +82,7 @@ fn batched_results_match_individual_submissions_bit_for_bit() {
         )
         .unwrap()
         .wait()
+        .unwrap()
         .into_single();
     let solo_gemm = service
         .submit(
@@ -91,6 +93,7 @@ fn batched_results_match_individual_submissions_bit_for_bit() {
         )
         .unwrap()
         .wait()
+        .unwrap()
         .into_single();
 
     assert_bit_identical(
@@ -124,8 +127,8 @@ fn batched_results_are_thread_budget_invariant() {
     };
     let one = SearchService::builder().threads(1).build();
     let eight = SearchService::builder().threads(8).build();
-    let a = one.submit(request(&hier)).unwrap().wait();
-    let b = eight.submit(request(&hier)).unwrap().wait();
+    let a = one.submit(request(&hier)).unwrap().wait().unwrap();
+    let b = eight.submit(request(&hier)).unwrap().wait().unwrap();
     for name in ["resnet50", "gemm"] {
         assert_bit_identical(a.get(name).unwrap(), b.get(name).unwrap(), name);
     }
@@ -154,6 +157,7 @@ fn rtl_surrogate_batch_matches_shim() {
         )
         .unwrap()
         .wait()
+        .unwrap()
         .into_single();
     let shim = dosa_search_rtl(&matmul_net(), &hier, &cfg, &predictor);
     assert_bit_identical(&batched, &shim, "rtl gemm");
@@ -185,7 +189,7 @@ fn progress_is_monotone_and_converges_to_the_result() {
         snapshots.push(job.progress());
         std::thread::sleep(Duration::from_millis(1));
     }
-    let result = job.wait().into_single();
+    let result = job.wait().unwrap().into_single();
     assert_eq!(job.status(), JobStatus::Completed);
 
     let mid_run = snapshots
@@ -253,7 +257,7 @@ fn cancel_stops_promptly_with_monotone_partial_history() {
         std::thread::sleep(Duration::from_millis(1));
     }
     job.cancel();
-    let result = job.wait().into_single();
+    let result = job.wait().unwrap().into_single();
     assert_eq!(job.status(), JobStatus::Cancelled);
 
     assert!(
@@ -302,7 +306,7 @@ fn random_strategy_batches_bit_identically_across_thread_budgets() {
     let solo_gemm = random_search(&matmul_net(), &hier, &RandomSearchConfig { seed: 9, ..cfg });
     for threads in [1, 4, 8] {
         let service = SearchService::builder().threads(threads).build();
-        let batch = service.submit(request()).unwrap().wait();
+        let batch = service.submit(request()).unwrap().wait().unwrap();
         assert_bit_identical(
             batch.get("resnet50").unwrap(),
             &solo_resnet,
@@ -341,7 +345,7 @@ fn bayes_strategy_batches_bit_identically_across_thread_budgets() {
     let solo_gemm = bayesian_search(&matmul_net(), &hier, &BbboConfig { seed: 4, ..cfg });
     for threads in [1, 8] {
         let service = SearchService::builder().threads(threads).build();
-        let batch = service.submit(request()).unwrap().wait();
+        let batch = service.submit(request()).unwrap().wait().unwrap();
         assert_bit_identical(
             batch.get("resnet50").unwrap(),
             &solo_resnet,
@@ -388,6 +392,7 @@ fn all_strategy_histories_are_strict_and_monotone() {
             )
             .unwrap()
             .wait()
+            .unwrap()
             .into_single();
         assert!(!result.history.is_empty(), "{name}: empty history");
         for w in result.history.windows(2) {
@@ -442,7 +447,7 @@ fn random_cancel_stops_promptly_with_monotone_partial_history() {
         std::thread::sleep(Duration::from_millis(1));
     }
     job.cancel();
-    let result = job.wait().into_single();
+    let result = job.wait().unwrap().into_single();
     assert_eq!(job.status(), JobStatus::Cancelled);
     assert!(
         result.samples < budget / 4,
@@ -488,7 +493,7 @@ fn bayes_cancel_leaves_monotone_partial_history() {
         std::thread::sleep(Duration::from_millis(1));
     }
     job.cancel();
-    let result = job.wait().into_single();
+    let result = job.wait().unwrap().into_single();
     assert_eq!(job.status(), JobStatus::Cancelled);
     assert!(
         result.samples < cfg.num_hw * cfg.samples_per_hw / 4,
@@ -548,8 +553,8 @@ fn second_job_queues_behind_the_first() {
         short_status == JobStatus::Queued || long.status().is_terminal(),
         "short job was {short_status:?} while the long job had not finished"
     );
-    let first = long.wait().into_single();
-    let second = short.wait().into_single();
+    let first = long.wait().unwrap().into_single();
+    let second = short.wait().unwrap().into_single();
     assert!(first.best_edp.is_finite());
     assert!(second.best_edp.is_finite());
     assert!(long.id() < short.id());

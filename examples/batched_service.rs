@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::sleep(Duration::from_millis(250));
     }
 
-    for net in batch_job.wait().networks {
+    for net in batch_job.wait().unwrap().networks {
         println!(
             "{:<16} best EDP {:.4e} on {} after {} samples",
             net.network, net.result.best_edp, net.result.best_hw, net.result.samples
@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cancel job 2: a queued job retires immediately with empty results;
     // a running one stops at the next gradient-step boundary.
     doomed.cancel();
-    let partial = doomed.wait();
+    let partial = doomed.wait().unwrap();
     println!(
         "job {} finished as {:?} with {} samples consumed",
         doomed.id(),
@@ -113,8 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .build(),
         )?
         .wait()
+        .unwrap()
         .into_single();
-    let batched = batch_job.wait(); // terminal: returns instantly
+    let batched = batch_job.wait().unwrap(); // terminal: returns instantly
     let batched_resnet = batched.get("resnet50-subset").expect("present");
     assert_eq!(
         batched_resnet.best_edp.to_bits(),

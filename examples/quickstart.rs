@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .config(cfg)
             .build(),
     )?;
-    let result = job.wait().into_single();
+    let result = job.wait().unwrap().into_single();
 
     println!("samples used:   {}", result.samples);
     println!("best EDP:       {:.4e} uJ x cycles", result.best_edp);

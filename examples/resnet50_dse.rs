@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         std::thread::sleep(Duration::from_millis(300));
     }
-    let dosa = job.wait().into_single();
+    let dosa = job.wait().unwrap().into_single();
     println!(
         "\nDOSA:   best EDP {:.4e} after {} samples on {}",
         dosa.best_edp, dosa.samples, dosa.best_hw

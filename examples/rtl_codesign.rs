@@ -56,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let analytical_job = submit(LatencyPredictor::analytical())?;
     let combined_job = submit(combined)?;
-    let analytical_run = analytical_job.wait().into_single();
-    let combined_run = combined_job.wait().into_single();
+    let analytical_run = analytical_job.wait().unwrap().into_single();
+    let combined_run = combined_job.wait().unwrap().into_single();
 
     // 3) Measure everything on the RTL simulator (energy stays analytical,
     //    like the paper's FireSim + Accelergy evaluation).

@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfinal best EDP (uJ*cycles):");
     let mut finals: Vec<(&str, Vec<f64>)> = Vec::new();
     for (label, job) in &jobs {
-        let batch = job.wait();
+        let batch = job.wait().unwrap();
         let edps: Vec<f64> = networks
             .iter()
             .map(|(name, _)| batch.get(name).expect("network present").best_edp)
@@ -126,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 2, // the gemm entry's per-network seed
         },
     );
-    let batched = random_job.wait();
+    let batched = random_job.wait().unwrap();
     let batched_gemm = batched.get("gemm").expect("present");
     assert_eq!(
         batched_gemm.best_edp.to_bits(),

@@ -79,7 +79,7 @@
 //!     println!("{} samples, best {:.3e}", p.total_samples(), p.best_edp());
 //!     std::thread::sleep(std::time::Duration::from_millis(200));
 //! }
-//! for net in job.wait().networks {
+//! for net in job.wait().expect("job failed").networks {
 //!     println!("{}: {:.4e} on {}", net.network, net.result.best_edp, net.result.best_hw);
 //! }
 //! ```
@@ -103,7 +103,7 @@
 //!         }))
 //!         .build(),
 //! ).expect("validated at the boundary");
-//! assert_eq!(job.wait().into_single().samples, 20);
+//! assert_eq!(job.wait().expect("job failed").into_single().samples, 20);
 //! # Ok::<(), dosa::workload::ProblemError>(())
 //! ```
 //!
@@ -159,9 +159,9 @@
 //!     .config(GdConfig { start_points: 1, steps_per_start: 10, round_every: 5,
 //!                        ..GdConfig::default() })
 //!     .build();
-//! let first = service.submit(request.clone()).expect("valid").wait();
+//! let first = service.submit(request.clone()).expect("valid").wait().expect("job failed");
 //! let rerun = service.submit(request).expect("valid");
-//! let second = rerun.wait();
+//! let second = rerun.wait().expect("job failed");
 //! assert_eq!(rerun.stats().cache_hits, rerun.stats().work_items); // full replay
 //! assert_eq!(
 //!     first.into_single().best_edp.to_bits(),
