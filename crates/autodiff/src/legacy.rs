@@ -92,6 +92,9 @@ impl LegacyTape {
         adj[output.id as usize] = 1.0;
         for i in (0..=output.id as usize).rev() {
             let a = adj[i];
+            // dosa-lint: allow(float-eq) — exact-zero adjoint skip: only a
+            // bitwise zero means "no gradient flowed here"; a tolerance would
+            // silently drop real (tiny) gradients.
             if a == 0.0 {
                 continue;
             }

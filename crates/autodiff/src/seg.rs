@@ -316,6 +316,8 @@ fn sweep_chunk(
     let lo = range.start as usize;
     for i in (lo..range.end as usize).rev() {
         let a = local[i - lo];
+        // dosa-lint: allow(float-eq) — exact-zero adjoint skip, same contract
+        // as `sweep_serial`: only bitwise zero means no gradient to propagate.
         if a == 0.0 {
             continue;
         }

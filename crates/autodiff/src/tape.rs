@@ -108,6 +108,9 @@ impl TapeStore {
 pub(crate) fn sweep_serial(store: &TapeStore, adj: &mut [f64], lo: usize, hi: usize) {
     for i in (lo..hi).rev() {
         let a = adj[i];
+        // dosa-lint: allow(float-eq) — exact-zero adjoint skip: a dead node
+        // contributes exactly 0.0; tolerance-based skipping would change the
+        // accumulation order the segmented sweep's bit-parity proof relies on.
         if a == 0.0 {
             continue;
         }
@@ -157,8 +160,12 @@ impl Tape {
     /// code — and `Tape` is `!Sync`, so no other thread can record.
     #[inline]
     pub(crate) fn store(&self) -> &TapeStore {
-        // SAFETY: see the doc comment; shared read access is only taken on
-        // code paths that provably do not record.
+        // SAFETY: aliasing — this shared borrow of the arena is only ever
+        // taken by sweep code, which records nothing, so no `&mut` from
+        // `clear`/`reserve`/`record` can coexist with it (all four are
+        // confined to single public-method bodies and `Tape` is `!Sync`).
+        // The returned `&TapeStore` borrows `self`, so the borrow checker
+        // keeps it from outliving the tape or crossing a `&mut self` call.
         unsafe { &*self.store.get() }
     }
 
@@ -177,9 +184,12 @@ impl Tape {
     /// Reuses allocations; useful when re-running a model every optimizer
     /// step.
     pub fn clear(&self) {
-        // SAFETY: exclusive for the duration of the call — `Tape` is
-        // `!Sync` and no reference into the store outlives any public
-        // method.
+        // SAFETY: the `&mut` is exclusive for the duration of this call —
+        // `Tape` is `!Sync` (one thread), clear runs no user code that
+        // could re-enter the tape, and no reference into the arena escapes
+        // any public method, so none can be live across this borrow.
+        // Clearing only resets lengths; it never frees the arena, so even
+        // a leaked raw pointer would dangle into live (stale) storage.
         unsafe { &mut *self.store.get() }.clear();
     }
 
@@ -187,7 +197,11 @@ impl Tape {
     /// moving the amortized overflow check even further out of the
     /// recording loop for callers that know their op count.
     pub fn reserve(&self, extra: usize) {
-        // SAFETY: as in [`Tape::clear`].
+        // SAFETY: exclusive as in [`Tape::clear`]. Grow path: this may
+        // reallocate the arena's segment vectors, which is sound only
+        // because no outstanding reference into the old storage can exist
+        // here — sweep borrows (`store()`) end before any `&self` method
+        // returns, and recording takes its own short-lived `&mut`.
         unsafe { &mut *self.store.get() }.reserve_extra(extra);
     }
 
@@ -212,9 +226,13 @@ impl Tape {
         grads: [f64; 2],
         arity: u8,
     ) -> crate::Var<'_> {
-        // SAFETY: exclusive for the duration of the push — `Tape` is
-        // `!Sync`, `push` runs no user code, and no reference into the
-        // store escapes any public method.
+        // SAFETY: single-borrow recording — the `&mut` lives exactly for
+        // this `push`, which runs no user code, so recording can never
+        // re-enter the tape and observe a second live borrow. `Tape` is
+        // `!Sync`, so no concurrent sweep holds a shared borrow. `push`
+        // may take the grow path and reallocate segment storage; that is
+        // sound here for the same reason as in [`Tape::reserve`]: no
+        // reference into the arena survives outside a method body.
         let id = unsafe { &mut *self.store.get() }.push(parents, grads, arity);
         crate::Var {
             tape: self,

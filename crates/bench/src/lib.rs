@@ -24,6 +24,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod info;
+pub mod lint;
 pub mod perf;
 pub mod plot;
 pub mod scale;

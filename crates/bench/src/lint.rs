@@ -1,0 +1,56 @@
+//! `repro lint` / `repro --smoke lint` — the workspace invariant checker.
+//!
+//! Drives [`dosa_lint`] over every workspace `.rs` file and enforces the
+//! project's determinism, panic-perimeter, and unsafe-audit rules (see
+//! `ARCHITECTURE.md`, "Static analysis & invariant enforcement"). The
+//! full mode prints every diagnostic plus the per-rule summary; the smoke
+//! mode is the CI gate — same rules, same files, pass/fail only.
+
+use std::path::PathBuf;
+
+/// Locate the workspace root the way the standalone binary does: ascend
+/// from the current directory to the nearest `[workspace]` manifest.
+fn workspace_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    dosa_lint::find_workspace_root(&cwd)
+}
+
+/// Full report. Returns `true` when the tree is clean.
+pub fn run() -> bool {
+    lint(false)
+}
+
+/// CI gate: identical rule set, terse output. Returns `true` on pass.
+pub fn run_smoke() -> bool {
+    lint(true)
+}
+
+fn lint(smoke: bool) -> bool {
+    let Some(root) = workspace_root() else {
+        eprintln!("lint: no enclosing Cargo workspace found");
+        return false;
+    };
+    match dosa_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if smoke {
+                for d in &report.violations {
+                    println!("{d}");
+                }
+                println!(
+                    "smoke lint: {} files, {} violation(s), {} suppressed — {}",
+                    report.files,
+                    report.violations.len(),
+                    report.suppressed,
+                    if report.clean() { "PASS" } else { "FAIL" }
+                );
+            } else {
+                print!("{}", report.render());
+            }
+            report.clean()
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            false
+        }
+    }
+}

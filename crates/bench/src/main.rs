@@ -28,8 +28,8 @@
 
 use dosa_accel::HardwareConfig;
 use dosa_bench::{
-    ablation, batch, cache, faults, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, perf,
-    sched, strategies, Scale,
+    ablation, batch, cache, faults, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, lint,
+    perf, sched, strategies, Scale,
 };
 use dosa_workload::Network;
 use std::path::PathBuf;
@@ -125,6 +125,10 @@ fn usage() {
            bench   measure the autodiff hot path (record / sweep /\n\
                    full GD step vs the legacy tape) and regenerate\n\
                    BENCH_6.json at the repository root\n\
+           lint    run the workspace invariant checker (dosa-lint):\n\
+                   determinism, panic-perimeter, and unsafe-audit\n\
+                   rules over every workspace .rs file; exits nonzero\n\
+                   on any unsuppressed violation\n\
            all     everything above\n\
          workloads: unet | resnet50 | bert | retinanet\n\
          --threads N caps the service's worker threads (results are\n\
@@ -236,6 +240,16 @@ fn main() -> ExitCode {
                 perf::run_smoke();
             } else {
                 perf::run();
+            }
+        }
+        "lint" => {
+            let clean = if args.smoke {
+                lint::run_smoke()
+            } else {
+                lint::run()
+            };
+            if !clean {
+                return ExitCode::FAILURE;
             }
         }
         "cache" => {

@@ -64,6 +64,23 @@ impl PartialEq for CacheKey {
 
 impl Eq for CacheKey {}
 
+// Keys order by their canonical bytes — a total order consistent with
+// `Eq` (the hash is a pure function of the bytes, so it never needs to
+// participate). This is what lets deterministic containers (`BTreeMap`)
+// hold keys: any scan over cached entries visits them in one fixed,
+// run-independent order.
+impl PartialOrd for CacheKey {
+    fn partial_cmp(&self, other: &CacheKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CacheKey {
+    fn cmp(&self, other: &CacheKey) -> std::cmp::Ordering {
+        self.bytes.cmp(&other.bytes)
+    }
+}
+
 impl std::hash::Hash for CacheKey {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         state.write_u64(self.hash);
@@ -158,6 +175,8 @@ impl Fingerprinter {
     /// bit pattern. All other values keep their exact bits — `1.0` and
     /// `1.0 + f64::EPSILON` are different contents.
     pub fn f64(mut self, v: f64) -> Fingerprinter {
+        // dosa-lint: allow(float-eq) — IEEE `==` is the point: it conflates
+        // -0.0 with 0.0, which is exactly the canonicalization being applied.
         let bits = if v == 0.0 {
             0u64 // covers -0.0: IEEE == conflates the two zeros
         } else if v.is_nan() {

@@ -2,7 +2,7 @@
 //! [`ShardedLru`] backend.
 
 use crate::key::CacheKey;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -10,7 +10,13 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// critical sections below only move plain map entries — they can't be
 /// left mid-update by a panic — so a poisoned shard is always safe to
 /// keep serving rather than wedging every worker that shares the cache.
+///
+/// This is the `dosa-cache` poisoning-recovery perimeter, the local
+/// equivalent of `fault::lock` in `dosa-search` (which this crate cannot
+/// depend on without inverting the crate graph).
 fn lock_shard<V>(shard: &Mutex<Shard<V>>) -> MutexGuard<'_, Shard<V>> {
+    // dosa-lint: allow(raw-mutex-lock) — this IS the shard-lock perimeter: the one
+    // place dosa-cache touches a raw Mutex, recovering poisoned guards for callers.
     shard.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -45,8 +51,12 @@ struct Entry<V> {
     last_used: u64,
 }
 
+// A BTreeMap rather than a HashMap (the `nondet-iteration` invariant):
+// eviction scans the shard, and on a recency tie the BTreeMap's key order
+// makes the evicted entry deterministic where HashMap iteration order
+// would pick a different victim run to run.
 struct Shard<V> {
-    map: HashMap<CacheKey, Entry<V>>,
+    map: BTreeMap<CacheKey, Entry<V>>,
 }
 
 /// An in-memory, capacity-bounded, approximately-LRU [`CacheStore`].
@@ -78,7 +88,7 @@ impl<V: Clone + Send> ShardedLru<V> {
             shards: (0..NUM_SHARDS)
                 .map(|_| {
                     Mutex::new(Shard {
-                        map: HashMap::new(),
+                        map: BTreeMap::new(),
                     })
                 })
                 .collect(),
@@ -168,7 +178,7 @@ mod tests {
         }
         assert!(lru.len() <= super::NUM_SHARDS);
         // Each shard retains exactly the last key hashed into it.
-        let mut last_per_shard: HashMap<usize, u64> = HashMap::new();
+        let mut last_per_shard: BTreeMap<usize, u64> = BTreeMap::new();
         for n in 0..200 {
             last_per_shard.insert((key(n).hash() as usize) % super::NUM_SHARDS, n);
         }

@@ -1,0 +1,549 @@
+//! A hand-rolled Rust lexer, sound over exactly the constructs that can
+//! hide lintable text: line comments, (nested) block comments, string
+//! literals with escapes, raw and byte strings with any hash count, char
+//! literals, and lifetimes.
+//!
+//! The workspace is offline-vendored, so parsing with `syn` is not an
+//! option; this lexer deliberately produces a *flat token stream* rather
+//! than a syntax tree. That is enough for the rule engine because every
+//! project invariant the rules enforce is recognizable from short token
+//! sequences (`.lock(`, `unsafe`, `HashMap`, `== 0.0`, ...) — the hard
+//! part is never *matching* those sequences but *not* matching them when
+//! they appear inside a comment, a string, a raw string, or a char
+//! literal. Everything that is not code becomes a [`TokenKind::LineComment`] /
+//! [`TokenKind::BlockComment`] token (kept, with text, because the pragma
+//! and `// SAFETY:` rules read them) or an opaque [`TokenKind::Str`] /
+//! [`TokenKind::Char`] literal token.
+
+/// One lexed token. `line` is the 1-based line of the token's first
+/// character; `end_line` the line of its last (they differ only for block
+/// comments and multi-line string literals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed, with text where a rule needs it.
+    pub kind: TokenKind,
+    /// 1-based start line.
+    pub line: u32,
+    /// 1-based end line (== `line` for single-line tokens).
+    pub end_line: u32,
+}
+
+/// Token classification. Only comments and identifiers carry their text;
+/// literal payloads are deliberately opaque so no rule can ever match
+/// inside them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `lock`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (no closing quote — distinguished from
+    /// char literals by lookahead).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary forms).
+    Int,
+    /// Float literal (`1.0`, `1.`, `2e-3`, `1f64`, ...).
+    Float,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\u{7B}'`, `b'\''`.
+    Char,
+    /// `// …` comment (text excludes the leading slashes). Doc comments
+    /// (`///`, `//!`) lex as line comments too.
+    LineComment(String),
+    /// `/* … */` comment, nesting-aware (text excludes the delimiters).
+    BlockComment(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// The `==` operator.
+    EqEq,
+    /// The `!=` operator.
+    NotEq,
+}
+
+impl TokenKind {
+    /// Whether this token is a (line or block) comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self, TokenKind::LineComment(_) | TokenKind::BlockComment(_))
+    }
+
+    /// The comment text, if this token is a comment.
+    pub fn comment_text(&self) -> Option<&str> {
+        match self {
+            TokenKind::LineComment(t) | TokenKind::BlockComment(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, TokenKind::Ident(t) if t == name)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a flat token stream. Never fails: unterminated literals
+/// and comments simply run to end of input (the tool lints source that
+/// `rustc` already accepted, so the recovery path only matters for
+/// robustness on fixtures).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let start_line = cur.line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' => match cur.peek_at(1) {
+                Some(b'/') => lex_line_comment(&mut cur),
+                Some(b'*') => lex_block_comment(&mut cur),
+                _ => {
+                    cur.bump();
+                    TokenKind::Punct('/')
+                }
+            },
+            b'"' => lex_string(&mut cur),
+            b'\'' => lex_char_or_lifetime(&mut cur),
+            b'r' => lex_r(&mut cur),
+            b'b' => lex_b(&mut cur),
+            b'=' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Punct('=')
+                }
+            }
+            b'!' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Punct('!')
+                }
+            }
+            b if b.is_ascii_digit() => lex_number(&mut cur),
+            b if is_ident_start(b) => lex_ident(&mut cur),
+            _ => {
+                cur.bump();
+                TokenKind::Punct(b as char)
+            }
+        };
+        out.push(Token {
+            kind,
+            line: start_line,
+            end_line: cur.line,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // /
+    cur.bump(); // /
+    let start = cur.pos;
+    while let Some(b) = cur.peek() {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // /
+    cur.bump(); // *
+    let start = cur.pos;
+    let mut depth = 1usize;
+    while let Some(b) = cur.peek() {
+        if b == b'/' && cur.peek_at(1) == Some(b'*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if b == b'*' && cur.peek_at(1) == Some(b'/') {
+            depth -= 1;
+            let end = cur.pos;
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                return TokenKind::BlockComment(
+                    String::from_utf8_lossy(&cur.src[start..end]).into_owned(),
+                );
+            }
+        } else {
+            cur.bump();
+        }
+    }
+    // Unterminated: everything to EOF is comment.
+    TokenKind::BlockComment(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+}
+
+/// A plain (escaped) string body, after the opening `"` has been bumped by
+/// the caller... actually bumps the opening quote itself.
+fn lex_string(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // "
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+    TokenKind::Str
+}
+
+/// Raw string body starting at the first `#` or `"` (after `r` / `br`):
+/// counts hashes, then scans for `"` followed by the same hash count.
+/// Returns `None` if this is not actually a raw string opener (e.g. a raw
+/// identifier `r#fn`).
+fn lex_raw_string_body(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let mut hashes = 0usize;
+    while cur.peek_at(hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if cur.peek_at(hashes) != Some(b'"') {
+        return None;
+    }
+    for _ in 0..=hashes {
+        cur.bump(); // the hashes and the opening quote
+    }
+    while let Some(b) = cur.bump() {
+        if b == b'"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                return Some(TokenKind::Str);
+            }
+        }
+    }
+    Some(TokenKind::Str) // unterminated: runs to EOF
+}
+
+fn lex_r(cur: &mut Cursor<'_>) -> TokenKind {
+    // `r"…"` / `r#"…"#` are raw strings; `r#ident` is a raw identifier;
+    // bare `r…` is an ordinary identifier.
+    let save = (cur.pos, cur.line);
+    cur.bump(); // r
+    if let Some(kind) = lex_raw_string_body(cur) {
+        return kind;
+    }
+    if cur.peek() == Some(b'#') && cur.peek_at(1).is_some_and(is_ident_start) {
+        cur.bump(); // # of the raw identifier
+        return lex_ident(cur);
+    }
+    (cur.pos, cur.line) = save;
+    lex_ident(cur)
+}
+
+fn lex_b(cur: &mut Cursor<'_>) -> TokenKind {
+    // `b"…"`, `br#"…"#`, `b'…'` are byte literals; bare `b…` is an ident.
+    match (cur.peek_at(1), cur.peek_at(2)) {
+        (Some(b'"'), _) => {
+            cur.bump(); // b
+            lex_string(cur)
+        }
+        (Some(b'\''), _) => {
+            cur.bump(); // b
+            lex_byte_char(cur)
+        }
+        (Some(b'r'), Some(b'"' | b'#')) => {
+            let save = (cur.pos, cur.line);
+            cur.bump(); // b
+            cur.bump(); // r
+            match lex_raw_string_body(cur) {
+                Some(kind) => kind,
+                None => {
+                    (cur.pos, cur.line) = save;
+                    lex_ident(cur)
+                }
+            }
+        }
+        _ => lex_ident(cur),
+    }
+}
+
+/// A byte-char literal `b'…'`; the `b` has been consumed, `cur` sits on
+/// the quote. Unlike `'`, this is never a lifetime.
+fn lex_byte_char(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+    TokenKind::Char
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    // Disambiguation: `'` then an escape is always a char literal; `'`
+    // then an ident char is a lifetime *unless* the char after it closes
+    // the quote (`'a'`). Anything else (`'('`, `'"'`, `'0'`…) is a char.
+    match (cur.peek_at(1), cur.peek_at(2)) {
+        (Some(c), Some(b'\'')) if c != b'\\' => {
+            cur.bump(); // '
+            cur.bump(); // the char
+            cur.bump(); // '
+            TokenKind::Char
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump(); // '
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Lifetime
+        }
+        _ => lex_byte_char(cur), // escape or punct char: scan to closing quote
+    }
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> TokenKind {
+    let start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::Ident(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        )
+    {
+        // Radix-prefixed integers never contain a decimal point and their
+        // `e`/`E` digits are not exponents.
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_hexdigit() || b == b'_')
+        {
+            cur.bump();
+        }
+    } else {
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+        // A decimal point only makes this a float when it is NOT a range
+        // (`1..2`), a method call (`1.max(2)`), or a field access.
+        if cur.peek() == Some(b'.')
+            && !matches!(cur.peek_at(1), Some(b'.'))
+            && !cur.peek_at(1).is_some_and(is_ident_start)
+        {
+            float = true;
+            cur.bump();
+            while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                cur.bump();
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(cur.peek_at(1), Some(b'+' | b'-')));
+            if cur.peek_at(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                cur.bump(); // e
+                for _ in 0..sign {
+                    cur.bump();
+                }
+                while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …) — an `f` suffix forces float.
+    if cur.peek().is_some_and(is_ident_start) {
+        if cur.peek() == Some(b'f') {
+            float = true;
+        }
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_and_code_separate() {
+        let toks = kinds("let x = 1; // trailing .lock()\n/* block unsafe */ y");
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::LineComment(c) if c.contains(".lock()"))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::BlockComment(c) if c.contains("unsafe"))));
+        assert!(!toks.iter().any(|t| t.is_ident("lock")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* nested unsafe */ still comment */ real_code");
+        assert_eq!(
+            toks.iter().filter(|t| t.is_comment()).count(),
+            1,
+            "one nested block comment"
+        );
+        assert!(toks.iter().any(|t| t.is_ident("real_code")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn strings_hide_everything() {
+        let toks = kinds(r#"let s = "unsafe .lock() // not a comment */ HashMap"; t"#);
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("t")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"quote \" and \"# still inside unsafe\"##; after";
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("fn r#unsafe() {}");
+        // The raw identifier lexes as the ident `unsafe` — rules must use
+        // surrounding context; here we only assert it is not a string.
+        assert!(!toks.iter().any(|t| matches!(t, TokenKind::Str)));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"unsafe"; let c = b'\''; let d = br#"lock"#; x"##);
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Char).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!toks.iter().any(|t| t.is_ident("lock")));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; let z = 'z'; }");
+        assert_eq!(
+            toks.iter().filter(|t| **t == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn char_literal_with_quote_does_not_derail() {
+        // A '"' char must not open a string: the following "unsafe" text
+        // is a real string literal, and `after` is real code.
+        let toks = kinds(r#"let q = '"'; let s = "unsafe"; after"#);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn numbers_classify() {
+        assert_eq!(kinds("1"), vec![TokenKind::Int]);
+        assert_eq!(kinds("1.0"), vec![TokenKind::Float]);
+        assert_eq!(kinds("1."), vec![TokenKind::Float]);
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Float]);
+        assert_eq!(kinds("2f64"), vec![TokenKind::Float]);
+        assert_eq!(kinds("0x1E"), vec![TokenKind::Int]);
+        assert_eq!(kinds("1_000"), vec![TokenKind::Int]);
+        // Ranges and method calls on ints stay ints.
+        let toks = kinds("1..2");
+        assert_eq!(toks[0], TokenKind::Int);
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], TokenKind::Int);
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(kinds("=="), vec![TokenKind::EqEq]);
+        assert_eq!(kinds("!="), vec![TokenKind::NotEq]);
+        assert_eq!(
+            kinds("<="),
+            vec![TokenKind::Punct('<'), TokenKind::Punct('=')]
+        );
+        assert_eq!(
+            kinds("=>"),
+            vec![TokenKind::Punct('='), TokenKind::Punct('>')]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n/* c\nd */\ne");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[2].end_line, 4);
+        assert_eq!(toks[3].line, 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Randomized lexer-soundness tests: rule-triggering payloads wrapped in
+//! any literal or comment container must never produce a diagnostic, and
+//! must never derail the lexer from the code that follows the container.
+//! This is the property the whole tool rests on — a lexer that "sees"
+//! `panic!` inside a string would make every diagnostic suspect.
+
+use dosa_lint::lexer::lex;
+use dosa_lint::rules::lint_source;
+use proptest::prelude::*;
+
+/// Code fragments that trip at least one rule when they appear as code.
+/// None contain quotes, so every container below can hold them verbatim.
+const PAYLOADS: [&str; 7] = [
+    "m.lock().unwrap()",
+    "unsafe { *p }",
+    "HashMap::new()",
+    "panic!(boom)",
+    "x == 1.5",
+    "x != f64::NAN",
+    "opt.expect(msg)",
+];
+
+/// Wrap `payload` in container number `kind` (literal or comment), as one
+/// self-contained statement/item. `hashes` picks the raw-string guard
+/// length; `depth` the block-comment nesting depth.
+fn embed(kind: usize, payload: &str, hashes: usize, depth: usize) -> String {
+    let h = "#".repeat(1 + hashes % 3);
+    match kind % 6 {
+        0 => format!("fn f() -> &'static str {{\n    \"{payload}\"\n}}\n"),
+        1 => format!("fn f() -> &'static str {{\n    r{h}\"{payload}\"{h}\n}}\n"),
+        2 => format!("fn f() -> &'static [u8] {{\n    b\"{payload}\"\n}}\n"),
+        3 => format!("fn f() -> &'static [u8] {{\n    br{h}\"{payload}\"{h}\n}}\n"),
+        4 => {
+            // Nested block comment: every nesting level must close before
+            // the lexer returns to code.
+            let open = "/*".repeat(1 + depth % 3);
+            let close = "*/".repeat(1 + depth % 3);
+            format!("{open} {payload} {close}\nfn f() {{}}\n")
+        }
+        _ => format!("// {payload}\nfn f() {{}}\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn payloads_inside_containers_never_fire(
+        kind in 0usize..6,
+        which in 0usize..PAYLOADS.len(),
+        hashes in 0usize..3,
+        depth in 0usize..3,
+    ) {
+        let src = embed(kind, PAYLOADS[which], hashes, depth);
+        // Lint under the strictest scope (service + deterministic crate).
+        let lint = lint_source("crates/search/src/fixture.rs", &src);
+        prop_assert!(
+            lint.violations.is_empty(),
+            "container {} leaked payload {:?}: {:?}",
+            kind % 6,
+            PAYLOADS[which],
+            lint.violations
+        );
+        prop_assert_eq!(lint.suppressed, 0);
+    }
+
+    #[test]
+    fn containers_never_swallow_following_code(
+        kind in 0usize..6,
+        which in 0usize..PAYLOADS.len(),
+        hashes in 0usize..3,
+        depth in 0usize..3,
+    ) {
+        // Append a sentinel *after* the container: if the container's end
+        // were mislexed, the sentinel would vanish into a string/comment.
+        let src = format!(
+            "{}fn sentinel_marker_fn() {{}}\n",
+            embed(kind, PAYLOADS[which], hashes, depth)
+        );
+        let tokens = lex(&src);
+        prop_assert!(
+            tokens.iter().any(|t| t.kind.is_ident("sentinel_marker_fn")),
+            "sentinel swallowed by container {} around {:?}",
+            kind % 6,
+            PAYLOADS[which]
+        );
+        // ... and the sentinel must be *code*, not comment text.
+        let in_code = tokens
+            .iter()
+            .filter(|t| !t.kind.is_comment())
+            .any(|t| t.kind.is_ident("sentinel_marker_fn"));
+        prop_assert!(in_code);
+    }
+
+    #[test]
+    fn char_literals_never_assemble_into_operators(
+        reps in 1usize..5,
+    ) {
+        // If the lexer misread char literals, these fragments could fuse
+        // into `1.0 == x` / `!=` token runs and trip float-eq.
+        let tuple = "('1', '.', '0', '=', '=', 'x', '!', '=')";
+        let src = format!(
+            "fn f() -> [(char, char, char, char, char, char, char, char); {reps}] {{\n    [{}]\n}}\n",
+            vec![tuple; reps].join(", ")
+        );
+        let lint = lint_source("crates/search/src/fixture.rs", &src);
+        prop_assert!(lint.violations.is_empty(), "got {:?}", lint.violations);
+    }
+}

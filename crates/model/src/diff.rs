@@ -157,12 +157,17 @@ impl<N: Scalar> FactorVars<N> {
         for i in 0..NUM_LEVELS {
             for d in 0..NUM_DIMS {
                 let t = mapping.temporal[i][d] as f64;
+                // dosa-lint: allow(float-eq) — `t` is an integer tile factor
+                // cast to f64; 1.0 is exactly representable, so `== 1.0` is an
+                // exact unit-factor test, not a tolerance question.
                 if t == 1.0 && C::UNIT_SKIP {
                     temporal_unit[i] |= 1 << d;
                 } else {
                     temporal[i][d] = cx.constant(t);
                 }
                 let s = mapping.spatial[i][d] as f64;
+                // dosa-lint: allow(float-eq) — same as the temporal factor
+                // above: integer-valued f64, exact unit test.
                 if s == 1.0 && C::UNIT_SKIP {
                     spatial_unit[i] |= 1 << d;
                 } else {

@@ -176,6 +176,8 @@ fn pearson(a: &[f64], b: &[f64]) -> f64 {
         va += (x - ma) * (x - ma);
         vb += (y - mb) * (y - mb);
     }
+    // dosa-lint: allow(float-eq) — degenerate-variance guard before the
+    // division below; only an exactly-zero sum of squares divides by zero.
     if va == 0.0 || vb == 0.0 {
         return 0.0;
     }

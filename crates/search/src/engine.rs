@@ -296,6 +296,9 @@ impl DiffLoss for PredictedLatencyLoss<'_> {
             .collect();
         let min = min_hw_for_all(pairs, self.hier);
         let hw =
+            // dosa-lint: allow(panic-perimeter) — `pe_side` was validated when
+            // the engine was built and `min_hw_for_all` returns in-range SRAM
+            // sizes, so this constructor cannot fail; an `Err` here is a bug.
             HardwareConfig::new(self.pe_side, min.acc_kb(), min.spad_kb()).expect("valid pe side");
         let chosen = choose_best_orderings(self.layers, mappings, &hw, self.hier);
         for (r, s) in relaxed.iter_mut().zip(chosen) {
@@ -442,6 +445,9 @@ impl Fleet {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(threads.max(1))
                     .build()
+                    // dosa-lint: allow(panic-perimeter) — pool construction
+                    // with a clamped nonzero thread count cannot fail; dying
+                    // at startup beats serving with a half-built fleet.
                     .expect("scoped pool"),
             ),
         }
@@ -572,6 +578,10 @@ where
                 }
                 let item = fault::lock(&work[i])
                     .take()
+                    // dosa-lint: allow(panic-perimeter) — the atomic counter
+                    // hands each index to exactly one worker; a double-claim
+                    // is a fan-out bug and the panic is contained by the
+                    // fleet's unwind boundary.
                     .expect("each index is claimed once");
                 let out = run_one(i, item);
                 *fault::lock(&results[i]) = Some(out);
@@ -583,6 +593,9 @@ where
         .map(|m| {
             m.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // dosa-lint: allow(panic-perimeter) — the scope above joins
+                // every worker before this runs, so an empty slot means a
+                // fan-out bug, not a recoverable condition.
                 .expect("worker filled every slot")
         })
         .collect()
@@ -619,6 +632,9 @@ pub fn run_gd_search<L: DiffLoss + ?Sized>(
     cfg: &GdConfig,
 ) -> SearchResult {
     if let Err(e) = cfg.validate() {
+        // dosa-lint: allow(panic-perimeter) — documented perimeter of the
+        // direct (non-service) entrypoint: its docs state it panics on an
+        // invalid config; the service path validates at submit instead.
         panic!("invalid GdConfig: {e}");
     }
     let threads = rayon::current_num_threads();
@@ -631,6 +647,8 @@ pub fn run_gd_search<L: DiffLoss + ?Sized>(
             ..StartControl::default()
         };
         run_single_start(loss, start.relaxed, index, cfg, ctrl).unwrap_or_else(|e| {
+            // dosa-lint: allow(panic-perimeter) — same direct-entrypoint
+            // perimeter; the service path maps this to JobError::NonFiniteLoss.
             panic!(
                 "non-finite loss at gradient step {} of start point {index}",
                 e.step

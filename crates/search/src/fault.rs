@@ -246,6 +246,8 @@ pub(crate) fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
 /// plain values (queue entries, slot counts, terminal states) and never
 /// call panicking user code; see the module docs.
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // dosa-lint: allow(raw-mutex-lock) — this IS the poisoning-recovery perimeter:
+    // the single raw lock every service mutex is routed through.
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -300,6 +302,8 @@ mod tests {
         let m = std::sync::Arc::new(Mutex::new(5u32));
         let m2 = std::sync::Arc::clone(&m);
         let _ = std::thread::spawn(move || {
+            // dosa-lint: allow(raw-mutex-lock) — deliberately poisons a raw guard to
+            // prove the helper under test recovers it; fault::lock here would be circular.
             let _guard = m2.lock().unwrap();
             panic!("poison it");
         })

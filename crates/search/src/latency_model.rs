@@ -99,6 +99,10 @@ pub fn generate_rtl_dataset(
         let layer = &layers[i % layers.len()];
         let acc_kb = 2f64.powf(rng.gen_range(4.0..8.0)).round(); // 16..256 KB
         let spad_kb = 2f64.powf(rng.gen_range(6.0..10.0)).round(); // 64..1024 KB
+
+        // dosa-lint: allow(panic-perimeter) — the sampled ranges (16 PEs,
+        // 16..256 KB acc, 64..1024 KB spad) are valid by construction; a
+        // failure here means the sampler itself broke.
         let hw = HardwareConfig::new(16, acc_kb, spad_kb).expect("valid");
         let mapping = random_mapping(&mut rng, &layer.problem, hier, hw.pe_side());
         if !fits(&layer.problem, &mapping, &hw, hier) {
@@ -321,10 +325,15 @@ pub fn dosa_search_rtl(
         .build();
     let handle = match service.submit(request) {
         Ok(handle) => handle,
+        // dosa-lint: allow(panic-perimeter) — documented perimeter of the
+        // one-call convenience entrypoint; callers wanting typed errors use
+        // `SearchService::submit` + `wait` directly.
         Err(e) => panic!("invalid GdConfig: {e}"),
     };
     handle
         .wait()
+        // dosa-lint: allow(panic-perimeter) — same convenience-entrypoint
+        // perimeter: the service path surfaces this as a typed JobError.
         .unwrap_or_else(|err| panic!("search job failed: {err}"))
         .into_single()
 }

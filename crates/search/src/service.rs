@@ -221,6 +221,9 @@ impl BatchResult {
             "into_single on a batch of {} networks",
             self.networks.len()
         );
+        // dosa-lint: allow(panic-perimeter) — unreachable: the assert above
+        // guarantees exactly one network; `into_single`'s docs also declare
+        // the length-mismatch panic as API contract.
         self.networks.pop().expect("length checked").result
     }
 }
@@ -925,6 +928,10 @@ fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
 /// gradient loss to poison).
 fn apply_fault(job: &JobShared, pos: usize) -> bool {
     match job.request.fault_plan().and_then(|p| p.fault_at(pos)) {
+        // dosa-lint: allow(panic-perimeter) — this panic IS the injected
+        // fault: the fleet's unwind boundary catches it and the service
+        // surfaces it as JobError::WorkerPanic, which is what the fault-
+        // injection tests assert.
         Some(FaultKind::Panic) => panic!("injected fault: panic at work item {pos}"),
         Some(FaultKind::Delay(ms)) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -1142,6 +1149,9 @@ fn execute_gd(
     }
     let per_item: Vec<(usize, Option<SearchResult>)> = slots
         .into_iter()
+        // dosa-lint: allow(panic-perimeter) — by this point every planned
+        // item either executed, replayed from cache, or aborted the job via
+        // `?`; an unfilled slot is a planner/executor bug.
         .map(|slot| slot.expect("every planned item resolves to an outcome"))
         .collect();
     Ok(demux_merge(request.networks().len(), per_item))
@@ -1233,6 +1243,9 @@ fn execute_random(
     }
     let per_item: Vec<(usize, Option<SearchResult>)> = slots
         .into_iter()
+        // dosa-lint: allow(panic-perimeter) — by this point every planned
+        // item either executed, replayed from cache, or aborted the job via
+        // `?`; an unfilled slot is a planner/executor bug.
         .map(|slot| slot.expect("every planned item resolves to an outcome"))
         .collect();
     Ok(demux_merge(request.networks().len(), per_item))

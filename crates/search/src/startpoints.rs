@@ -14,6 +14,10 @@ pub fn random_hw(rng: &mut impl Rng) -> HardwareConfig {
     let side = 1u64 << rng.gen_range(2..=6u32); // 4..=64
     let acc_kb = 2f64.powf(rng.gen_range(3.0..9.0)).round().max(1.0); // 8..512 KB
     let spad_kb = 2f64.powf(rng.gen_range(4.0..11.0)).round().max(1.0); // 16..2048 KB
+
+    // dosa-lint: allow(panic-perimeter) — the sampled ranges (power-of-two
+    // side 4..=64, whole-KB SRAM sizes ≥ 1) are valid by construction; a
+    // failure here means the sampler itself broke.
     HardwareConfig::new(side, acc_kb, spad_kb).expect("sampled ranges are valid")
 }
 
