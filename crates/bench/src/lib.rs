@@ -4,7 +4,8 @@
 //! figure of the paper's evaluation (§6), a batched multi-network service
 //! mode ([`batch`]), a three-[`Strategy`](dosa_search::Strategy) service
 //! comparison ([`strategies`]), a concurrent-scheduling demonstration
-//! ([`sched`]), a result-cache / checkpoint-resume demonstration
+//! ([`sched`]), a persistent worker-pool demonstration ([`pool`]), a
+//! result-cache / checkpoint-resume demonstration
 //! ([`cache`]), shared terminal plotting and CSV output, and quick/paper
 //! scaling presets. The `repro` binary exposes each
 //! experiment as a subcommand; the Criterion benches under `benches/` run
@@ -27,6 +28,7 @@ pub mod info;
 pub mod lint;
 pub mod perf;
 pub mod plot;
+pub mod pool;
 pub mod scale;
 pub mod sched;
 pub mod strategies;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale quick|paper] [--seed N] [--out DIR] [--threads N] [--smoke] <command> [workload..]
-//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | cache | faults | bench | all
+//! commands: info | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12 | batch | strategies | sched | pool | cache | faults | bench | all
 //! workloads: unet | resnet50 | bert | retinanet
 //! ```
 //!
@@ -15,13 +15,19 @@
 //! batched jobs on one service; `sched` demonstrates the concurrent
 //! scheduler (a long BB-BO job sharing worker slots with short
 //! `ShortestFirst` GD jobs and a `Priority` random job, finishing out of
-//! submission order); `cache` runs the same batch cold, replayed from
+//! submission order); `pool` demonstrates the persistent worker pool (a
+//! fixed thread footprint probed via `/proc/self/status` while a mixed
+//! workload of segmented GD, random, and watchdog-armed jobs drains);
+//! `cache` runs the same batch cold, replayed from
 //! the content-addressed result cache, and warm-started; `faults`
 //! injects deterministic faults into jobs sharing one service and shows
 //! the failure domains holding. `--smoke batch` / `--smoke strategies`
-//! / `--smoke sched` / `--smoke cache` / `--smoke faults` run
+//! / `--smoke sched` / `--smoke pool` / `--smoke cache` /
+//! `--smoke faults` run
 //! seconds-scale versions that assert batched == standalone bit-parity
-//! (and, for `sched`, that jobs provably overlap; for `cache`, 100%
+//! (and, for `sched`, that jobs provably overlap; for `pool`, the
+//! thread-count ceiling over 50 jobs, 1-slot FIFO degeneration, and
+//! starvation freedom under a priority stream; for `cache`, 100%
 //! replay hits and resume-after-cancel parity; for `faults`, panic
 //! containment, typed deadline kills, degrade prefix-parity, and
 //! zero-fault bit-exactness), for CI.
@@ -29,7 +35,7 @@
 use dosa_accel::HardwareConfig;
 use dosa_bench::{
     ablation, batch, cache, faults, fig10_11, fig12, fig4, fig6, fig7, fig8, fig9, info, lint,
-    perf, sched, strategies, Scale,
+    perf, pool, sched, strategies, Scale,
 };
 use dosa_workload::Network;
 use std::path::PathBuf;
@@ -116,6 +122,9 @@ fn usage() {
            sched   concurrent-scheduling demo: a long BB-BO job plus\n\
                    short GD/random jobs sharing one service's worker\n\
                    slots, finishing out of submission order\n\
+           pool    persistent worker-pool demo: a mixed workload on a\n\
+                   fixed worker set, probing the process thread count\n\
+                   and reporting per-job segment / queue-wait counters\n\
            cache   result-cache demo over [workload..]: the same batch\n\
                    cold, replayed 100% from the content-addressed\n\
                    cache, then warm-started from cached neighbors\n\
@@ -134,9 +143,11 @@ fn usage() {
          --threads N caps the service's worker threads (results are\n\
          identical for every N; only wall-clock time changes)\n\
          --smoke batch / --smoke strategies / --smoke sched / --smoke\n\
-         cache / --smoke faults run seconds-scale jobs asserting\n\
-         batched == standalone bit-parity (and, for sched, that\n\
-         concurrent jobs provably overlap; for cache, 100% replay hits\n\
+         pool / --smoke cache / --smoke faults run seconds-scale jobs\n\
+         asserting batched == standalone bit-parity (and, for sched,\n\
+         that concurrent jobs provably overlap; for pool, the thread\n\
+         ceiling, 1-slot FIFO degeneration, and starvation freedom;\n\
+         for cache, 100% replay hits\n\
          and resume-after-cancel parity; for faults, panic containment,\n\
          typed deadline kills, degrade prefix-parity, and zero-fault\n\
          bit-exactness); --smoke bench re-measures quickly and\n\
@@ -274,6 +285,18 @@ fn main() -> ExitCode {
                     args.networks.clone()
                 };
                 faults::run(scale, &networks, seed, out);
+            }
+        }
+        "pool" => {
+            if args.smoke {
+                pool::run_smoke(seed, out);
+            } else {
+                let networks = if args.networks.is_empty() {
+                    Network::TARGETS.to_vec()
+                } else {
+                    args.networks.clone()
+                };
+                pool::run(scale, &networks, seed, out);
             }
         }
         "sched" => {

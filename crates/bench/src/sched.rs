@@ -33,6 +33,11 @@ pub struct SchedOutcome {
     pub elapsed: Duration,
     /// Best EDP across the job's networks.
     pub best_edp: f64,
+    /// Descent segments dispatched for the job (0 for non-GD jobs).
+    pub segments_run: usize,
+    /// Longest wait of any of the job's queue entries, in dispatches —
+    /// the logical clock the aging rank rule runs on.
+    pub max_queue_wait: u64,
 }
 
 /// Poll a set of jobs until all are terminal, recording completion order
@@ -117,12 +122,17 @@ pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec
     let outcomes: Vec<SchedOutcome> = jobs
         .iter()
         .zip(&finish)
-        .map(|((label, job), (rank, elapsed))| SchedOutcome {
-            label: label.clone(),
-            submitted: job.id(),
-            finished: *rank,
-            elapsed: *elapsed,
-            best_edp: job.progress().best_edp(),
+        .map(|((label, job), (rank, elapsed))| {
+            let stats = job.stats();
+            SchedOutcome {
+                label: label.clone(),
+                submitted: job.id(),
+                finished: *rank,
+                elapsed: *elapsed,
+                best_edp: job.progress().best_edp(),
+                segments_run: stats.segments_run,
+                max_queue_wait: stats.max_queue_wait,
+            }
         })
         .collect();
 
@@ -131,8 +141,15 @@ pub fn run(scale: Scale, networks: &[Network], seed: u64, out_dir: &Path) -> Vec
     by_finish.sort_by_key(|o| o.finished);
     for o in &by_finish {
         println!(
-            "  #{} {:<24} submitted #{} finished after {:>8.2?} best EDP {:.3e}",
-            o.finished, o.label, o.submitted, o.elapsed, o.best_edp
+            "  #{} {:<24} submitted #{} finished after {:>8.2?} best EDP {:.3e} \
+             segments {:>4} max wait {:>4} dispatches",
+            o.finished,
+            o.label,
+            o.submitted,
+            o.elapsed,
+            o.best_edp,
+            o.segments_run,
+            o.max_queue_wait
         );
     }
     write_outcomes(out_dir, "sched.csv", &outcomes);
@@ -145,7 +162,15 @@ fn write_outcomes(out_dir: &Path, name: &str, outcomes: &[SchedOutcome]) {
     write_csv(
         out_dir,
         name,
-        &["label", "submitted", "finished", "elapsed_ms", "best_edp"],
+        &[
+            "label",
+            "submitted",
+            "finished",
+            "elapsed_ms",
+            "best_edp",
+            "segments_run",
+            "max_queue_wait",
+        ],
         &outcomes
             .iter()
             .map(|o| {
@@ -155,6 +180,8 @@ fn write_outcomes(out_dir: &Path, name: &str, outcomes: &[SchedOutcome]) {
                     o.finished.to_string(),
                     o.elapsed.as_millis().to_string(),
                     format!("{:.6e}", o.best_edp),
+                    o.segments_run.to_string(),
+                    o.max_queue_wait.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -306,6 +333,7 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
         "sched smoke: concurrent random search",
     );
 
+    let (long_stats, short_stats) = (long.stats(), short.stats());
     let outcomes = vec![
         SchedOutcome {
             label: "bb-bo/fifo (cancelled)".to_string(),
@@ -313,6 +341,8 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
             finished: 1,
             elapsed: t0.elapsed(),
             best_edp: long_partial.best_edp,
+            segments_run: long_stats.segments_run,
+            max_queue_wait: long_stats.max_queue_wait,
         },
         SchedOutcome {
             label: "gd/shortest".to_string(),
@@ -320,6 +350,8 @@ pub fn run_smoke(seed: u64, out_dir: &Path) -> Vec<SchedOutcome> {
             finished: 0,
             elapsed: short_elapsed,
             best_edp: short_result.best_edp,
+            segments_run: short_stats.segments_run,
+            max_queue_wait: short_stats.max_queue_wait,
         },
     ];
     write_outcomes(out_dir, "sched_smoke.csv", &outcomes);
@@ -339,5 +371,13 @@ mod tests {
         // The short job must have finished first despite later submission.
         assert_eq!(outcomes[1].finished, 0);
         assert!(outcomes[1].best_edp.is_finite());
+        // The surfaced scheduler counters: an unsegmented 2-start GD job
+        // dispatches exactly one segment per descent, and a one-network
+        // BB-BO job is exactly one executable dispatch.
+        assert_eq!(outcomes[1].segments_run, 2);
+        assert_eq!(
+            outcomes[0].segments_run, 1,
+            "one dispatch per BB-BO network"
+        );
     }
 }

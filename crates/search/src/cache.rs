@@ -23,7 +23,7 @@
 //!
 //! | builder | schema | covers |
 //! | --- | --- | --- |
-//! | [`gd_item_key`] | `gd-item-v1` | hierarchy, layer shapes, surrogate id, **every** `GdConfig` field, effective seed, start index |
+//! | [`gd_item_key`] | `gd-item-v1` | hierarchy, layer shapes, surrogate id, every **result-affecting** `GdConfig` field, effective seed, start index |
 //! | [`random_item_key`] | `random-item-v1` | hierarchy, layer shapes, `samples_per_hw`, effective seed, design index |
 //! | [`bayes_network_key`] | `bayes-net-v1` | hierarchy, layer shapes, every `BbboConfig` field, effective seed |
 //! | [`network_shape_key`] | `net-shape-v1` | hierarchy + layer shapes only (the warm-start neighborhood) |
@@ -35,7 +35,12 @@
 //! so the start point at index `i` is only a pure function of the seed
 //! *given* those fields. Conversely, a random-search design at index `i`
 //! is independent of `num_hw`, so that field is excluded and a shorter
-//! budget's items replay into a longer one's.
+//! budget's items replay into a longer one's. `GdConfig::segment_steps`
+//! is likewise **deliberately excluded**: segmentation moves descents
+//! between worker dispatches but never changes a result bit (a tested
+//! invariant), so a descent journaled under one segment length replays
+//! under any other — including a cancelled segmented job resuming
+//! unsegmented, and vice versa.
 //!
 //! Not everything has a stable canonical identity: a learned
 //! [`LatencyPredictor`](crate::LatencyPredictor) (its MLP weights live
@@ -125,9 +130,11 @@ fn loop_order_name(strategy: LoopOrderStrategy) -> &'static str {
     }
 }
 
-/// Append every [`GdConfig`] field plus the effective seed. All fields
-/// go in — including `start_points`/`rejection_factor`, which shape the
-/// §5.3.1 start-point sequence itself (see the module docs).
+/// Append every result-affecting [`GdConfig`] field plus the effective
+/// seed — including `start_points`/`rejection_factor`, which shape the
+/// §5.3.1 start-point sequence itself, but **not** `segment_steps`,
+/// which only re-buckets the same gradient steps into worker dispatches
+/// and is bit-invisible in results (see the module docs).
 fn fingerprint_gd_config(fp: Fingerprinter, cfg: &GdConfig) -> Fingerprinter {
     fp.field("gd-config")
         .u64(cfg.start_points as u64)

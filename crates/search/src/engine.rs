@@ -36,12 +36,11 @@
 //! the regular ones, so they never perturb a cold run's RNG streams.
 
 use crate::adam::Adam;
-use crate::fault::{self, payload_string};
+use crate::fault::payload_string;
 use crate::gd::{
     choose_best_orderings, evaluate_rounded, GdConfig, LoopOrderStrategy, SearchPoint, SearchResult,
 };
 use crate::latency_model::LatencyPredictor;
-use crate::sched::JobGate;
 use crate::startpoints::StartPoint;
 use dosa_accel::{HardwareConfig, Hierarchy};
 use dosa_autodiff::{sum, SegScratch, SegmentPlan, Tape, Var};
@@ -410,31 +409,33 @@ impl StartControl<'_> {
     }
 }
 
-/// A pool of workers every strategy fans its work items out over: GD
-/// start points, random-search hardware designs, BB-BO's inner mapping
-/// samples and EI candidate scores. It runs in one of two modes:
+/// A pool of workers a strategy fans its inner work out over: GD start
+/// points in the blocking shims, random-search hardware designs, BB-BO's
+/// inner mapping samples and EI candidate scores. It runs in one of two
+/// modes:
 ///
 /// * **Pool** — a private rayon pool of a fixed worker count, used by the
 ///   blocking [`run_gd_search`] path; parallelism is scoped to the fleet
 ///   and never touches the global rayon configuration.
-/// * **Gated** — the service mode: workers are spawned per fan-out (at
-///   most the job's parallelism cap) and every work item acquires one of
-///   the service's shared worker slots through the job's
-///   [`JobGate`](crate::sched) before executing, releasing it at the next
-///   item boundary. This is what lets work items from *different jobs*
-///   interleave on one thread budget, with the scheduling policy deciding
-///   who gets each freed slot.
+/// * **Serial** — the service mode: the fan-out runs inline on the
+///   calling thread, one item at a time. Service work items execute on a
+///   **persistent worker** of the service's pool (see
+///   [`crate::service`]), so their inner fan-outs must not spawn — the
+///   worker itself is the unit of parallelism, and the scheduler
+///   interleaves *items* of different jobs, not threads. Results are
+///   thread-count-invariant by construction, so serial execution is
+///   bit-identical to any pooled run.
 ///
 /// Both modes land results at fixed item slots, so output order — and
 /// every deterministic reduction built on it — is independent of worker
-/// count, slot arbitration, and whatever other jobs are running.
+/// count and of whatever other jobs are running.
 pub(crate) struct Fleet {
     mode: FleetMode,
 }
 
 enum FleetMode {
     Pool(rayon::ThreadPool),
-    Gated(JobGate),
+    Serial,
 }
 
 impl Fleet {
@@ -453,11 +454,11 @@ impl Fleet {
         }
     }
 
-    /// A fleet that executes work items under `gate`'s slot accounting
-    /// (service mode).
-    pub(crate) fn gated(gate: JobGate) -> Fleet {
+    /// A fleet that runs every item inline on the calling thread (service
+    /// mode: the caller is already a pool worker).
+    pub(crate) fn serial() -> Fleet {
         Fleet {
-            mode: FleetMode::Gated(gate),
+            mode: FleetMode::Serial,
         }
     }
 
@@ -504,101 +505,28 @@ impl Fleet {
                     })
                     .collect()
             }),
-            FleetMode::Gated(gate) => gated_run(gate, items, &f),
+            FleetMode::Serial => items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(payload_string))
+                .collect(),
         };
         let mut results = Vec::with_capacity(caught.len());
-        for (item, out) in caught.into_iter().enumerate() {
+        for out in caught {
             match out {
                 Ok(r) => results.push(r),
-                Err(payload) => return Err(ItemFault { item, payload }),
+                Err(payload) => return Err(ItemFault { payload }),
             }
         }
         Ok(results)
     }
 }
 
-/// A contained work-item panic from [`Fleet::try_run`]: the fan-out index
-/// of the (lowest) faulting item and its stringified panic payload.
+/// A contained work-item panic from [`Fleet::try_run`]: the stringified
+/// panic payload of the lowest-indexed faulting item.
 #[derive(Debug, Clone)]
 pub(crate) struct ItemFault {
-    pub(crate) item: usize,
     pub(crate) payload: String,
-}
-
-/// The gated fan-out: up to the job's parallelism cap of scoped workers
-/// pull item indices off a shared counter, and each item runs inside a
-/// slot permit from the service's shared [`SlotTable`](crate::sched) —
-/// the boundary at which the scheduler interleaves jobs. If the job is
-/// cancelled while waiting for a slot, the permit comes back empty and
-/// `f` runs unslotted: every work function short-circuits on the cancel
-/// flag, so the item yields its (empty or partial) result immediately and
-/// the fan-out drains without competing for capacity.
-///
-/// Each item's `f` runs inside `catch_unwind` **with the permit held by
-/// the caller frame**, so a panicking item still releases its slot on the
-/// way out and poisons nothing — the panic becomes that item's `Err`
-/// while every sibling runs normally.
-fn gated_run<T, R, F>(gate: &JobGate, items: Vec<T>, f: &F) -> Vec<Result<R, String>>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let run_one = |i: usize, item: T| {
-        let permit = gate.acquire();
-        let out = catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(payload_string);
-        drop(permit);
-        out
-    };
-    let workers = gate.max_par().min(n).max(1);
-    if workers == 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| run_one(i, item))
-            .collect();
-    }
-    let work: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
-        .collect();
-    let results: Vec<std::sync::Mutex<Option<Result<R, String>>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = fault::lock(&work[i])
-                    .take()
-                    // dosa-lint: allow(panic-perimeter) — the atomic counter
-                    // hands each index to exactly one worker; a double-claim
-                    // is a fan-out bug and the panic is contained by the
-                    // fleet's unwind boundary.
-                    .expect("each index is claimed once");
-                let out = run_one(i, item);
-                *fault::lock(&results[i]) = Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                // dosa-lint: allow(panic-perimeter) — the scope above joins
-                // every worker before this runs, so an empty slot means a
-                // fan-out bug, not a recoverable condition.
-                .expect("worker filled every slot")
-        })
-        .collect()
 }
 
 /// One-shot [`Fleet::run`] on a throwaway fleet of `threads` workers.
@@ -669,54 +597,120 @@ pub(crate) struct NonFiniteLoss {
     pub(crate) step: usize,
 }
 
-/// One start point's full descent: the loop previously duplicated between
-/// `dosa_search` and `dosa_search_rtl`. Fails with [`NonFiniteLoss`] the
-/// moment a gradient step's differentiable loss (or a rounding's
-/// reference EDP) goes NaN, so a poisoned descent can never contribute a
+/// The full, RNG-free checkpoint of one start point's descent between
+/// gradient steps: everything [`run_segment`] needs to resume
+/// bit-identically to an uninterrupted run. The only RNG a descent ever
+/// draws from is consumed inside [`DescentState::begin`] (the
+/// `prepare_start` hook), so the checkpoint carries no stream position;
+/// the tape, segment plan, and scratch buffers are pure per-step caches
+/// and are recreated fresh by each segment (a fresh [`Tape`] is
+/// bit-identical to a cleared one).
+///
+/// This is what makes GD work items **resumable in bounded segments** on
+/// the service's persistent worker pool: a segment runs `k` steps,
+/// re-enqueues the checkpoint, and the slot turns over.
+pub(crate) struct DescentState {
+    relaxed: Vec<RelaxedMapping>,
+    params: Vec<f64>,
+    adam: Adam,
+    result: SearchResult,
+    /// First gradient step whose loss went NaN since the last rounding
+    /// that evaluated finite; see the guard comments in [`run_segment`].
+    suspect_since: Option<usize>,
+    /// The next 1-based gradient step to run
+    /// (`> cfg.steps_per_start` once the descent is complete).
+    next_step: usize,
+}
+
+impl DescentState {
+    /// Prepare a start point for descent: seed and consume this start's
+    /// private RNG (`cfg.seed + index`, used only by
+    /// [`DiffLoss::prepare_start`]) and materialize the initial
+    /// parameters and Adam state.
+    pub(crate) fn begin<L: DiffLoss + ?Sized>(
+        loss: &L,
+        mut relaxed: Vec<RelaxedMapping>,
+        index: usize,
+        cfg: &GdConfig,
+    ) -> DescentState {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(index as u64));
+        loss.prepare_start(&mut relaxed, &mut rng);
+        let mut params: Vec<f64> = Vec::new();
+        for r in &relaxed {
+            r.params_into(&mut params);
+        }
+        let adam = Adam::new(params.len(), cfg.learning_rate);
+        DescentState {
+            relaxed,
+            params,
+            adam,
+            result: SearchResult::empty(),
+            suspect_since: None,
+            next_step: 1,
+        }
+    }
+
+    /// The completed (or cancelled-partial) result. Call only after
+    /// [`run_segment`] reported the descent finished.
+    pub(crate) fn into_result(self) -> SearchResult {
+        self.result
+    }
+}
+
+/// Run up to `max_steps` gradient steps of one start point's descent,
+/// advancing `state` in place. Returns `Ok(true)` when the descent is
+/// finished (budget exhausted or cancelled — `state.into_result()` holds
+/// the result), `Ok(false)` when it yielded with steps remaining, and
+/// fails with [`NonFiniteLoss`] the moment a rounding checkpoint's
+/// reference EDP goes NaN, so a poisoned descent can never contribute a
 /// silently bogus best point to the merge.
-pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
+///
+/// Segmentation is bit-exact: the per-segment tape/plan/scratch buffers
+/// are pure caches (a fresh tape records exactly what a cleared one
+/// does), so any `max_steps` schedule produces the same result as one
+/// uninterrupted run — the invariant the segment-resume parity tests pin.
+pub(crate) fn run_segment<L: DiffLoss + ?Sized>(
     loss: &L,
-    mut relaxed: Vec<RelaxedMapping>,
-    index: usize,
+    state: &mut DescentState,
     cfg: &GdConfig,
     ctrl: StartControl<'_>,
-) -> Result<SearchResult, NonFiniteLoss> {
+    max_steps: usize,
+) -> Result<bool, NonFiniteLoss> {
     let layers = loss.layers();
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(index as u64));
-    loss.prepare_start(&mut relaxed, &mut rng);
-
-    let mut result = SearchResult::empty();
-    // One tape, one segment plan, and one set of scratch buffers per start
-    // point, reused (never reallocated) across all gradient steps.
+    // One tape, one segment plan, and one set of scratch buffers per
+    // segment, reused (never reallocated) across its gradient steps.
     let tape = Tape::new();
     let mut scratch = SegScratch::new();
     let mut plan = SegmentPlan::new();
     let mut leaves: Vec<Var<'_>> = Vec::new();
-    let mut params: Vec<f64> = Vec::new();
-    for r in &relaxed {
-        r.params_into(&mut params);
-    }
     let mut flat: Vec<f64> = Vec::new();
-    let mut adam = Adam::new(params.len(), cfg.learning_rate);
-    // First gradient step whose loss went NaN since the last rounding
-    // that evaluated finite; see the guard comments below.
-    let mut suspect_since: Option<usize> = None;
+    let mut ran = 0usize;
 
-    for step in 1..=cfg.steps_per_start {
+    while state.next_step <= cfg.steps_per_start {
+        if ran == max_steps {
+            // Segment budget exhausted with steps remaining: yield so the
+            // checkpoint can re-enqueue and the worker slot turns over.
+            return Ok(false);
+        }
+        let step = state.next_step;
         // Cooperative cancellation: stop issuing gradient steps at the
-        // next step boundary and return the partial (still monotone)
+        // next step boundary and finish with the partial (still monotone)
         // result.
         if ctrl.cancelled() {
-            break;
+            return Ok(true);
         }
         // One differentiable-model evaluation + gradient step.
-        for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
+        for (r, chunk) in state
+            .relaxed
+            .iter_mut()
+            .zip(state.params.chunks(PARAMS_PER_LAYER))
+        {
             r.set_params(chunk);
         }
         tape.clear();
         plan.clear();
         leaves.clear();
-        let loss_var = loss.build(&tape, &relaxed, &mut plan, &mut leaves);
+        let loss_var = loss.build(&tape, &state.relaxed, &mut plan, &mut leaves);
         // Non-finite loss guard, step half: a NaN loss marks the descent
         // suspect from this step on. It is not failed yet — extreme but
         // honest points overflow the surrogate transiently (inf, and
@@ -735,7 +729,7 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
             loss_var.value()
         };
         if loss_value.is_nan() {
-            suspect_since.get_or_insert(step);
+            state.suspect_since.get_or_insert(step);
         }
         let grads = tape.backward_segmented(loss_var, &plan, ctrl.inner_threads, &mut scratch);
         grads.wrt_into(&leaves, &mut flat);
@@ -744,21 +738,25 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
                 *g = 0.0;
             }
         }
-        adam.step(&mut params, &flat);
-        result.samples += 1;
+        state.adam.step(&mut state.params, &flat);
+        state.result.samples += 1;
         ctrl.count_samples(1);
 
         // Periodic rounding + reference evaluation (§5.3.2).
-        if step % cfg.round_every == 0 || step == cfg.steps_per_start {
-            for (r, chunk) in relaxed.iter_mut().zip(params.chunks(PARAMS_PER_LAYER)) {
+        if step.is_multiple_of(cfg.round_every) || step == cfg.steps_per_start {
+            for (r, chunk) in state
+                .relaxed
+                .iter_mut()
+                .zip(state.params.chunks(PARAMS_PER_LAYER))
+            {
                 r.set_params(chunk);
             }
             let mut mappings: Vec<Mapping> = layers
                 .iter()
-                .zip(&relaxed)
+                .zip(&state.relaxed)
                 .map(|(l, r)| r.round_with_cap(&l.problem, loss.spatial_cap()))
                 .collect();
-            let (hw, edp) = loss.finish_round(&mut relaxed, &mut mappings);
+            let (hw, edp) = loss.finish_round(&mut state.relaxed, &mut mappings);
             // Non-finite loss guard, rounding half: a NaN reference EDP
             // would never win `consider`'s comparison and so would vanish
             // silently — surface it as the typed failure, attributed to
@@ -769,33 +767,54 @@ pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
             let edp = if ctrl.force_non_finite { f64::NAN } else { edp };
             if edp.is_nan() {
                 return Err(NonFiniteLoss {
-                    step: suspect_since.unwrap_or(step),
+                    step: state.suspect_since.unwrap_or(step),
                 });
             }
-            suspect_since = None;
-            result.samples += 1;
+            state.suspect_since = None;
+            state.result.samples += 1;
             ctrl.count_samples(1);
-            result.consider(edp, &hw, &mappings);
-            result.record();
-            ctrl.observe_best(result.best_edp);
+            state.result.consider(edp, &hw, &mappings);
+            state.result.record();
+            ctrl.observe_best(state.result.best_edp);
 
             // Restart descent from the rounded point (§5.2.1), rewriting
             // the existing relaxed mappings and parameter buffer in place.
-            for (m, r) in mappings.iter().zip(relaxed.iter_mut()) {
+            for (m, r) in mappings.iter().zip(state.relaxed.iter_mut()) {
                 let orders = r.orders;
                 *r = RelaxedMapping::from_mapping(m);
                 r.orders = orders;
             }
-            params.clear();
-            for r in &relaxed {
-                r.params_into(&mut params);
+            state.params.clear();
+            for r in &state.relaxed {
+                r.params_into(&mut state.params);
             }
-            adam.reset();
-        } else if step % RECORD_EVERY == 0 {
-            result.record();
+            state.adam.reset();
+        } else if step.is_multiple_of(RECORD_EVERY) {
+            state.result.record();
         }
+        state.next_step += 1;
+        ran += 1;
     }
-    Ok(result)
+    Ok(true)
+}
+
+/// One start point's full descent: the loop previously duplicated between
+/// `dosa_search` and `dosa_search_rtl`, run as a single unbounded
+/// [`run_segment`]. Fails with [`NonFiniteLoss`] the moment a gradient
+/// step's differentiable loss (or a rounding's reference EDP) goes NaN,
+/// so a poisoned descent can never contribute a silently bogus best point
+/// to the merge.
+pub(crate) fn run_single_start<L: DiffLoss + ?Sized>(
+    loss: &L,
+    relaxed: Vec<RelaxedMapping>,
+    index: usize,
+    cfg: &GdConfig,
+    ctrl: StartControl<'_>,
+) -> Result<SearchResult, NonFiniteLoss> {
+    let mut state = DescentState::begin(loss, relaxed, index, cfg);
+    let finished = run_segment(loss, &mut state, cfg, ctrl, usize::MAX)?;
+    debug_assert!(finished, "an unbounded segment always finishes");
+    Ok(state.into_result())
 }
 
 /// Deterministic reduction of per-start results: best EDP wins (ties to

@@ -9,18 +9,21 @@
 //!
 //! One work item is one failure domain. A panic (or a non-finite loss)
 //! inside an item is caught at the item boundary, fails **only that
-//! item's job** with a typed [`JobError`], and releases the item's worker
-//! slot — sibling jobs on the same service keep their bit-identical
-//! results. Service-wide state (the scheduler queue, the slot table, the
-//! warm-start index) is never left poisoned: the handful of mutexes
-//! guarding it are locked through this module's `lock`/`wait`/
-//! `wait_timeout` helpers, which recover a poisoned guard instead of
-//! propagating the panic. That recovery is sound because every panic
-//! that could occur while those locks are held is contained *before* it
-//! reaches them: worker panics are caught inside the fan-out workers
-//! (the fleet's `try_run`), and runner panics are caught around the
-//! whole strategy execution — the critical sections themselves only
-//! move plain values and never unwind mid-update.
+//! item's job** with a typed [`JobError`], and the persistent worker
+//! that ran the item survives to pull the next one — sibling jobs on
+//! the same service keep their bit-identical results. Should a defect
+//! ever escape an item's unwind boundary and kill a worker thread, the
+//! dying worker respawns a replacement on its way down, so the pool
+//! never silently loses capacity. Service-wide state (the ready queue,
+//! the per-job execution ledgers, the warm-start index) is never left
+//! poisoned: the handful of mutexes guarding it are locked through this
+//! module's `lock`/`wait`/`wait_timeout` helpers, which recover a
+//! poisoned guard instead of propagating the panic. That recovery is
+//! sound because every panic that could occur while those locks are
+//! held is contained *before* it reaches them: work items (including
+//! job planning and the final merge) run inside per-dispatch
+//! `catch_unwind` boundaries on the workers — the critical sections
+//! themselves only move plain values and never unwind mid-update.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -49,6 +49,15 @@ pub struct GdConfig {
     pub rejection_factor: f64,
     /// RNG seed; runs are deterministic given the seed.
     pub seed: u64,
+    /// Run each start point in bounded segments of this many gradient
+    /// steps: after a segment the descent checkpoints its full state
+    /// (parameters, Adam moments, partial history) and re-enqueues, so
+    /// long descents cannot monopolize the service's worker pool.
+    /// `None` (the default) runs each start to completion in one item.
+    /// Segmentation is bit-exact: any `k` produces the same result as
+    /// the unsegmented run, so it is deliberately **excluded** from the
+    /// result-cache fingerprint.
+    pub segment_steps: Option<usize>,
 }
 
 impl Default for GdConfig {
@@ -62,6 +71,7 @@ impl Default for GdConfig {
             fixed_pe_side: None,
             rejection_factor: 10.0,
             seed: 0,
+            segment_steps: None,
         }
     }
 }

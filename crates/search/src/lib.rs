@@ -41,13 +41,17 @@
 //! differently-sized services coexist in one process.
 //!
 //! Jobs on one service run **concurrently**: every job's work items
-//! share the service's capacity-bounded worker slots, and each request's
-//! [`SchedPolicy`] (`Fifo` by default, `ShortestFirst`, or
-//! `Priority(u8)`) decides which queued work grabs freed slots — so a
-//! short gradient-descent job completes while a long BB-BO job is still
-//! mid-flight instead of queueing behind it. A job can also cap its own
-//! slot usage with
-//! [`SearchRequestBuilder::max_parallelism`]; a single-slot service
+//! interleave on the service's persistent worker pool (spawned once at
+//! construction, never per job), and each request's [`SchedPolicy`]
+//! (`Fifo` by default, `ShortestFirst`, or `Priority(u8)`) decides which
+//! queued work item a free worker runs next — so a short gradient-descent
+//! job completes while a long BB-BO job is still mid-flight instead of
+//! queueing behind it. Ranks **age**: a waiting entry's effective
+//! priority improves by one class per [`AGE_DISPATCH_PERIOD`] dispatches,
+//! so `Priority` streams can delay `Fifo` traffic only for a bounded
+//! number of dispatches, never starve it. A job can also cap its own
+//! share of the pool with
+//! [`SearchRequestBuilder::max_parallelism`]; a single-worker service
 //! degenerates to strictly FIFO one-job-at-a-time execution.
 //!
 //! A batched request fans all networks' work items into one worker fleet
@@ -225,7 +229,7 @@ pub use request::{
     ConfigError, CustomSurrogate, NetworkSpec, SearchRequest, SearchRequestBuilder, Surrogate,
     WarmStart,
 };
-pub use sched::SchedPolicy;
+pub use sched::{SchedPolicy, AGE_DISPATCH_PERIOD};
 pub use service::{
     BatchResult, JobHandle, JobProgress, JobStats, JobStatus, NetworkProgress, NetworkResult,
     SearchService, SearchServiceBuilder,

@@ -83,6 +83,9 @@ pub enum ConfigError {
     /// A deadline of zero duration was set: the job would expire before
     /// its first work item could start.
     ZeroDeadline,
+    /// `segment_steps` was `Some(0)`: a zero-step segment would re-enqueue
+    /// forever without ever advancing the descent.
+    ZeroSegmentSteps,
 }
 
 impl fmt::Display for ConfigError {
@@ -148,6 +151,13 @@ impl fmt::Display for ConfigError {
                      first work item can start)"
                 )
             }
+            ConfigError::ZeroSegmentSteps => {
+                write!(
+                    f,
+                    "segment_steps must be at least 1 when set (a zero-step segment \
+                     would re-enqueue forever without advancing)"
+                )
+            }
         }
     }
 }
@@ -175,6 +185,9 @@ impl GdConfig {
         }
         if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
             return Err(ConfigError::BadLearningRate(self.learning_rate));
+        }
+        if self.segment_steps == Some(0) {
+            return Err(ConfigError::ZeroSegmentSteps);
         }
         Ok(())
     }
@@ -615,6 +628,13 @@ mod tests {
                     ..GdConfig::default()
                 },
                 ConfigError::BadLearningRate(-0.5),
+            ),
+            (
+                GdConfig {
+                    segment_steps: Some(0),
+                    ..GdConfig::default()
+                },
+                ConfigError::ZeroSegmentSteps,
             ),
         ];
         for (cfg, expected) in cases {

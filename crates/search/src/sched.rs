@@ -1,77 +1,95 @@
-//! The capacity-aware concurrent scheduler core of the
-//! [`SearchService`](crate::SearchService): a service-wide [`SlotTable`]
-//! of worker slots shared by every admitted job, the per-request
-//! [`SchedPolicy`] deciding which job's queued work items grab freed
-//! slots, and the per-job [`JobGate`] through which a job's fan-out
-//! acquires and releases slots.
+//! The scheduler core of the [`SearchService`](crate::SearchService): the
+//! per-request [`SchedPolicy`], the total-order [`JobRank`] it compiles
+//! to, the **aging** rule that bounds every job's queue wait, and the
+//! [`ReadyQueue`] the service's persistent worker pool pulls work items
+//! from.
 //!
-//! ## Slot accounting
+//! ## Execution model
 //!
-//! A service with a thread budget of `N` owns exactly `N` worker slots.
-//! Every *work item* a job fans out — a GD start-point descent, a
-//! random-search hardware design, one of BB-BO's inner mapping samples or
-//! EI candidate scores — must hold one slot while it executes and gives
-//! it back at the next item boundary, so at most `N` items run at any
-//! instant **across all jobs**. Sequential job phases (start-point
-//! planning, the outer GP fit, result merging) run on the job's own
-//! runner thread outside slot accounting; the budget governs the
-//! fan-out work, which is where virtually all of the CPU time goes.
+//! A service with a thread budget of `N` spawns exactly `N` long-lived
+//! worker threads at construction and never again (a worker is respawned
+//! only if a panic escapes a work item's unwind boundary — see
+//! `service.rs`). Submitting a job enqueues one *planning* item; planning
+//! enqueues the job's executable items — GD start-point descents (whole,
+//! or as bounded resumable segments), random-search hardware designs,
+//! BB-BO networks. Workers loop: pop the best-ranked eligible entry, run
+//! it, repeat. Nothing ever parks a thread waiting for capacity —
+//! capacity *is* the worker set, so at most `N` items execute at any
+//! instant across all jobs and the live-thread count is flat in the
+//! number of jobs and work items.
 //!
-//! A job may additionally cap itself below the service budget with
-//! [`SearchRequestBuilder::max_parallelism`](crate::SearchRequestBuilder::max_parallelism)
-//! — a long job capped at `k` slots provably leaves `N - k` slots for
-//! everyone else.
+//! A job may cap its share of the pool below the service budget with
+//! [`SearchRequestBuilder::max_parallelism`](crate::SearchRequestBuilder::max_parallelism):
+//! entries of a job that already has `max_parallelism` items in flight
+//! are simply ineligible until one finishes, so a long job capped at `k`
+//! provably leaves `N - k` workers for everyone else.
 //!
 //! Work items replayed from the service's result cache
 //! ([`SearchServiceBuilder::cache`](crate::SearchServiceBuilder::cache))
-//! never enter slot accounting at all: the runner resolves them during
-//! planning, before the fan-out, so a fully-cached job consumes zero
-//! worker slots and leaves the whole budget to jobs doing real work.
+//! are resolved during planning and never enter the queue at all: a
+//! fully-cached job consumes one planning dispatch and leaves the whole
+//! pool to jobs doing real work.
 //!
-//! ## Arbitration
+//! ## Arbitration and aging
 //!
-//! When a slot frees (or a new job arrives), every job with waiting work
-//! items and spare per-job capacity is a candidate, and the best-ranked
-//! candidate wins the slot (see [`JobRank`]). Slots are never preempted:
-//! a running work item always finishes before its slot moves, so ranking
-//! only decides who goes next, never who gets interrupted. The same rank
-//! also orders *job admission* (which queued job's runner starts when one
-//! finishes), which is what makes a single-slot service degenerate to
-//! strict FIFO under the default policy.
+//! Each pop scans the queue for eligible entries and dispatches the
+//! minimum by **aged rank** ([`JobRank::aged`]): the submission-time rank
+//! improves stepwise with time spent queued. Waiting time is measured on
+//! the queue's *dispatch counter* — a logical clock that advances exactly
+//! once per dispatched item — so aging is deterministic under any thread
+//! budget and immune to wall-clock jitter. Running items are never
+//! preempted: ranking only decides who goes next, never who gets
+//! interrupted.
+//!
+//! Without aging a continuous stream of `Priority(0)` submissions
+//! outranks a queued `Fifo` job forever — every fresh `Priority` rank is
+//! strictly smaller — and the `Fifo` job starves. With aging, a waiting
+//! entry's effective priority class improves by one per
+//! [`AGE_DISPATCH_PERIOD`] dispatches, so after at most
+//! `255 × AGE_DISPATCH_PERIOD` dispatches it reaches class 0, where only
+//! entries of *earlier-submitted* jobs can still be chosen ahead of it.
+//! Combined with bounded GD segments (slots turn over at a bounded
+//! cadence even under arbitrarily long descents), every queued entry
+//! dispatches within an item budget computable from the backlog at its
+//! enqueue time — bounded wait is a tested invariant
+//! (`tests/runtime.rs`), not an expectation.
 //!
 //! Scheduling never changes results: each work item is a pure function of
 //! its inputs and its own RNG stream, and per-job results land at fixed
-//! item slots, so a job's output is bit-identical under any interleaving
-//! (see `ARCHITECTURE.md` at the repository root for the full invariant).
+//! item positions, so a job's output is bit-identical under any
+//! interleaving (see `ARCHITECTURE.md` at the repository root for the
+//! full invariant).
 
 use crate::fault;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
-/// How a job competes for worker slots against the other jobs on its
-/// [`SearchService`](crate::SearchService), set per request via
+/// How a job competes for the pool's workers against the other jobs on
+/// its [`SearchService`](crate::SearchService), set per request via
 /// [`SearchRequestBuilder::policy`](crate::SearchRequestBuilder::policy).
 ///
 /// Jobs are ranked by `(priority class, policy key, submission id)` and
-/// the best-ranked job with waiting work items wins each freed slot:
+/// the best-ranked eligible work item wins each free worker:
 ///
 /// 1. **Priority class** — [`SchedPolicy::Priority`]`(p)` jobs form class
 ///    `p`; `Fifo` and `ShortestFirst` jobs sit in class 0. A higher class
-///    is offered slots (and admission) strictly before a lower one.
+///    is offered workers strictly before a lower one.
 /// 2. **Within a class** — any `Priority` job goes first (by submission
 ///    order), then `ShortestFirst` jobs ordered by their estimated total
 ///    work ([`SearchRequest::estimated_samples`](crate::SearchRequest::estimated_samples),
 ///    smallest first), then `Fifo` jobs in submission order.
 ///
-/// Running work items are never preempted — ranking decides who gets the
-/// *next* slot, so a stream of high-rank jobs can starve a low-rank one
-/// until the stream drains. Results never depend on the policy: every
-/// job's output is bit-identical to its standalone run under any
-/// interleaving.
+/// Ranks **age**: an entry's effective priority class improves by one for
+/// every [`AGE_DISPATCH_PERIOD`] items the service dispatches while it
+/// waits, so a stream of high-rank jobs can delay a low-rank one only for
+/// a bounded number of dispatches, never starve it (see the private
+/// `JobRank::aged`). Running work items are never preempted — ranking
+/// decides who gets the *next* worker. Results never depend on the
+/// policy: every job's output is bit-identical to its standalone run
+/// under any interleaving.
 ///
-/// The example below submits a long job capped at one slot, then a short
-/// `ShortestFirst` job that overtakes it on the remaining slot and
-/// finishes first — out of submission order:
+/// The example below submits a long job capped at one worker, then a
+/// short `ShortestFirst` job that overtakes it on the remaining worker
+/// and finishes first — out of submission order:
 ///
 /// ```
 /// use dosa_search::{GdConfig, SchedPolicy, SearchRequest, SearchService};
@@ -81,7 +99,7 @@ use std::sync::{Arc, Condvar, Mutex};
 /// let layers = || vec![Layer::once(Problem::matmul("m", 8, 32, 32).unwrap())];
 /// let service = SearchService::builder().threads(2).build();
 ///
-/// // A long-budget job, capped to one of the two worker slots.
+/// // A long-budget job, capped to one of the two workers.
 /// let long = service.submit(
 ///     SearchRequest::builder(Hierarchy::gemmini())
 ///         .network("long", layers())
@@ -93,7 +111,7 @@ use std::sync::{Arc, Condvar, Mutex};
 ///         .build(),
 /// )?;
 ///
-/// // A short job submitted later; the free slot lets it run concurrently.
+/// // A short job submitted later; the free worker lets it run concurrently.
 /// let short = service.submit(
 ///     SearchRequest::builder(Hierarchy::gemmini())
 ///         .network("short", layers())
@@ -118,27 +136,40 @@ use std::sync::{Arc, Condvar, Mutex};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum SchedPolicy {
-    /// Submission order (the default): freed slots go to the earliest
+    /// Submission order (the default): free workers go to the earliest
     /// submitted job in the best priority class with waiting work.
     #[default]
     Fifo,
     /// Rank this job by its estimated total work
     /// ([`SearchRequest::estimated_samples`](crate::SearchRequest::estimated_samples))
     /// instead of its submission time: among `ShortestFirst` jobs the
-    /// smallest runs first, and all of them are offered slots before
+    /// smallest runs first, and all of them are offered workers before
     /// `Fifo` jobs of the same priority class — short jobs jump the line.
     ShortestFirst,
-    /// Explicit priority class; higher values are offered slots (and
-    /// admission) strictly before lower classes. `Fifo` and
-    /// `ShortestFirst` jobs sit in class 0, ranked *behind* a
-    /// `Priority(0)` job of the same class.
+    /// Explicit priority class; higher values are offered workers
+    /// strictly before lower classes. `Fifo` and `ShortestFirst` jobs sit
+    /// in class 0, ranked *behind* a `Priority(0)` job of the same class.
     Priority(u8),
 }
 
+/// How many queue dispatches a waiting entry must observe for its
+/// effective priority class to improve by one (the private
+/// `JobRank::aged` implements the boost).
+///
+/// The unit is the ready queue's logical dispatch counter, not wall-clock
+/// time: aging is therefore deterministic for a given submission
+/// interleaving, independent of the service's thread budget and of how
+/// long individual items run. A waiting entry reaches the best class
+/// (`Priority(255)`-equivalent) after at most `255 ×
+/// AGE_DISPATCH_PERIOD` dispatches, from which point only entries of
+/// earlier-submitted jobs are ever chosen ahead of it — the
+/// starvation-freedom bound asserted by `tests/runtime.rs`.
+pub const AGE_DISPATCH_PERIOD: u64 = 64;
+
 /// A job's total scheduling rank — **lower runs first**. Derived once at
 /// submission from the request's [`SchedPolicy`], its estimated work and
-/// its service-unique id, and used for both job admission and slot
-/// arbitration:
+/// its service-unique id, and aged per queue scan (see
+/// [`JobRank::aged`]):
 ///
 /// * `class` — inverted priority (`255 - p` for `Priority(p)`, `255` for
 ///   the default policies), so higher-priority classes order first;
@@ -178,241 +209,179 @@ impl JobRank {
             },
         }
     }
-}
 
-/// One admitted job's slot ledger inside the [`SlotTable`]: how many
-/// slots it holds, how many of its work items are waiting for one, and
-/// the per-job cap neither may push `held` beyond.
-struct SlotEntry {
-    id: u64,
-    rank: JobRank,
-    max_par: usize,
-    waiting: usize,
-    held: usize,
-}
-
-impl SlotEntry {
-    /// Whether this job is a candidate for the next free slot.
-    fn wants_slot(&self) -> bool {
-        self.waiting > 0 && self.held < self.max_par
+    /// This rank after waiting `wait` queue dispatches — the aging rule:
+    ///
+    /// ```text
+    /// boost           = wait / AGE_DISPATCH_PERIOD          (integer division)
+    /// effective class = class - min(boost, 255)             (saturating)
+    /// ```
+    ///
+    /// A boosted rank (`boost > 0`) drops the policy refinements (`group`
+    /// and `key` collapse to 0): once an entry has waited a full period
+    /// it competes purely on class and submission order, so a boosted
+    /// `Fifo` entry outranks the *un*-boosted `Priority(0)` traffic that
+    /// was previously starving it (class 254 vs. 255). Unboosted ranks
+    /// are returned unchanged, which keeps FIFO/shortest-first semantics
+    /// exact for any workload that drains within one period.
+    pub(crate) fn aged(&self, wait: u64) -> JobRank {
+        let boost = wait / AGE_DISPATCH_PERIOD;
+        if boost == 0 {
+            *self
+        } else {
+            JobRank {
+                class: self
+                    .class
+                    .saturating_sub(boost.min(u64::from(u8::MAX)) as u8),
+                group: 0,
+                key: 0,
+                id: self.id,
+            }
+        }
     }
 }
 
-/// The service-wide slot ledger: `free` slots out of the service's thread
-/// budget plus one [`SlotEntry`] per admitted job. All transitions happen
-/// under one mutex; every transition that could make another waiter
-/// eligible broadcasts on the condvar, and waiters re-check eligibility
-/// (their job being the best-ranked candidate) before taking a slot.
-pub(crate) struct SlotTable {
-    state: Mutex<SlotState>,
+/// What the [`ReadyQueue`] needs to know about an entry: its job's base
+/// rank, whether the job may dispatch another item right now, and a hook
+/// invoked (under the queue lock) when the entry is dispatched.
+///
+/// Implemented by the service's queue entries; keeping it a trait keeps
+/// the queue free of job-lifecycle types and unit-testable in isolation.
+pub(crate) trait Schedulable {
+    /// The owning job's submission-time rank (aged by the queue).
+    fn rank(&self) -> JobRank;
+
+    /// Whether the entry may dispatch now — `false` while its job already
+    /// has `max_parallelism` items in flight. Ineligible entries are
+    /// passed over, not reordered; they keep their enqueue time (and thus
+    /// their accrued aging boost).
+    fn eligible(&self) -> bool;
+
+    /// Called exactly once, under the queue lock, when the entry is
+    /// dispatched; `wait` is the number of dispatches that occurred while
+    /// it sat in the queue. Implementations account the job's in-flight
+    /// item and record the wait for observability (`JobStats::max_queue_wait`).
+    fn on_dispatch(&self, wait: u64);
+}
+
+/// One queued entry plus the dispatch-clock reading at its enqueue.
+struct Entry<T> {
+    enqueued_at: u64,
+    item: T,
+}
+
+/// The shared ready queue the persistent workers pull from: a priority
+/// queue over [`Schedulable`] entries ordered by *aged* rank, with a
+/// logical dispatch counter as the aging clock.
+///
+/// Entries of one job share a rank, so among themselves they dispatch in
+/// enqueue order (the scan takes the first minimum); across jobs the
+/// aged rank decides. [`pop`](ReadyQueue::pop) blocks while nothing is
+/// eligible and drains every remaining entry after
+/// [`shutdown`](ReadyQueue::shutdown) before returning `None`, so
+/// cancelled jobs' items (cheap no-ops) still flow through their normal
+/// resolution path.
+pub(crate) struct ReadyQueue<T> {
+    state: Mutex<QueueState<T>>,
     changed: Condvar,
 }
 
-struct SlotState {
-    free: usize,
-    jobs: Vec<SlotEntry>,
+struct QueueState<T> {
+    entries: Vec<Entry<T>>,
+    /// Total items dispatched — the aging clock.
+    dispatches: u64,
+    shutdown: bool,
 }
 
-impl SlotState {
-    fn entry_mut(&mut self, id: u64) -> &mut SlotEntry {
-        self.jobs
-            .iter_mut()
-            .find(|e| e.id == id)
-            // dosa-lint: allow(panic-perimeter) — the slot table registers a
-            // job before handing out its id and unregisters it only after the
-            // last release, so a missing entry is a scheduler bug.
-            .expect("job acquires slots only while registered")
-    }
-
-    /// The best-ranked job that wants a slot right now, if any.
-    fn best_candidate(&self) -> Option<u64> {
-        self.jobs
-            .iter()
-            .filter(|e| e.wants_slot())
-            .min_by_key(|e| e.rank)
-            .map(|e| e.id)
-    }
-}
-
-impl SlotTable {
-    pub(crate) fn new(slots: usize) -> SlotTable {
-        SlotTable {
-            state: Mutex::new(SlotState {
-                free: slots.max(1),
-                jobs: Vec::new(),
+impl<T: Schedulable> ReadyQueue<T> {
+    pub(crate) fn new() -> ReadyQueue<T> {
+        ReadyQueue {
+            state: Mutex::new(QueueState {
+                entries: Vec::new(),
+                dispatches: 0,
+                shutdown: false,
             }),
             changed: Condvar::new(),
         }
     }
 
-    /// Wake every waiter to re-check its eligibility (used by job
-    /// cancellation, which flips a flag the waiters poll under the lock).
-    pub(crate) fn wake(&self) {
-        // Take (and immediately drop) the state lock before notifying:
-        // a waiter between its cancel-flag check and `changed.wait()`
-        // still holds the lock, so notifying without it could fire while
-        // no one is parked and the wakeup would be lost — stalling
-        // cancellation until an unrelated slot transition.
-        drop(fault::lock(&self.state));
+    /// Enqueue one entry, stamped with the current dispatch clock.
+    pub(crate) fn push(&self, item: T) {
+        let mut state = fault::lock(&self.state);
+        let enqueued_at = state.dispatches;
+        state.entries.push(Entry { enqueued_at, item });
+        drop(state);
         self.changed.notify_all();
     }
 
-    fn register(&self, id: u64, rank: JobRank, max_par: usize) {
+    /// Enqueue several entries under one lock acquisition, preserving
+    /// their order (a job's items dispatch in plan order among
+    /// themselves).
+    pub(crate) fn push_all(&self, items: impl IntoIterator<Item = T>) {
         let mut state = fault::lock(&self.state);
-        debug_assert!(
-            state.jobs.iter().all(|e| e.id != id),
-            "job registered twice"
-        );
-        state.jobs.push(SlotEntry {
-            id,
-            rank,
-            max_par: max_par.max(1),
-            waiting: 0,
-            held: 0,
-        });
+        let enqueued_at = state.dispatches;
+        state
+            .entries
+            .extend(items.into_iter().map(|item| Entry { enqueued_at, item }));
+        drop(state);
         self.changed.notify_all();
     }
 
-    fn deregister(&self, id: u64) {
+    /// Dispatch the best entry: the minimum by [`JobRank::aged`] among
+    /// eligible entries (first such entry on a tie, i.e. enqueue order).
+    /// Blocks while no entry is eligible; returns `None` only once the
+    /// queue is shut down **and** fully drained.
+    pub(crate) fn pop(&self) -> Option<T> {
         let mut state = fault::lock(&self.state);
-        if let Some(ix) = state.jobs.iter().position(|e| e.id == id) {
-            let entry = state.jobs.swap_remove(ix);
-            debug_assert_eq!(entry.held, 0, "job deregistered while holding slots");
-        }
-        self.changed.notify_all();
-    }
-
-    /// Block until job `id` is granted a slot, or until `cancel` or
-    /// `halt` flips — cancellation (and deadline degradation, which sets
-    /// the job's halt flag) frees the scheduler promptly: the job's
-    /// waiting items stop competing immediately instead of draining the
-    /// queue. Returns whether a slot was actually granted (and must be
-    /// released).
-    fn acquire(&self, id: u64, cancel: &AtomicBool, halt: &AtomicBool) -> bool {
-        let mut state = fault::lock(&self.state);
-        state.entry_mut(id).waiting += 1;
         loop {
-            if cancel.load(Ordering::Relaxed) || halt.load(Ordering::Relaxed) {
-                state.entry_mut(id).waiting -= 1;
-                self.changed.notify_all();
-                return false;
+            let now = state.dispatches;
+            let best = state
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.item.eligible())
+                .min_by_key(|(_, e)| e.item.rank().aged(now.saturating_sub(e.enqueued_at)))
+                .map(|(ix, _)| ix);
+            if let Some(ix) = best {
+                let entry = state.entries.remove(ix);
+                state.dispatches += 1;
+                entry
+                    .item
+                    .on_dispatch(now.saturating_sub(entry.enqueued_at));
+                return Some(entry.item);
             }
-            if state.free > 0 && state.best_candidate() == Some(id) {
-                let entry = state.entry_mut(id);
-                entry.waiting -= 1;
-                entry.held += 1;
-                state.free -= 1;
-                // Another job may be eligible for a remaining free slot.
-                self.changed.notify_all();
-                return true;
+            if state.shutdown && state.entries.is_empty() {
+                return None;
             }
             state = fault::wait(&self.changed, state);
         }
     }
 
-    fn release(&self, id: u64) {
-        let mut state = fault::lock(&self.state);
-        let entry = state.entry_mut(id);
-        debug_assert!(entry.held > 0, "release without a held slot");
-        entry.held -= 1;
-        state.free += 1;
+    /// Wake every popper to re-check eligibility — called whenever an
+    /// in-flight item finishes (its job may be below its cap again) and
+    /// on job cancellation.
+    pub(crate) fn wake(&self) {
+        // Take (and immediately drop) the state lock before notifying: a
+        // popper between its scan and `changed.wait()` still holds the
+        // lock, so notifying without it could fire while no one is parked
+        // and the wakeup would be lost.
+        drop(fault::lock(&self.state));
         self.changed.notify_all();
     }
 
-    #[cfg(test)]
-    fn waiting(&self, id: u64) -> usize {
-        fault::lock(&self.state)
-            .jobs
-            .iter()
-            .find(|e| e.id == id)
-            .map_or(0, |e| e.waiting)
-    }
-}
-
-/// A running job's handle onto the service's [`SlotTable`]: registered
-/// when the job's runner starts, deregistered on drop. The gated worker
-/// fleet ([`Fleet`](crate::engine::Fleet)) calls [`JobGate::acquire`]
-/// around every work item, which is what interleaves work items from
-/// different jobs on one slot budget.
-pub(crate) struct JobGate {
-    table: Arc<SlotTable>,
-    id: u64,
-    max_par: usize,
-    cancel: Arc<AtomicBool>,
-    /// The job's degrade flag: set when a [`DeadlinePolicy::Degrade`]
-    /// deadline expires, at which point waiting work items stop competing
-    /// for slots (in-flight items keep theirs and finish normally).
-    ///
-    /// [`DeadlinePolicy::Degrade`]: crate::DeadlinePolicy::Degrade
-    halt: Arc<AtomicBool>,
-}
-
-impl JobGate {
-    /// Register job `id` with the table and return its gate.
-    pub(crate) fn register(
-        table: Arc<SlotTable>,
-        id: u64,
-        rank: JobRank,
-        max_par: usize,
-        cancel: Arc<AtomicBool>,
-        halt: Arc<AtomicBool>,
-    ) -> JobGate {
-        table.register(id, rank, max_par);
-        JobGate {
-            table,
-            id,
-            max_par: max_par.max(1),
-            cancel,
-            halt,
-        }
-    }
-
-    /// The job's slot cap — also the most workers its fan-outs spawn.
-    pub(crate) fn max_par(&self) -> usize {
-        self.max_par
-    }
-
-    /// Block until this job wins a slot (or is cancelled / degraded, in
-    /// which case the permit is empty and the caller proceeds to its fast
-    /// wind-down path). The slot is held until the permit drops.
-    pub(crate) fn acquire(&self) -> SlotPermit<'_> {
-        let granted = self.table.acquire(self.id, &self.cancel, &self.halt);
-        SlotPermit {
-            table: &self.table,
-            id: self.id,
-            granted,
-        }
-    }
-}
-
-impl Drop for JobGate {
-    fn drop(&mut self) {
-        self.table.deregister(self.id);
-    }
-}
-
-/// RAII slot permit: holds one of the service's worker slots (unless the
-/// acquire bailed on cancellation) and releases it on drop, at which
-/// point the best-ranked waiting job is woken to take it.
-pub(crate) struct SlotPermit<'a> {
-    table: &'a SlotTable,
-    id: u64,
-    granted: bool,
-}
-
-impl Drop for SlotPermit<'_> {
-    fn drop(&mut self) {
-        if self.granted {
-            self.table.release(self.id);
-        }
+    /// Stop accepting blocking waits: poppers drain the remaining entries
+    /// and then observe `None`.
+    pub(crate) fn shutdown(&self) {
+        fault::lock(&self.state).shutdown = true;
+        self.changed.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn rank_orders_priority_then_shortest_then_fifo() {
@@ -438,94 +407,149 @@ mod tests {
     }
 
     #[test]
-    fn slots_are_granted_and_released_in_bookkeeping_order() {
-        let table = SlotTable::new(2);
-        let cancel = AtomicBool::new(false);
-        let halt = AtomicBool::new(false);
-        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 2);
-        assert!(table.acquire(0, &cancel, &halt));
-        assert!(table.acquire(0, &cancel, &halt));
-        {
-            let state = crate::fault::lock(&table.state);
-            assert_eq!(state.free, 0);
-            assert_eq!(state.jobs[0].held, 2);
-        }
-        table.release(0);
-        table.release(0);
-        assert_eq!(crate::fault::lock(&table.state).free, 2);
-        table.deregister(0);
+    fn aging_boosts_class_once_per_full_period() {
+        let fifo = JobRank::new(SchedPolicy::Fifo, 0, 3);
+        // Below one full period the rank is exactly the submission rank.
+        assert_eq!(fifo.aged(0), fifo);
+        assert_eq!(fifo.aged(AGE_DISPATCH_PERIOD - 1), fifo);
+        // One period in, the class improves and the refinements collapse.
+        let boosted = fifo.aged(AGE_DISPATCH_PERIOD);
+        assert!(boosted < fifo);
+        assert!(boosted < JobRank::new(SchedPolicy::Priority(0), 0, 99));
+        // The boost saturates at class 0 instead of wrapping.
+        let floor = fifo.aged(u64::from(u8::MAX) * AGE_DISPATCH_PERIOD);
+        assert_eq!(floor, fifo.aged(u64::MAX));
+        assert!(floor <= JobRank::new(SchedPolicy::Priority(255), 0, 3).aged(0));
     }
 
     #[test]
-    fn max_parallelism_caps_a_jobs_held_slots() {
-        let table = SlotTable::new(2);
-        let cancel = AtomicBool::new(false);
-        let halt = AtomicBool::new(false);
-        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
-        assert!(table.acquire(0, &cancel, &halt));
-        // The job holds its cap; its next acquire must wait even though a
-        // slot is free — until cancellation releases the waiter.
-        cancel.store(true, Ordering::Relaxed);
-        assert!(!table.acquire(0, &cancel, &halt));
-        table.release(0);
-        table.deregister(0);
+    fn an_aged_fifo_rank_overtakes_fresh_priority_zero_traffic() {
+        let fifo = JobRank::new(SchedPolicy::Fifo, 0, 0);
+        let prio_zero = JobRank::new(SchedPolicy::Priority(0), 0, 1);
+        // Fresh-vs-fresh, Priority(0) wins — the starvation hazard.
+        assert!(prio_zero.aged(0) < fifo.aged(0));
+        // After one aging period the waiting Fifo rank wins.
+        assert!(fifo.aged(AGE_DISPATCH_PERIOD) < prio_zero.aged(0));
     }
 
-    /// The degrade flag releases waiters exactly like cancellation does —
-    /// without touching the cancel flag running items observe.
-    #[test]
-    fn halt_flag_releases_waiters_without_cancelling() {
-        let table = SlotTable::new(1);
-        let cancel = AtomicBool::new(false);
-        let halt = AtomicBool::new(false);
-        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
-        assert!(table.acquire(0, &cancel, &halt));
-        halt.store(true, Ordering::Relaxed);
-        assert!(!table.acquire(0, &cancel, &halt));
-        assert!(!cancel.load(Ordering::Relaxed));
-        table.release(0);
-        table.deregister(0);
+    /// A minimal [`Schedulable`] for queue tests: a named entry whose job
+    /// is modeled by a shared in-flight counter and cap.
+    struct TestItem {
+        name: &'static str,
+        rank: JobRank,
+        inflight: Arc<AtomicUsize>,
+        max_par: usize,
+        last_wait: Arc<AtomicU64>,
     }
 
-    /// With one slot contested by a FIFO and a Priority job, the freed
-    /// slot must go to the Priority job first.
-    #[test]
-    fn freed_slot_goes_to_the_best_ranked_waiter() {
-        let table = Arc::new(SlotTable::new(1));
-        let holder_cancel = AtomicBool::new(false);
-        let holder_halt = AtomicBool::new(false);
-        table.register(0, JobRank::new(SchedPolicy::Fifo, 0, 0), 1);
-        table.register(1, JobRank::new(SchedPolicy::Fifo, 0, 1), 1);
-        table.register(2, JobRank::new(SchedPolicy::Priority(5), 0, 2), 1);
-        assert!(table.acquire(0, &holder_cancel, &holder_halt));
+    impl TestItem {
+        fn solo(name: &'static str, rank: JobRank) -> TestItem {
+            TestItem {
+                name,
+                rank,
+                inflight: Arc::new(AtomicUsize::new(0)),
+                max_par: usize::MAX,
+                last_wait: Arc::new(AtomicU64::new(0)),
+            }
+        }
+    }
 
-        let (tx, rx) = mpsc::channel::<u64>();
-        let mut waiters = Vec::new();
-        for id in [1u64, 2u64] {
-            let table = Arc::clone(&table);
-            let tx = tx.clone();
-            waiters.push(std::thread::spawn(move || {
-                let cancel = AtomicBool::new(false);
-                let halt = AtomicBool::new(false);
-                assert!(table.acquire(id, &cancel, &halt));
-                tx.send(id).expect("receiver alive");
-                table.release(id);
-            }));
+    impl Schedulable for TestItem {
+        fn rank(&self) -> JobRank {
+            self.rank
         }
-        // Let both waiters register demand before freeing the slot.
-        while table.waiting(1) == 0 || table.waiting(2) == 0 {
-            std::thread::sleep(Duration::from_millis(1));
+        fn eligible(&self) -> bool {
+            self.inflight.load(Ordering::Relaxed) < self.max_par
         }
-        table.release(0);
-        let first = rx.recv_timeout(Duration::from_secs(10)).unwrap();
-        let second = rx.recv_timeout(Duration::from_secs(10)).unwrap();
-        assert_eq!(
-            (first, second),
-            (2, 1),
-            "the Priority(5) job must win the freed slot over FIFO traffic"
-        );
-        for w in waiters {
-            w.join().unwrap();
+        fn on_dispatch(&self, wait: u64) {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+            self.last_wait.store(wait, Ordering::Relaxed);
         }
+    }
+
+    #[test]
+    fn pop_dispatches_the_best_ranked_eligible_entry() {
+        let queue = ReadyQueue::new();
+        queue.push(TestItem::solo(
+            "fifo",
+            JobRank::new(SchedPolicy::Fifo, 0, 0),
+        ));
+        queue.push(TestItem::solo(
+            "prio",
+            JobRank::new(SchedPolicy::Priority(5), 0, 1),
+        ));
+        queue.push(TestItem::solo(
+            "short",
+            JobRank::new(SchedPolicy::ShortestFirst, 10, 2),
+        ));
+        queue.shutdown();
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop()).map(|i| i.name).collect();
+        assert_eq!(order, ["prio", "short", "fifo"]);
+    }
+
+    #[test]
+    fn a_job_at_its_parallelism_cap_is_passed_over() {
+        let queue = ReadyQueue::new();
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let capped = |name| TestItem {
+            name,
+            rank: JobRank::new(SchedPolicy::Priority(9), 0, 0),
+            inflight: Arc::clone(&inflight),
+            max_par: 1,
+            last_wait: Arc::new(AtomicU64::new(0)),
+        };
+        queue.push(capped("a1"));
+        queue.push(capped("a2"));
+        queue.push(TestItem::solo("b", JobRank::new(SchedPolicy::Fifo, 0, 1)));
+        queue.shutdown();
+        // The capped job wins the first dispatch but is then at its cap,
+        // so the worse-ranked job goes next.
+        assert_eq!(queue.pop().unwrap().name, "a1");
+        assert_eq!(queue.pop().unwrap().name, "b");
+        // An item completing re-opens the cap.
+        inflight.fetch_sub(1, Ordering::Relaxed);
+        queue.wake();
+        assert_eq!(queue.pop().unwrap().name, "a2");
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue_before_returning_none() {
+        let queue = ReadyQueue::new();
+        queue.push(TestItem::solo("x", JobRank::new(SchedPolicy::Fifo, 0, 0)));
+        queue.push(TestItem::solo("y", JobRank::new(SchedPolicy::Fifo, 0, 1)));
+        queue.shutdown();
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_none());
+    }
+
+    /// The end-to-end starvation-freedom mechanism at queue granularity:
+    /// a `Fifo` entry behind a continuously refilled `Priority(0)` stream
+    /// is passed over for exactly `AGE_DISPATCH_PERIOD` dispatches and
+    /// then wins (its boosted class 254 beats the stream's 255).
+    #[test]
+    fn a_waiting_fifo_entry_ages_past_a_fresh_priority_stream() {
+        let queue = ReadyQueue::new();
+        let fifo = TestItem::solo("fifo", JobRank::new(SchedPolicy::Fifo, 0, 0));
+        let fifo_wait = Arc::clone(&fifo.last_wait);
+        queue.push(fifo);
+        let mut winner = None;
+        for round in 0..=AGE_DISPATCH_PERIOD {
+            queue.push(TestItem::solo(
+                "prio",
+                JobRank::new(SchedPolicy::Priority(0), 0, 1 + round),
+            ));
+            let popped = queue.pop().unwrap();
+            if popped.name == "fifo" {
+                winner = Some(round);
+                break;
+            }
+        }
+        // Pops 0..AGE_DISPATCH_PERIOD-1 dispatch the fresh stream; at the
+        // pop where the Fifo entry has waited AGE_DISPATCH_PERIOD
+        // dispatches its boost kicks in and it wins.
+        assert_eq!(winner, Some(AGE_DISPATCH_PERIOD));
+        assert_eq!(fifo_wait.load(Ordering::Relaxed), AGE_DISPATCH_PERIOD);
     }
 }

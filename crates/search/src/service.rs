@@ -1,42 +1,57 @@
 //! The job-oriented search service: a [`SearchService`] accepts
-//! [`SearchRequest`]s and runs them **concurrently** on one shared,
-//! capacity-bounded worker fleet — whatever each job's
-//! [`Strategy`] — returning a [`JobHandle`] with non-blocking
-//! [`status()`](JobHandle::status) / [`progress()`](JobHandle::progress),
-//! cooperative [`cancel()`](JobHandle::cancel), and blocking
+//! [`SearchRequest`]s and runs them **concurrently** on one service-owned
+//! persistent worker pool — whatever each job's [`Strategy`] — returning
+//! a [`JobHandle`] with non-blocking [`status()`](JobHandle::status) /
+//! [`progress()`](JobHandle::progress), cooperative
+//! [`cancel()`](JobHandle::cancel), and blocking
 //! [`wait()`](JobHandle::wait).
 //!
 //! ## Execution model
 //!
-//! The service owns a fixed budget of worker *slots*
-//! ([`SearchServiceBuilder::threads`], default: all cores). A background
-//! dispatcher admits up to one job per slot; each admitted job gets a
-//! runner thread that plans its work items and fans them out through the
-//! shared slot table (see the [`SchedPolicy`] docs and `ARCHITECTURE.md`
-//! at the repository root). Every work item holds exactly one slot while
-//! it executes, so at most `threads` items run at any instant **across
-//! all jobs** — a short gradient-descent job completes on freed slots
-//! while a long Bayesian-optimization job is still mid-flight, instead of
-//! queueing behind it. What fans out depends on the strategy:
+//! The service spawns exactly one long-lived worker thread per slot
+//! ([`SearchServiceBuilder::threads`], default: all cores) **at
+//! construction, and never again** — submitting, running, and retiring
+//! jobs spawns no threads (one optional deadline watchdog per job with a
+//! deadline is the only exception). Workers loop over a shared ready
+//! queue (see the [`SchedPolicy`] docs and `ARCHITECTURE.md` at the
+//! repository root): submitting a job enqueues a single *planning* item;
+//! planning enqueues the job's executable work items, which interleave
+//! with every other job's on the same pool. At most `threads` items
+//! execute at any instant **across all jobs** — a short gradient-descent
+//! job completes on free workers while a long Bayesian-optimization job
+//! is still mid-flight, instead of queueing behind it. What a job plans
+//! depends on its strategy:
 //!
 //! * [`Strategy::GradientDescent`] — **all networks' start points** of a
 //!   batched request become independent work items (a batch saturates the
-//!   fleet even when individual networks have few starts);
+//!   pool even when individual networks have few starts). With
+//!   [`GdConfig::segment_steps`] set, each start runs as a chain of
+//!   bounded, bit-exact **segments**: a segment runs `k` gradient steps,
+//!   checkpoints the full descent state (parameters, Adam moments,
+//!   partial history — RNG-free by construction, see
+//!   [`crate::engine`]'s `DescentState`) and re-enqueues, so the worker
+//!   turns over at a bounded cadence and a long descent cannot
+//!   monopolize the pool;
 //! * [`Strategy::Random`] — **all networks' hardware designs** become the
 //!   work items, each searched by a private RNG stream;
-//! * [`Strategy::BayesOpt`] — networks run sequentially (the outer GP
-//!   loop is inherently serial), but each step's inner mapping samples
-//!   and EI candidate scores fan out as work items.
+//! * [`Strategy::BayesOpt`] — each network's outer GP loop is inherently
+//!   serial, so **one work item per network**; the loop runs inline on
+//!   its worker.
 //!
-//! Per-item results land at fixed slots and are demultiplexed per network
-//! on merge.
+//! Per-item results land at fixed planned positions and are
+//! demultiplexed per network on merge.
 //!
 //! ## Scheduling
 //!
-//! Which queued work grabs a freed slot — and which queued job is
-//! admitted when a runner finishes — is decided by each request's
-//! [`SchedPolicy`] (`Fifo` by default, `ShortestFirst`, or
-//! `Priority(u8)`); a job can additionally cap its own slot usage with
+//! Which queued work item a free worker runs next is decided by each
+//! request's [`SchedPolicy`] (`Fifo` by default, `ShortestFirst`, or
+//! `Priority(u8)`), **aged** so that no job waits forever: an entry's
+//! effective priority class improves by one per
+//! [`AGE_DISPATCH_PERIOD`](crate::AGE_DISPATCH_PERIOD) items the service
+//! dispatches while it waits, so a continuous stream of `Priority`
+//! submissions can delay `Fifo` traffic only for a bounded number of
+//! dispatches, never starve it (the `sched` module derives the bound). A
+//! job can additionally cap its own share of the pool with
 //! [`SearchRequestBuilder::max_parallelism`](crate::SearchRequestBuilder::max_parallelism).
 //! With a single-slot budget the service degenerates to running one job
 //! at a time in policy order (strict FIFO under the default policy).
@@ -47,55 +62,61 @@
 //! For every network in a request, the sequential skeleton of its search
 //! (GD start points, random-search design draws, BB-BO's outer GP loop)
 //! is generated from that network's effective seed before any
-//! parallelism, and every parallel work item owns an RNG stream derived
-//! from that seed — exactly what the standalone shims
+//! parallelism, and every work item owns an RNG stream derived from that
+//! seed — exactly what the standalone shims
 //! ([`dosa_search`](crate::dosa_search),
 //! [`random_search`](crate::random_search),
-//! [`bayesian_search`](crate::bayesian_search)) do. Combined with the
-//! slot-indexed fleet, a network's `SearchResult` is **bit-identical** to
-//! a separate submission with the same seed, for every service thread
-//! budget, any batch composition, and any interleaving with other jobs —
-//! scheduling moves wall-clock time, never results.
+//! [`bayesian_search`](crate::bayesian_search)) do. Combined with
+//! position-indexed result slots, a network's `SearchResult` is
+//! **bit-identical** to a separate submission with the same seed, for
+//! every service thread budget, any batch composition, any segment
+//! length, and any interleaving with other jobs — scheduling moves
+//! wall-clock time, never results.
 //!
 //! ## Cancellation
 //!
 //! [`JobHandle::cancel`] sets a flag every work item checks once per
 //! gradient step (GD) or joint mapping sample (black-box strategies):
 //! running items return their partial results at the next boundary,
-//! waiting items stop competing for slots immediately (freeing capacity
-//! for the other jobs), queued work items come back empty, and the
-//! merged best-so-far histories stay monotone non-increasing with
-//! strictly increasing sample counts. A job cancelled while still queued
+//! queued items resolve as fast no-ops the moment a worker picks them up
+//! (freeing capacity for the other jobs on the service), and the merged
+//! best-so-far histories stay monotone non-increasing with strictly
+//! increasing sample counts. A job cancelled while still queued
 //! completes immediately with empty results.
 //!
 //! ## Result cache, checkpoint/resume, warm starts
 //!
 //! A service built with [`SearchServiceBuilder::cache`] consults a
-//! content-addressed [`ResultCache`] per work item *before* the item
-//! competes for a worker slot: hits are replayed into the item's planned
-//! position (so merge order — and therefore every result bit — is
-//! unchanged), misses run on the fleet and are journaled the moment they
-//! complete. Because journaling is per item and never covers a cancelled
-//! (partial) item, a cancelled job resubmitted identically replays its
-//! completed items from the cache and re-runs only the remainder —
-//! checkpoint/resume without any explicit checkpoint format. With the
-//! default [`WarmStart::Off`] the cache is invisible in results: every
-//! [`BatchResult`] is bit-identical to a cold run. A request may also opt
-//! into [`WarmStart::NearestNeighbor`], seeding one extra descent per
-//! network from the best cached mapping of the same network shape;
-//! [`JobHandle::stats`] reports per-job hits, misses, and warm starts.
-//! See the [`cache`] module for the key schema.
+//! content-addressed [`ResultCache`] per work item during planning,
+//! *before* the item enters the ready queue: hits are replayed into the
+//! item's planned position (so merge order — and therefore every result
+//! bit — is unchanged), misses run on the pool and are journaled the
+//! moment they complete — for a segmented descent, the moment its
+//! **final segment** completes; a mid-descent checkpoint is never
+//! journaled. Because journaling is per item and never covers a
+//! cancelled (partial) item, a cancelled job resubmitted identically
+//! replays its completed items from the cache and re-runs only the
+//! remainder — checkpoint/resume without any explicit checkpoint format.
+//! With the default [`WarmStart::Off`] the cache is invisible in
+//! results: every [`BatchResult`] is bit-identical to a cold run. A
+//! request may also opt into [`WarmStart::NearestNeighbor`], seeding one
+//! extra descent per network from the best cached mapping of the same
+//! network shape; [`JobHandle::stats`] reports per-job hits, misses, and
+//! warm starts. See the [`cache`] module for the key schema.
 //!
 //! ## Failure domains, deadlines & degradation
 //!
 //! One work item is one failure domain: a panicking item (or one whose
 //! gradient step produces a non-finite loss) fails **only its own job**
-//! with a typed [`JobError`], releases its worker slot normally, and
-//! leaves every sibling job bit-identical to an uncontended run. The
-//! failed job ends in the terminal [`JobStatus::Failed`] state —
-//! [`wait()`](JobHandle::wait) returns the error,
-//! [`error()`](JobHandle::error) retrieves it non-blockingly — and no
-//! service-wide lock is ever left poisoned (see [`crate::fault`]).
+//! with a typed [`JobError`], and leaves every sibling job bit-identical
+//! to an uncontended run. Panics are caught at the item's unwind
+//! boundary, so the worker thread itself survives; if a defect ever
+//! escapes that boundary and kills a worker, the dying thread respawns a
+//! replacement, so the pool's capacity is self-healing (see
+//! [`crate::fault`]). The failed job ends in the terminal
+//! [`JobStatus::Failed`] state — [`wait()`](JobHandle::wait) returns the
+//! error, [`error()`](JobHandle::error) retrieves it non-blockingly —
+//! and no service-wide lock is ever left poisoned.
 //!
 //! A request may carry a [`deadline`](crate::SearchRequestBuilder::deadline)
 //! (measured from submission, so queue time counts) with a
@@ -105,23 +126,26 @@
 //! every item finished so far, flagged [`BatchResult::degraded`] — a
 //! bitwise **prefix** of the uninterrupted run's history, because items
 //! are merged in plan order, truncated at the first never-started item,
-//! and the merge's running-minimum rewrite is prefix-stable. Completed
-//! items journal to the result cache as usual, so resubmitting a
-//! degraded job resumes from its finished prefix.
+//! and the merge's running-minimum rewrite is prefix-stable. An item
+//! that already checkpointed a segment counts as started: it finishes
+//! bit-exactly. Completed items journal to the result cache as usual, so
+//! resubmitting a degraded job resumes from its finished prefix.
 
 use crate::bbbo::{run_bayesian_search, BbboConfig};
 use crate::cache::{self, ResultCache};
 use crate::engine::{
-    merge_start_results, run_single_start, DiffLoss, EdpLoss, Fleet, PredictedLatencyLoss,
+    merge_start_results, run_segment, DescentState, DiffLoss, EdpLoss, Fleet, PredictedLatencyLoss,
     ProgressCounters, StartControl,
 };
 use crate::fault::{self, payload_string, DeadlinePolicy, FaultKind, JobError};
 use crate::gd::{GdConfig, LoopOrderStrategy, SearchResult};
-use crate::random_search::{plan_random_designs, run_random_design, RandomSearchConfig};
+use crate::random_search::{
+    plan_random_designs, run_random_design, RandomDesign, RandomSearchConfig,
+};
 use crate::request::{ConfigError, SearchRequest, Surrogate, WarmStart};
 #[cfg(doc)]
 use crate::sched::SchedPolicy;
-use crate::sched::{JobGate, JobRank, SlotTable};
+use crate::sched::{JobRank, ReadyQueue, Schedulable};
 use crate::startpoints::{generate_start_points, warm_start_point, StartPoint};
 use crate::strategy::Strategy;
 use dosa_accel::{Hierarchy, MAX_PE_SIDE};
@@ -139,19 +163,19 @@ use std::time::Instant;
 /// Lifecycle state of a submitted job.
 ///
 /// ```text
-/// Queued ──admitted──▶ Running ──▶ Completed (incl. degraded)
-///    │                    │
-///    │                    ├──────▶ Failed (panic, non-finite loss,
-///    │                    │                deadline Kill)
-///    └──cancel()──────────┴──────▶ Cancelled
+/// Queued ──planned──▶ Running ──▶ Completed (incl. degraded)
+///    │                   │
+///    │                   ├──────▶ Failed (panic, non-finite loss,
+///    │                   │                deadline Kill)
+///    └──cancel()─────────┴──────▶ Cancelled
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
-    /// Waiting for admission: every admission slot (one per worker
-    /// thread) is occupied by a better-ranked or earlier job.
+    /// Waiting in the ready queue: the job's planning item has not been
+    /// dispatched yet (better-ranked or earlier work holds the pool).
     Queued,
-    /// Admitted to the fleet: its runner is live and its work items are
-    /// executing on — or competing for — the service's worker slots.
+    /// Planned (or planning): the job's work items are executing on — or
+    /// queued for — the service's persistent workers.
     Running,
     /// Finished normally; full results are available. A deadline job
     /// under [`DeadlinePolicy::Degrade`] also completes here, with
@@ -161,7 +185,7 @@ pub enum JobStatus {
     Cancelled,
     /// Failed with a typed [`JobError`] — a work item panicked or went
     /// non-finite, the deadline expired under [`DeadlinePolicy::Kill`],
-    /// or the runner itself died. The error is retrievable from
+    /// or planning/merging itself died. The error is retrievable from
     /// [`JobHandle::error`] and returned by [`JobHandle::wait`]; no other
     /// job on the service is affected.
     Failed,
@@ -265,24 +289,37 @@ impl JobProgress {
     }
 }
 
-/// Per-job cache observability, snapshot by [`JobHandle::stats`].
+/// Per-job scheduler and cache observability, snapshot by
+/// [`JobHandle::stats`].
 ///
-/// On a service without a cache every counter except `work_items` stays
-/// zero. With a cache, `cache_hits + cache_misses == work_items` once the
-/// job is terminal (uncacheable items — e.g. a custom surrogate's — count
-/// as misses: they ran on the fleet).
+/// On a service without a cache the cache counters stay zero. With a
+/// cache, `cache_hits + cache_misses == work_items` once the job is
+/// terminal (uncacheable items — e.g. a custom surrogate's — count as
+/// misses: they ran on the pool).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JobStats {
     /// Work items this job planned (including any warm-start items).
     pub work_items: usize,
     /// Work items replayed from the service's [`ResultCache`].
     pub cache_hits: usize,
-    /// Work items that ran on the fleet (cache absent, item uncacheable,
+    /// Work items that ran on the pool (cache absent, item uncacheable,
     /// or a genuine miss).
     pub cache_misses: usize,
     /// Extra descents seeded from a cached neighbor
     /// ([`WarmStart::NearestNeighbor`]).
     pub warm_starts: usize,
+    /// Executable dispatches that actually ran on a worker: every GD
+    /// segment (a start resumed `n` times counts `n` dispatches), random
+    /// design, and BB-BO network. Planning dispatches and cache replays
+    /// are not counted; without segmentation this equals the work items
+    /// that ran on the pool.
+    pub segments_run: usize,
+    /// The longest any of this job's queue entries waited for a worker,
+    /// measured in queue *dispatches* — the scheduler's logical aging
+    /// clock (see [`SchedPolicy`] and
+    /// [`AGE_DISPATCH_PERIOD`](crate::AGE_DISPATCH_PERIOD)). `0` when
+    /// every entry was dispatched as soon as a worker freed up.
+    pub max_queue_wait: u64,
 }
 
 /// Lock-free backing counters of [`JobStats`].
@@ -292,6 +329,8 @@ struct JobCounters {
     cache_hits: AtomicUsize,
     cache_misses: AtomicUsize,
     warm_starts: AtomicUsize,
+    segments_run: AtomicUsize,
+    max_queue_wait: AtomicU64,
 }
 
 impl JobCounters {
@@ -301,6 +340,8 @@ impl JobCounters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            segments_run: self.segments_run.load(Ordering::Relaxed),
+            max_queue_wait: self.max_queue_wait.load(Ordering::Relaxed),
         }
     }
 }
@@ -312,37 +353,66 @@ struct JobState {
     error: Option<JobError>,
 }
 
+/// The position-indexed execution ledger of one planned job: filled by
+/// the planning item, drained towards `remaining == 0` by the workers,
+/// merged by `finish_job` on whichever worker resolves the last item.
+#[derive(Default)]
+struct ExecState {
+    /// One entry per planned item position: `None` until the item
+    /// resolves, then `(net_index, outcome)` where a `None` outcome marks
+    /// an item a [`DeadlinePolicy::Degrade`] deadline skipped.
+    slots: Vec<Option<(usize, Option<SearchResult>)>>,
+    /// Per-network shape keys for cache journaling.
+    shapes: Vec<Option<CacheKey>>,
+    /// Planned items not yet resolved.
+    remaining: usize,
+    /// Lowest-positioned item failure, if any — the typed error the whole
+    /// job fails with at the finish. Sibling items still run to
+    /// completion (journaling as usual), exactly as the pre-pool fan-out
+    /// behaved.
+    first_error: Option<(usize, JobError)>,
+}
+
 struct JobShared {
     id: u64,
     request: SearchRequest,
-    /// Scheduling rank, fixed at submission (see [`SchedPolicy`]).
+    /// Scheduling rank, fixed at submission (see [`SchedPolicy`]); aged
+    /// by the ready queue while entries wait.
     rank: JobRank,
-    /// Resolved slot cap: `min(request.max_parallelism, service budget)`.
+    /// Resolved worker cap: `min(request.max_parallelism, service budget)`.
     max_par: usize,
-    /// Cooperative cancellation flag, shared with the job's slot gate so
-    /// waiting work items stop competing for capacity the moment it
-    /// flips.
-    cancel: Arc<AtomicBool>,
+    /// Work items of this job currently executing on workers; entries of
+    /// a job at its `max_par` are ineligible for dispatch.
+    inflight: AtomicUsize,
+    /// Cooperative cancellation flag, checked by every running item once
+    /// per step/sample and by queued items the moment they dispatch.
+    cancel: AtomicBool,
     /// Degrade flag ([`DeadlinePolicy::Degrade`]): set at the deadline so
-    /// not-yet-started work items are skipped (and stop competing for
-    /// slots) while in-flight items finish bit-exactly. Deliberately
-    /// **not** observed by the per-step cancel check.
-    halt: Arc<AtomicBool>,
+    /// work items that have not taken a single step yet are skipped,
+    /// while items with a segment checkpoint (and running items) finish
+    /// bit-exactly. Deliberately **not** observed by the per-step cancel
+    /// check.
+    halt: AtomicBool,
     /// Set by the deadline watchdog under [`DeadlinePolicy::Kill`] just
-    /// before it flips `cancel`, so the runner can tell a deadline kill
+    /// before it flips `cancel`, so the finish can tell a deadline kill
     /// (→ [`JobStatus::Failed`]) from a user cancel (→
     /// [`JobStatus::Cancelled`]).
     deadline_hit: AtomicBool,
     /// Submission instant the deadline is measured from.
     submitted: Instant,
-    /// The service's slot table, for waking slot waiters on cancel.
-    table: Arc<SlotTable>,
+    /// The service's ready queue, for re-enqueueing segment checkpoints
+    /// and waking poppers on cancel.
+    queue: Arc<ReadyQueue<QueueEntry>>,
     /// One live counter pair per network, in request order.
     progress: Vec<ProgressCounters>,
     /// The service's result cache, if one was configured.
     cache: Option<Arc<ResultCache>>,
-    /// Per-job cache hit/miss/warm-start counters.
+    /// Per-job scheduler/cache counters.
     stats: JobCounters,
+    /// The execution ledger; populated by the planning item.
+    exec: Mutex<ExecState>,
+    /// The deadline watchdog's handle, joined exactly once at retirement.
+    watchdog: Mutex<Option<JoinHandle<()>>>,
     state: Mutex<JobState>,
     done: Condvar,
 }
@@ -420,15 +490,15 @@ impl JobHandle {
 
     /// Request cooperative cancellation. A queued job completes
     /// immediately with empty results; a running job stops issuing
-    /// gradient steps at the next step boundary, its waiting work items
-    /// stop competing for worker slots immediately (freeing capacity for
-    /// the other jobs on the service), and it keeps its partial (still
-    /// monotone) per-network results. Idempotent; never blocks on the
-    /// descent itself.
+    /// gradient steps at the next step boundary, its queued work items
+    /// resolve as fast no-ops as workers pick them up (freeing capacity
+    /// for the other jobs on the service), and it keeps its partial
+    /// (still monotone) per-network results. Idempotent; never blocks on
+    /// the descent itself.
     pub fn cancel(&self) {
         self.job.cancel.store(true, Ordering::Relaxed);
-        // Wake slot waiters so the cancelled job's demand drains promptly.
-        self.job.table.wake();
+        // Wake idle workers so the cancelled job's items drain promptly.
+        self.job.queue.wake();
         let mut state = fault::lock(&self.job.state);
         if state.status == JobStatus::Queued {
             state.status = JobStatus::Cancelled;
@@ -437,10 +507,12 @@ impl JobHandle {
         }
     }
 
-    /// Per-job cache counters (non-blocking): how many work items this
-    /// job planned, how many were replayed from the service's
-    /// [`ResultCache`] versus run on the fleet, and how many extra
-    /// warm-start descents were seeded. Counters are final once
+    /// Per-job scheduler and cache counters (non-blocking): how many work
+    /// items this job planned, how many were replayed from the service's
+    /// [`ResultCache`] versus run on the pool, how many extra warm-start
+    /// descents were seeded, how many executable dispatches (GD segments,
+    /// random designs, BB-BO networks) actually ran, and the longest any
+    /// of its queue entries waited for a worker. Counters are final once
     /// [`status()`](JobHandle::status) is terminal.
     pub fn stats(&self) -> JobStats {
         self.job.stats.snapshot()
@@ -452,9 +524,9 @@ impl JobHandle {
     /// jobs their partial results; a [`JobStatus::Failed`] job returns
     /// its typed [`JobError`] instead.
     ///
-    /// Total: never panics, even if the job's runner thread died — a
-    /// runner panic surfaces as [`JobError::RunnerPanic`], and a terminal
-    /// job that somehow stored no results reports
+    /// Total: never panics, even if planning or merging died — such a
+    /// defect surfaces as [`JobError::RunnerPanic`], and a terminal job
+    /// that somehow stored no results reports
     /// [`JobError::ResultsUnavailable`].
     pub fn wait(&self) -> Result<BatchResult, JobError> {
         let mut state = fault::lock(&self.job.state);
@@ -477,25 +549,86 @@ impl std::fmt::Debug for JobHandle {
     }
 }
 
-/// The dispatcher's view of the service: jobs waiting for admission and
-/// jobs currently running (each on its own runner thread).
-struct SchedQueue {
-    pending: Vec<Arc<JobShared>>,
-    running: Vec<Arc<JobShared>>,
+/// The resumable descent state of one GD work item.
+enum GdItemState {
+    /// Not started: the planned start point (skippable under
+    /// [`DeadlinePolicy::Degrade`]).
+    Fresh(StartPoint),
+    /// Mid-descent: the checkpoint of a yielded segment; morally in
+    /// flight, so a degrade deadline lets it finish bit-exactly.
+    Resumed(Box<DescentState>),
+}
+
+/// What one dispatched queue entry does. `pos` is the item's planned
+/// position across the whole batch — the coordinate its result lands at,
+/// the index fault plans address, and the `item` a typed [`JobError`]
+/// reports.
+enum WorkItem {
+    /// Plan the job on a worker: generate its per-network work items,
+    /// consult the result cache, and enqueue the misses.
+    Plan,
+    /// One (network, start point) gradient descent, run in bounded
+    /// segments when [`GdConfig::segment_steps`] is set.
+    GdStart {
+        pos: usize,
+        net_index: usize,
+        start_index: usize,
+        cfg: GdConfig,
+        state: GdItemState,
+        key: Option<CacheKey>,
+    },
+    /// One (network, hardware design) random search.
+    RandomDesign {
+        pos: usize,
+        net_index: usize,
+        design: RandomDesign,
+        samples_per_hw: usize,
+        key: Option<CacheKey>,
+    },
+    /// One network's whole BB-BO loop (`pos == net_index`: exactly one
+    /// item per network).
+    BayesNetwork {
+        net_index: usize,
+        cfg: BbboConfig,
+        key: Option<CacheKey>,
+    },
+}
+
+/// One entry of the service's ready queue: the owning job plus what to do.
+struct QueueEntry {
+    job: Arc<JobShared>,
+    item: WorkItem,
+}
+
+impl Schedulable for QueueEntry {
+    fn rank(&self) -> JobRank {
+        self.job.rank
+    }
+
+    fn eligible(&self) -> bool {
+        self.job.inflight.load(Ordering::Relaxed) < self.job.max_par
+    }
+
+    fn on_dispatch(&self, wait: u64) {
+        self.job.inflight.fetch_add(1, Ordering::Relaxed);
+        self.job
+            .stats
+            .max_queue_wait
+            .fetch_max(wait, Ordering::Relaxed);
+    }
 }
 
 struct ServiceShared {
-    queue: Mutex<SchedQueue>,
-    /// Signalled on every queue transition: submission, admission, runner
-    /// completion, shutdown.
-    changed: Condvar,
-    shutdown: AtomicBool,
-    /// The shared worker-slot ledger all running jobs draw from.
-    table: Arc<SlotTable>,
+    /// The ready queue the persistent workers pull from.
+    queue: Arc<ReadyQueue<QueueEntry>>,
     threads: usize,
     /// The service's result cache, consulted per work item when present.
     cache: Option<Arc<ResultCache>>,
     next_id: AtomicU64,
+    /// Jobs submitted and not yet retired, so `Drop` can cancel them.
+    live: Mutex<Vec<Arc<JobShared>>>,
+    /// The persistent workers (plus any respawned replacements).
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// Builder for [`SearchService`]; see [`SearchService::builder`].
@@ -506,10 +639,11 @@ pub struct SearchServiceBuilder {
 }
 
 impl SearchServiceBuilder {
-    /// Worker-slot budget of the service (default: all cores). At most
-    /// this many work items execute at any instant across **all**
-    /// concurrently running jobs; it also caps how many jobs are admitted
-    /// at once, so a budget of 1 degenerates to one job at a time. The
+    /// Worker budget of the service (default: all cores). Exactly this
+    /// many persistent worker threads are spawned at construction; at
+    /// most this many work items execute at any instant across **all**
+    /// concurrently running jobs, so a budget of 1 degenerates to one
+    /// item — and, under the default policy, one job — at a time. The
     /// budget is owned by this service instance — it does not touch the
     /// global rayon pool, so services with different budgets coexist in
     /// one process. Results are bit-identical for every budget.
@@ -519,7 +653,7 @@ impl SearchServiceBuilder {
     }
 
     /// Attach a content-addressed [`ResultCache`] (default: none). The
-    /// service consults it per work item before scheduling, journals
+    /// service consults it per work item during planning, journals
     /// completed items into it, and draws warm-start neighbors from it;
     /// sharing one cache across services (or across a service's lifetime)
     /// is what makes checkpoint/resume and warm starts work. With the
@@ -530,7 +664,7 @@ impl SearchServiceBuilder {
         self
     }
 
-    /// Spawn the service's dispatcher thread and return the service.
+    /// Spawn the service's persistent workers and return the service.
     pub fn build(self) -> SearchService {
         let threads = self.threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -538,39 +672,33 @@ impl SearchServiceBuilder {
                 .unwrap_or(1)
         });
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new(SchedQueue {
-                pending: Vec::new(),
-                running: Vec::new(),
-            }),
-            changed: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            table: Arc::new(SlotTable::new(threads)),
+            queue: Arc::new(ReadyQueue::new()),
             threads,
             cache: self.cache,
             next_id: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
         });
-        let dispatcher_shared = Arc::clone(&shared);
-        let dispatcher = std::thread::spawn(move || dispatcher_loop(dispatcher_shared));
-        SearchService {
-            shared,
-            dispatcher: Some(dispatcher),
-        }
+        let workers = (0..threads)
+            .map(|_| spawn_worker(Arc::clone(&shared)))
+            .collect();
+        *fault::lock(&shared.workers) = workers;
+        SearchService { shared }
     }
 }
 
 /// An async search-job service: submit [`SearchRequest`]s, observe and
 /// cancel them through [`JobHandle`]s. Jobs run **concurrently** on one
-/// capacity-bounded worker fleet under each request's [`SchedPolicy`];
-/// see the [module docs](self) for the execution, scheduling,
-/// determinism, and cancellation contracts.
+/// persistent, capacity-bounded worker pool under each request's
+/// [`SchedPolicy`]; see the [module docs](self) for the execution,
+/// scheduling, determinism, and cancellation contracts.
 ///
 /// Dropping the service requests cancellation of the in-flight jobs,
 /// fails the queued ones over to [`JobStatus::Cancelled`] with empty
-/// results, and joins the dispatcher — keep the service alive until the
+/// results, and joins the workers — keep the service alive until the
 /// jobs you care about have been waited on.
 pub struct SearchService {
     shared: Arc<ServiceShared>,
-    dispatcher: Option<JoinHandle<()>>,
 }
 
 impl SearchService {
@@ -579,7 +707,7 @@ impl SearchService {
         SearchServiceBuilder::default()
     }
 
-    /// This service's worker-slot budget.
+    /// This service's worker budget (the size of its persistent pool).
     pub fn threads(&self) -> usize {
         self.shared.threads
     }
@@ -589,10 +717,10 @@ impl SearchService {
         self.shared.cache.as_ref()
     }
 
-    /// Validate `request` and enqueue it, returning a handle immediately.
-    /// The dispatcher admits queued jobs in [`SchedPolicy`] rank order as
-    /// admission slots free up; admitted jobs then share the worker
-    /// slots, so several jobs make progress at once.
+    /// Validate `request` and enqueue its planning item, returning a
+    /// handle immediately. Workers dispatch queued work in aged
+    /// [`SchedPolicy`] rank order as they free up, so several jobs make
+    /// progress at once.
     pub fn submit(&self, request: SearchRequest) -> Result<JobHandle, ConfigError> {
         request.validate()?;
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
@@ -612,14 +740,17 @@ impl SearchService {
             request,
             rank,
             max_par,
-            cancel: Arc::new(AtomicBool::new(false)),
-            halt: Arc::new(AtomicBool::new(false)),
+            inflight: AtomicUsize::new(0),
+            cancel: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
             deadline_hit: AtomicBool::new(false),
             submitted: Instant::now(),
-            table: Arc::clone(&self.shared.table),
+            queue: Arc::clone(&self.shared.queue),
             progress,
             cache: self.shared.cache.clone(),
             stats: JobCounters::default(),
+            exec: Mutex::new(ExecState::default()),
+            watchdog: Mutex::new(None),
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 results: None,
@@ -627,181 +758,720 @@ impl SearchService {
             }),
             done: Condvar::new(),
         });
+        // The deadline is measured from submission (queue time counts),
+        // so the watchdog starts now — the only per-job thread.
+        if let Some(deadline) = job.request.deadline() {
+            let watchdog_job = Arc::clone(&job);
+            let handle = std::thread::spawn(move || deadline_watchdog(&watchdog_job, deadline));
+            *fault::lock(&job.watchdog) = Some(handle);
+        }
         let handle = JobHandle {
             job: Arc::clone(&job),
         };
-        fault::lock(&self.shared.queue).pending.push(job);
-        self.shared.changed.notify_all();
+        fault::lock(&self.shared.live).push(Arc::clone(&job));
+        self.shared.queue.push(QueueEntry {
+            job,
+            item: WorkItem::Plan,
+        });
         Ok(handle)
     }
 }
 
 impl Drop for SearchService {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        // Fail queued jobs over to Cancelled so their waiters return, and
-        // ask the in-flight ones to wind down promptly. Draining pending
-        // and reading running under one lock means no job can slip from
-        // one set to the other unseen.
-        let (pending, running) = {
-            let mut queue = fault::lock(&self.shared.queue);
-            (
-                queue.pending.drain(..).collect::<Vec<_>>(),
-                queue.running.clone(),
-            )
-        };
-        for job in pending {
+        // Cancel every live job first: queued jobs retire immediately
+        // with empty results, and the cancel flag turns the remaining
+        // queue entries into fast no-ops the draining workers flush.
+        let live: Vec<Arc<JobShared>> = fault::lock(&self.shared.live).clone();
+        for job in live {
             JobHandle { job }.cancel();
         }
-        for job in running {
-            job.cancel.store(true, Ordering::Relaxed);
-        }
-        self.shared.table.wake();
-        self.shared.changed.notify_all();
-        if let Some(dispatcher) = self.dispatcher.take() {
-            let _ = dispatcher.join();
+        self.shared.queue.shutdown();
+        // Join until the ledger stays empty: a worker dying mid-drain
+        // respawns a replacement that must be joined too.
+        loop {
+            let workers = std::mem::take(&mut *fault::lock(&self.shared.workers));
+            if workers.is_empty() {
+                break;
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
         }
     }
 }
 
-/// The dispatcher: admits the best-ranked pending job whenever an
-/// admission slot (one per worker thread) is free, spawning a runner
-/// thread per admitted job. On shutdown it stops admitting and joins
-/// every runner (which the service `Drop` has already asked to cancel).
-fn dispatcher_loop(shared: Arc<ServiceShared>) {
-    let mut runners: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        // Reap finished runners so the handle list stays bounded.
-        let mut i = 0;
-        while i < runners.len() {
-            if runners[i].is_finished() {
-                let _ = runners.swap_remove(i).join();
+/// Spawn one persistent worker on the service's ready queue.
+fn spawn_worker(shared: Arc<ServiceShared>) -> JoinHandle<()> {
+    std::thread::spawn(move || worker_loop(shared))
+}
+
+/// Self-healing for the pool: work items run inside their own unwind
+/// boundary, so a panic normally fails only its job — but if a defect
+/// ever escapes that boundary and kills a worker, the dying worker's
+/// drop guard respawns a replacement so the service never silently
+/// loses capacity.
+struct RespawnGuard {
+    shared: Arc<ServiceShared>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let handle = spawn_worker(Arc::clone(&self.shared));
+            fault::lock(&self.shared.workers).push(handle);
+        }
+    }
+}
+
+/// One persistent worker: pop the best-ranked eligible entry, run it,
+/// release the job's in-flight slot, repeat — until the queue shuts down
+/// and drains (entries of cancelled jobs still flow through their normal
+/// resolution path, as fast no-ops).
+fn worker_loop(shared: Arc<ServiceShared>) {
+    let _respawn = RespawnGuard {
+        shared: Arc::clone(&shared),
+    };
+    while let Some(entry) = shared.queue.pop() {
+        let QueueEntry { job, item } = entry;
+        run_item(&shared, &job, item);
+        job.inflight.fetch_sub(1, Ordering::Relaxed);
+        // The job dropped below its parallelism cap: its queued entries
+        // may be eligible now.
+        shared.queue.wake();
+    }
+}
+
+/// Execute one dispatched work item.
+fn run_item(shared: &Arc<ServiceShared>, job: &Arc<JobShared>, item: WorkItem) {
+    match item {
+        WorkItem::Plan => run_plan(shared, job),
+        WorkItem::GdStart {
+            pos,
+            net_index,
+            start_index,
+            cfg,
+            state,
+            key,
+        } => run_gd_item(shared, job, pos, net_index, start_index, cfg, state, key),
+        WorkItem::RandomDesign {
+            pos,
+            net_index,
+            design,
+            samples_per_hw,
+            key,
+        } => run_random_item(shared, job, pos, net_index, design, samples_per_hw, key),
+        WorkItem::BayesNetwork {
+            net_index,
+            cfg,
+            key,
+        } => run_bayes_item(shared, job, net_index, cfg, key),
+    }
+}
+
+/// The plan of one job: pre-resolved (cache-replayed) item slots, the
+/// per-network shape keys, and the miss items to enqueue.
+struct JobPlan {
+    slots: Vec<Option<(usize, Option<SearchResult>)>>,
+    shapes: Vec<Option<CacheKey>>,
+    misses: Vec<WorkItem>,
+}
+
+/// The planning item: transition the job to `Running` (unless it was
+/// cancelled while queued), generate its work items, replay cache hits,
+/// and enqueue the misses. Results and terminal status of the *previous*
+/// job are always published before this dispatches on a single-worker
+/// service — the finish runs inline on the worker — which is what keeps
+/// one-slot execution strictly FIFO.
+fn run_plan(shared: &Arc<ServiceShared>, job: &Arc<JobShared>) {
+    let admitted = {
+        let mut state = fault::lock(&job.state);
+        if state.status.is_terminal() {
+            false
+        } else {
+            state.status = JobStatus::Running;
+            true
+        }
+    };
+    if !admitted {
+        // Cancelled while queued: the handle already stored its empty
+        // results; just retire the bookkeeping.
+        retire_job(shared, job);
+        return;
+    }
+    // Planning runs arbitrary strategy code (start-point generation, the
+    // cache, a custom surrogate): contain it so a defect fails only this
+    // job, typed, instead of killing the worker.
+    match catch_unwind(AssertUnwindSafe(|| plan_job(job))) {
+        Err(payload) => {
+            record_item_error(
+                job,
+                0,
+                JobError::RunnerPanic {
+                    payload: payload_string(payload),
+                },
+            );
+            finish_job(shared, job);
+        }
+        Ok(plan) => {
+            let JobPlan {
+                slots,
+                shapes,
+                misses,
+            } = plan;
+            // Commit the ledger before enqueueing anything: another
+            // worker may pop and resolve a miss immediately.
+            let fully_resolved = {
+                let mut exec = fault::lock(&job.exec);
+                exec.slots = slots;
+                exec.shapes = shapes;
+                exec.remaining = misses.len();
+                misses.is_empty()
+            };
+            if fully_resolved {
+                finish_job(shared, job);
             } else {
-                i += 1;
+                job.queue
+                    .push_all(misses.into_iter().map(|item| QueueEntry {
+                        job: Arc::clone(job),
+                        item,
+                    }));
             }
         }
-        let admitted = {
-            let mut queue = fault::lock(&shared.queue);
-            loop {
-                if shared.shutdown.load(Ordering::Relaxed) {
-                    break None;
-                }
-                if queue.running.len() < shared.threads {
-                    // Best-ranked pending job, if any (rank ties cannot
-                    // happen: the id is part of the rank).
-                    let best = queue
-                        .pending
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, j)| j.rank)
-                        .map(|(ix, _)| ix);
-                    if let Some(ix) = best {
-                        let job = queue.pending.swap_remove(ix);
-                        // Queued -> Running, unless cancel() already
-                        // retired the job while it waited.
-                        let admitted = {
-                            let mut state = fault::lock(&job.state);
-                            if state.status == JobStatus::Cancelled {
-                                false
-                            } else {
-                                state.status = JobStatus::Running;
-                                true
-                            }
-                        };
-                        if !admitted {
-                            continue;
-                        }
-                        queue.running.push(Arc::clone(&job));
-                        break Some(job);
-                    }
-                }
-                queue = fault::wait(&shared.changed, queue);
-            }
-        };
-        match admitted {
-            Some(job) => {
-                let runner_shared = Arc::clone(&shared);
-                runners.push(std::thread::spawn(move || run_job(&runner_shared, &job)));
-            }
-            None => break,
-        }
-    }
-    for runner in runners {
-        let _ = runner.join();
     }
 }
 
-/// One admitted job's runner: register with the slot table, execute the
-/// strategy through a gated fleet, publish results, then free the
-/// admission slot. Results and terminal status are stored **before** the
-/// admission slot is released, so an observer that sees a later job leave
-/// `Queued` is guaranteed to see this one terminal.
-///
-/// The execution is wrapped in `catch_unwind` so even a bug that escapes
-/// the per-item containment (planning code, the merge itself) ends the
-/// job in [`JobStatus::Failed`] with [`JobError::RunnerPanic`] rather
-/// than leaving waiters hanging on a dead thread.
-fn run_job(shared: &ServiceShared, job: &Arc<JobShared>) {
-    let watchdog = job.request.deadline().map(|deadline| {
-        let job = Arc::clone(job);
-        std::thread::spawn(move || deadline_watchdog(&job, deadline))
-    });
-    let gate = JobGate::register(
-        Arc::clone(&job.table),
-        job.id,
-        job.rank,
-        job.max_par,
-        Arc::clone(&job.cancel),
-        Arc::clone(&job.halt),
-    );
-    let fleet = Fleet::gated(gate);
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(job, &fleet)));
-    drop(fleet); // deregisters the job from the slot table
+/// Plan one job's work items according to its strategy.
+fn plan_job(job: &JobShared) -> JobPlan {
+    match job.request.strategy() {
+        Strategy::GradientDescent(cfg) => plan_gd(job, cfg),
+        Strategy::Random(cfg) => plan_random(job, cfg),
+        Strategy::BayesOpt(cfg) => plan_bayes(job, cfg),
+    }
+}
+
+/// Gradient-descent planning: every network's start points (plus any
+/// warm-start item) become independent work items. Start points are
+/// generated sequentially per network before any parallelism, exactly as
+/// the blocking path does — bit-parity with standalone runs hinges on
+/// it. Cache hits land directly at their planned positions and never
+/// enter the queue; reassembling by position keeps the demultiplexed
+/// per-network order — and therefore every merged result bit — identical
+/// to a cold run regardless of which items hit.
+fn plan_gd(job: &JobShared, cfg: &GdConfig) -> JobPlan {
+    let request = &job.request;
+    let hier = &request.hier;
+    let mut items: Vec<(usize, usize, StartPoint, GdConfig, Option<CacheKey>)> = Vec::new();
+    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
+    for (net_index, net) in request.networks().iter().enumerate() {
+        let mut net_cfg = *cfg;
+        net_cfg.seed = request.network_seed(net_index);
+        let (_, opts) = build_surrogate(&request.surrogate, &net.layers, hier, &net_cfg);
+        let mut rng = StdRng::seed_from_u64(net_cfg.seed);
+        let starts = generate_start_points(
+            &mut rng,
+            &net.layers,
+            hier,
+            &opts,
+            net_cfg.start_points,
+            net_cfg.rejection_factor,
+        );
+        for (start_index, start) in starts.into_iter().enumerate() {
+            let key = job.cache.as_ref().and_then(|_| {
+                cache::gd_item_key(hier, &net.layers, &request.surrogate, &net_cfg, start_index)
+            });
+            items.push((net_index, start_index, start, net_cfg, key));
+        }
+        let shape = job
+            .cache
+            .as_ref()
+            .map(|_| cache::network_shape_key(hier, &net.layers));
+        // Warm start: seed one extra descent from the best cached
+        // neighbor of this network's shape. The warm item is appended
+        // *after* the regular starts at the first unused start index, so
+        // every regular start's RNG stream and merge position is exactly
+        // what a cold run produces.
+        if request.warm_start() == WarmStart::NearestNeighbor {
+            if let (Some(cache), Some(shape)) = (&job.cache, &shape) {
+                if let Some(relaxed) = cache.warm_neighbor(shape, net.layers.len()) {
+                    let key = cache::warm_item_key(
+                        hier,
+                        &net.layers,
+                        &request.surrogate,
+                        &net_cfg,
+                        net_cfg.start_points,
+                        &relaxed,
+                    );
+                    let start = warm_start_point(&net.layers, hier, &opts, relaxed);
+                    items.push((net_index, net_cfg.start_points, start, net_cfg, key));
+                    job.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        shapes.push(shape);
+    }
+    job.stats
+        .work_items
+        .fetch_add(items.len(), Ordering::Relaxed);
+
+    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut misses: Vec<WorkItem> = Vec::new();
+    for (pos, (net_index, start_index, start, net_cfg, key)) in items.into_iter().enumerate() {
+        match consult_cache(job, key.as_ref()) {
+            Some(result) => {
+                replay_hit(job, net_index, &result);
+                slots[pos] = Some((net_index, Some((*result).clone())));
+            }
+            None => misses.push(WorkItem::GdStart {
+                pos,
+                net_index,
+                start_index,
+                cfg: net_cfg,
+                state: GdItemState::Fresh(start),
+                key,
+            }),
+        }
+    }
+    JobPlan {
+        slots,
+        shapes,
+        misses,
+    }
+}
+
+/// Random-search planning: draw every network's hardware designs
+/// sequentially from its seed; each design is one work item searched by
+/// its own RNG stream. Cache consultation and positional reassembly
+/// mirror [`plan_gd`].
+fn plan_random(job: &JobShared, cfg: &RandomSearchConfig) -> JobPlan {
+    let request = &job.request;
+    let hier = &request.hier;
+    let mut items: Vec<(usize, RandomDesign, Option<CacheKey>)> = Vec::new();
+    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
+    for (net_index, net) in request.networks().iter().enumerate() {
+        let mut net_cfg = *cfg;
+        net_cfg.seed = request.network_seed(net_index);
+        for (design_index, design) in plan_random_designs(&net_cfg).into_iter().enumerate() {
+            let key = job
+                .cache
+                .as_ref()
+                .map(|_| cache::random_item_key(hier, &net.layers, &net_cfg, design_index));
+            items.push((net_index, design, key));
+        }
+        shapes.push(
+            job.cache
+                .as_ref()
+                .map(|_| cache::network_shape_key(hier, &net.layers)),
+        );
+    }
+    job.stats
+        .work_items
+        .fetch_add(items.len(), Ordering::Relaxed);
+
+    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut misses: Vec<WorkItem> = Vec::new();
+    for (pos, (net_index, design, key)) in items.into_iter().enumerate() {
+        match consult_cache(job, key.as_ref()) {
+            Some(result) => {
+                replay_hit(job, net_index, &result);
+                slots[pos] = Some((net_index, Some((*result).clone())));
+            }
+            None => misses.push(WorkItem::RandomDesign {
+                pos,
+                net_index,
+                design,
+                samples_per_hw: cfg.samples_per_hw,
+                key,
+            }),
+        }
+    }
+    JobPlan {
+        slots,
+        shapes,
+        misses,
+    }
+}
+
+/// BB-BO planning: the cacheable unit — and the work item — is the whole
+/// network (every GP step conditions on all previous observations), so
+/// one item per network, at `pos == net_index`. Networks of one batch
+/// may run concurrently on the pool (each is independently seeded, so
+/// every result is bit-identical to the sequential order the pre-pool
+/// service used); the GP loop *within* a network stays sequential on its
+/// worker.
+fn plan_bayes(job: &JobShared, cfg: &BbboConfig) -> JobPlan {
+    let request = &job.request;
+    let hier = &request.hier;
+    let networks = request.networks().len();
+    job.stats.work_items.fetch_add(networks, Ordering::Relaxed);
+    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(networks);
+    slots.resize_with(networks, || None);
+    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
+    let mut misses: Vec<WorkItem> = Vec::new();
+    for (net_index, net) in request.networks().iter().enumerate() {
+        let mut net_cfg = *cfg;
+        net_cfg.seed = request.network_seed(net_index);
+        let key = job
+            .cache
+            .as_ref()
+            .map(|_| cache::bayes_network_key(hier, &net.layers, &net_cfg));
+        shapes.push(
+            job.cache
+                .as_ref()
+                .map(|_| cache::network_shape_key(hier, &net.layers)),
+        );
+        match consult_cache(job, key.as_ref()) {
+            Some(result) => {
+                replay_hit(job, net_index, &result);
+                slots[net_index] = Some((net_index, Some((*result).clone())));
+            }
+            None => misses.push(WorkItem::BayesNetwork {
+                net_index,
+                cfg: net_cfg,
+                key,
+            }),
+        }
+    }
+    JobPlan {
+        slots,
+        shapes,
+        misses,
+    }
+}
+
+/// What one GD segment dispatch produced.
+enum SegmentOutcome {
+    /// The descent ran to its budget (or its cancel boundary).
+    Finished(SearchResult),
+    /// The segment budget expired with steps remaining: re-enqueue.
+    Yielded(Box<DescentState>),
+    /// A rounding checkpoint's reference EDP went NaN at this step.
+    NonFinite(usize),
+}
+
+/// One GD work-item dispatch: run one segment (the whole descent when
+/// [`GdConfig::segment_steps`] is `None`) and either resolve the item,
+/// re-enqueue its checkpoint, or record its typed failure. The surrogate
+/// is rebuilt per dispatch from the request — cheap, and bit-exact
+/// because the checkpoint carries every stateful part of the descent.
+#[allow(clippy::too_many_arguments)]
+fn run_gd_item(
+    shared: &Arc<ServiceShared>,
+    job: &Arc<JobShared>,
+    pos: usize,
+    net_index: usize,
+    start_index: usize,
+    cfg: GdConfig,
+    state: GdItemState,
+    key: Option<CacheKey>,
+) {
+    // Degrade skips only items that have not taken a single step; a
+    // checkpointed item is in flight and finishes bit-exactly, which is
+    // what keeps the merged history a bitwise prefix of the full run.
+    if job.halt.load(Ordering::Relaxed) && matches!(state, GdItemState::Fresh(_)) {
+        resolve_item(shared, job, pos, net_index, None);
+        return;
+    }
+    job.stats.segments_run.fetch_add(1, Ordering::Relaxed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let net = &job.request.networks()[net_index];
+        let (loss, _) =
+            build_surrogate(&job.request.surrogate, &net.layers, &job.request.hier, &cfg);
+        let mut ctrl = network_ctrl(job, net_index);
+        ctrl.force_non_finite = apply_fault(job, pos);
+        let mut descent = match state {
+            GdItemState::Fresh(start) => Box::new(DescentState::begin(
+                &*loss,
+                start.relaxed,
+                start_index,
+                &cfg,
+            )),
+            GdItemState::Resumed(checkpoint) => checkpoint,
+        };
+        let budget = cfg.segment_steps.unwrap_or(usize::MAX);
+        match run_segment(&*loss, &mut descent, &cfg, ctrl, budget) {
+            Ok(true) => SegmentOutcome::Finished(descent.into_result()),
+            Ok(false) => SegmentOutcome::Yielded(descent),
+            Err(nf) => SegmentOutcome::NonFinite(nf.step),
+        }
+    }));
+    match outcome {
+        Ok(SegmentOutcome::Finished(result)) => {
+            // Journal only a descent that completed un-cancelled: a
+            // partial result must never be replayable.
+            if !job.cancel.load(Ordering::Relaxed) {
+                if let (Some(cache), Some(key)) = (&job.cache, key) {
+                    let shape = fault::lock(&job.exec).shapes[net_index].clone();
+                    cache.journal(key, shape.as_ref(), &result);
+                }
+            }
+            resolve_item(shared, job, pos, net_index, Some(result));
+        }
+        Ok(SegmentOutcome::Yielded(checkpoint)) => {
+            job.queue.push(QueueEntry {
+                job: Arc::clone(job),
+                item: WorkItem::GdStart {
+                    pos,
+                    net_index,
+                    start_index,
+                    cfg,
+                    state: GdItemState::Resumed(checkpoint),
+                    key,
+                },
+            });
+        }
+        Ok(SegmentOutcome::NonFinite(step)) => {
+            record_item_error(job, pos, JobError::NonFiniteLoss { item: pos, step });
+            resolve_item(shared, job, pos, net_index, None);
+        }
+        Err(payload) => {
+            record_item_error(
+                job,
+                pos,
+                JobError::WorkerPanic {
+                    item: pos,
+                    payload: payload_string(payload),
+                },
+            );
+            resolve_item(shared, job, pos, net_index, None);
+        }
+    }
+}
+
+/// One random-search work-item dispatch.
+fn run_random_item(
+    shared: &Arc<ServiceShared>,
+    job: &Arc<JobShared>,
+    pos: usize,
+    net_index: usize,
+    design: RandomDesign,
+    samples_per_hw: usize,
+    key: Option<CacheKey>,
+) {
+    if job.halt.load(Ordering::Relaxed) {
+        resolve_item(shared, job, pos, net_index, None);
+        return;
+    }
+    job.stats.segments_run.fetch_add(1, Ordering::Relaxed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        apply_fault(job, pos);
+        let net = &job.request.networks()[net_index];
+        run_random_design(
+            &net.layers,
+            &job.request.hier,
+            &design,
+            samples_per_hw,
+            network_ctrl(job, net_index),
+        )
+    }));
+    match outcome {
+        Ok(result) => {
+            if !job.cancel.load(Ordering::Relaxed) {
+                if let (Some(cache), Some(key)) = (&job.cache, key) {
+                    let shape = fault::lock(&job.exec).shapes[net_index].clone();
+                    cache.journal(key, shape.as_ref(), &result);
+                }
+            }
+            resolve_item(shared, job, pos, net_index, Some(result));
+        }
+        Err(payload) => {
+            record_item_error(
+                job,
+                pos,
+                JobError::WorkerPanic {
+                    item: pos,
+                    payload: payload_string(payload),
+                },
+            );
+            resolve_item(shared, job, pos, net_index, None);
+        }
+    }
+}
+
+/// One BB-BO work-item dispatch: the network's whole outer GP loop, run
+/// inline on this worker through a serial fleet (BB-BO results are
+/// thread-count-invariant, so inline execution is bit-identical to any
+/// pooled run — and the worker itself is the pool's unit of
+/// parallelism). A degrade deadline resolves a not-yet-started network
+/// as empty, exactly as the pre-pool sequential loop did.
+fn run_bayes_item(
+    shared: &Arc<ServiceShared>,
+    job: &Arc<JobShared>,
+    net_index: usize,
+    cfg: BbboConfig,
+    key: Option<CacheKey>,
+) {
+    if job.halt.load(Ordering::Relaxed) {
+        resolve_item(
+            shared,
+            job,
+            net_index,
+            net_index,
+            Some(SearchResult::empty()),
+        );
+        return;
+    }
+    job.stats.segments_run.fetch_add(1, Ordering::Relaxed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        apply_fault(job, net_index);
+        let fleet = Fleet::serial();
+        let net = &job.request.networks()[net_index];
+        run_bayesian_search(
+            &net.layers,
+            &job.request.hier,
+            &cfg,
+            &fleet,
+            network_ctrl(job, net_index),
+        )
+    }));
+    match outcome {
+        Ok(result) => {
+            if !job.cancel.load(Ordering::Relaxed) {
+                if let (Some(cache), Some(key)) = (&job.cache, key) {
+                    let shape = fault::lock(&job.exec).shapes[net_index].clone();
+                    cache.journal(key, shape.as_ref(), &result);
+                }
+            }
+            resolve_item(shared, job, net_index, net_index, Some(result));
+        }
+        Err(payload) => {
+            record_item_error(
+                job,
+                net_index,
+                JobError::WorkerPanic {
+                    item: net_index,
+                    payload: payload_string(payload),
+                },
+            );
+            resolve_item(shared, job, net_index, net_index, None);
+        }
+    }
+}
+
+/// Record one item's typed failure; when several items fail, the lowest
+/// planned position wins deterministically (completion order cannot
+/// change which error the job reports).
+fn record_item_error(job: &JobShared, pos: usize, err: JobError) {
+    let mut exec = fault::lock(&job.exec);
+    if exec.first_error.as_ref().is_none_or(|(p, _)| pos < *p) {
+        exec.first_error = Some((pos, err));
+    }
+}
+
+/// Land one item's outcome at its planned position; the worker that
+/// resolves the last outstanding item finishes the job inline — so on a
+/// single-worker service the terminal transition always precedes the
+/// next job's planning dispatch (strict FIFO).
+fn resolve_item(
+    shared: &Arc<ServiceShared>,
+    job: &Arc<JobShared>,
+    pos: usize,
+    net_index: usize,
+    outcome: Option<SearchResult>,
+) {
+    let finished = {
+        let mut exec = fault::lock(&job.exec);
+        debug_assert!(exec.slots[pos].is_none(), "work item resolved twice");
+        exec.slots[pos] = Some((net_index, outcome));
+        exec.remaining -= 1;
+        exec.remaining == 0
+    };
+    if finished {
+        finish_job(shared, job);
+    }
+}
+
+/// Merge the resolved items, decide the terminal state, publish it, and
+/// retire the job's bookkeeping. The merge itself runs inside an unwind
+/// boundary so a defect there fails this job typed instead of hanging
+/// its waiters.
+fn finish_job(shared: &Arc<ServiceShared>, job: &Arc<JobShared>) {
+    let (slots, first_error) = {
+        let mut exec = fault::lock(&job.exec);
+        (std::mem::take(&mut exec.slots), exec.first_error.take())
+    };
+    let outcome: Result<BatchResult, JobError> = match first_error {
+        Some((_, err)) => Err(err),
+        None => catch_unwind(AssertUnwindSafe(|| {
+            let per_item: Vec<(usize, Option<SearchResult>)> = slots
+                .into_iter()
+                // dosa-lint: allow(panic-perimeter) — `remaining` hit zero,
+                // so every planned item resolved (replayed, executed,
+                // skipped, or errored — and errors took the branch above);
+                // an unfilled slot is a scheduler bug, contained by the
+                // surrounding unwind boundary as JobError::RunnerPanic.
+                .map(|slot| slot.expect("every planned item resolves to an outcome"))
+                .collect();
+            let results = demux_merge(job.request.networks().len(), per_item);
+            let networks = job
+                .request
+                .networks()
+                .iter()
+                .zip(results)
+                .map(|(net, mut result)| {
+                    result.record_final();
+                    NetworkResult {
+                        network: net.name.clone(),
+                        result,
+                    }
+                })
+                .collect();
+            BatchResult {
+                networks,
+                degraded: job.halt.load(Ordering::Relaxed),
+            }
+        }))
+        .map_err(|payload| JobError::RunnerPanic {
+            payload: payload_string(payload),
+        }),
+    };
     {
         let mut state = fault::lock(&job.state);
-        let (status, results, error) = match outcome {
-            Err(payload) => (
-                JobStatus::Failed,
-                None,
-                Some(JobError::RunnerPanic {
-                    payload: payload_string(payload),
-                }),
-            ),
-            Ok(Err(err)) => (JobStatus::Failed, None, Some(err)),
-            Ok(Ok(results)) => {
-                if job.cancel.load(Ordering::Relaxed) {
-                    if job.deadline_hit.load(Ordering::Relaxed) {
-                        (JobStatus::Failed, None, Some(JobError::DeadlineExceeded))
+        if !state.status.is_terminal() {
+            let (status, results, error) = match outcome {
+                Err(err) => (JobStatus::Failed, None, Some(err)),
+                Ok(results) => {
+                    if job.cancel.load(Ordering::Relaxed) {
+                        if job.deadline_hit.load(Ordering::Relaxed) {
+                            (JobStatus::Failed, None, Some(JobError::DeadlineExceeded))
+                        } else {
+                            (JobStatus::Cancelled, Some(results), None)
+                        }
                     } else {
-                        (JobStatus::Cancelled, Some(results), None)
+                        (JobStatus::Completed, Some(results), None)
                     }
-                } else {
-                    (JobStatus::Completed, Some(results), None)
                 }
-            }
-        };
-        state.status = status;
-        state.results = results;
-        state.error = error;
-        job.done.notify_all();
+            };
+            state.status = status;
+            state.results = results;
+            state.error = error;
+            job.done.notify_all();
+        }
     }
+    retire_job(shared, job);
+}
+
+/// Post-terminal bookkeeping: join the deadline watchdog (it wakes on
+/// the terminal notification) and drop the job from the service's live
+/// list.
+fn retire_job(shared: &Arc<ServiceShared>, job: &Arc<JobShared>) {
+    let watchdog = fault::lock(&job.watchdog).take();
     if let Some(watchdog) = watchdog {
         let _ = watchdog.join();
     }
-    let mut queue = fault::lock(&shared.queue);
-    queue.running.retain(|j| j.id != job.id);
-    drop(queue);
-    shared.changed.notify_all();
+    fault::lock(&shared.live).retain(|j| j.id != job.id);
 }
 
 /// The per-job deadline watchdog: sleeps on the job's `done` condvar
 /// until the deadline (measured from **submission**, so queue time
 /// counts) or the job's terminal state, whichever comes first. At the
 /// deadline it applies the request's [`DeadlinePolicy`] *while holding
-/// the state lock*, so it can never race the runner's terminal
-/// transition: a job the runner already retired is left untouched, and a
-/// job the watchdog flags observes those flags when the runner takes the
-/// same lock to decide its terminal state.
+/// the state lock*, so it can never race the terminal transition: a job
+/// already terminal is left untouched, and a job the watchdog flags
+/// observes those flags when the finishing worker takes the same lock to
+/// decide its terminal state.
 fn deadline_watchdog(job: &JobShared, deadline: std::time::Duration) {
     let due = job.submitted + deadline;
     let mut state = fault::lock(&job.state);
@@ -818,7 +1488,7 @@ fn deadline_watchdog(job: &JobShared, deadline: std::time::Duration) {
     match job.request.deadline_policy() {
         DeadlinePolicy::Kill => {
             // A user cancel that already won stays a cancel; otherwise
-            // `deadline_hit` is published before `cancel` so the runner
+            // `deadline_hit` is published before `cancel` so the finish
             // can only ever observe them together.
             if !job.cancel.load(Ordering::Relaxed) {
                 job.deadline_hit.store(true, Ordering::Relaxed);
@@ -828,8 +1498,8 @@ fn deadline_watchdog(job: &JobShared, deadline: std::time::Duration) {
         DeadlinePolicy::Degrade => job.halt.store(true, Ordering::Relaxed),
     }
     drop(state);
-    // Wake slot waiters so the expired job's demand drains promptly.
-    job.table.wake();
+    // Wake idle workers so the expired job's queued items drain promptly.
+    job.queue.wake();
 }
 
 /// Instantiate the surrogate for one network, returning the loss the
@@ -878,42 +1548,10 @@ fn build_surrogate<'a>(
     }
 }
 
-/// Run one job: dispatch on the request's [`Strategy`], fan the
-/// strategy's work items into the job's gated fleet (each item holding
-/// one of the service's shared worker slots while it executes), and
-/// demultiplex the per-network results. `Err` means a work item failed
-/// (panic or non-finite loss) and the whole job fails with that typed
-/// error; `Ok` carries the degrade flag when a [`DeadlinePolicy::Degrade`]
-/// deadline expired mid-run.
-fn execute_job(job: &JobShared, fleet: &Fleet) -> Result<BatchResult, JobError> {
-    let results = match job.request.strategy() {
-        Strategy::GradientDescent(cfg) => execute_gd(job, fleet, cfg)?,
-        Strategy::Random(cfg) => execute_random(job, fleet, cfg)?,
-        Strategy::BayesOpt(cfg) => execute_bayes(job, fleet, cfg)?,
-    };
-    let networks = job
-        .request
-        .networks()
-        .iter()
-        .zip(results)
-        .map(|(net, mut result)| {
-            result.record_final();
-            NetworkResult {
-                network: net.name.clone(),
-                result,
-            }
-        })
-        .collect();
-    Ok(BatchResult {
-        networks,
-        degraded: job.halt.load(Ordering::Relaxed),
-    })
-}
-
 /// The per-network cancellation/progress control surface of `job`.
 fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
     StartControl {
-        cancel: Some(&*job.cancel),
+        cancel: Some(&job.cancel),
         progress: Some(&job.progress[net_index]),
         inner_threads: 1,
         force_non_finite: false,
@@ -921,15 +1559,15 @@ fn network_ctrl(job: &JobShared, net_index: usize) -> StartControl<'_> {
 }
 
 /// Apply the request's fault plan (if any) to the work item at planned
-/// position `pos`, just before it runs: `Panic` unwinds (contained by the
-/// fleet and surfaced as [`JobError::WorkerPanic`]), `Delay` sleeps to
-/// widen race/deadline windows, `NonFiniteLoss` returns `true` to arm the
-/// descent's non-finite guard (a no-op for black-box items, which have no
-/// gradient loss to poison).
+/// position `pos`, just before it runs: `Panic` unwinds (contained by
+/// the item's unwind boundary and surfaced as [`JobError::WorkerPanic`]),
+/// `Delay` sleeps to widen race/deadline windows, `NonFiniteLoss`
+/// returns `true` to arm the descent's non-finite guard (a no-op for
+/// black-box items, which have no gradient loss to poison).
 fn apply_fault(job: &JobShared, pos: usize) -> bool {
     match job.request.fault_plan().and_then(|p| p.fault_at(pos)) {
         // dosa-lint: allow(panic-perimeter) — this panic IS the injected
-        // fault: the fleet's unwind boundary catches it and the service
+        // fault: the item's unwind boundary catches it and the service
         // surfaces it as JobError::WorkerPanic, which is what the fault-
         // injection tests assert.
         Some(FaultKind::Panic) => panic!("injected fault: panic at work item {pos}"),
@@ -942,7 +1580,7 @@ fn apply_fault(job: &JobShared, pos: usize) -> bool {
     }
 }
 
-/// Demultiplex slot-indexed `(network, outcome)` items back into one
+/// Demultiplex position-indexed `(network, outcome)` items back into one
 /// deterministically merged result per network. `None` outcomes are items
 /// a [`DeadlinePolicy::Degrade`] deadline skipped before they started:
 /// each network's item list is truncated at its first skip, so the merge
@@ -965,18 +1603,9 @@ fn demux_merge(networks: usize, per_item: Vec<(usize, Option<SearchResult>)>) ->
     per_network.into_iter().map(merge_start_results).collect()
 }
 
-/// One planned `(network, start)` gradient-descent work item, carrying
-/// its content address when the item is cacheable.
-struct GdItem {
-    net_index: usize,
-    start_index: usize,
-    start: StartPoint,
-    key: Option<CacheKey>,
-}
-
 /// Look one work item up in the job's cache (if any), keeping the
 /// per-job hit/miss counters. `None` means the item must run on the
-/// fleet.
+/// pool.
 fn consult_cache(job: &JobShared, key: Option<&CacheKey>) -> Option<Arc<SearchResult>> {
     let cache = job.cache.as_ref()?;
     let found = key.and_then(|k| cache.lookup(k));
@@ -995,324 +1624,6 @@ fn replay_hit(job: &JobShared, net_index: usize, result: &SearchResult) {
     let ctrl = network_ctrl(job, net_index);
     ctrl.count_samples(result.samples);
     ctrl.observe_best(result.best_edp);
-}
-
-/// Gradient descent: plan every network, then fan all `(network, start)`
-/// work items into the fleet — except the items the job's cache replays,
-/// which fill their planned positions without ever competing for a slot.
-/// `Err` means an item panicked ([`JobError::WorkerPanic`]) or its
-/// descent went non-finite ([`JobError::NonFiniteLoss`]); the error's
-/// `item` is the planned work-item position, and when several items fail
-/// the lowest position wins deterministically.
-fn execute_gd(
-    job: &JobShared,
-    fleet: &Fleet,
-    cfg: &GdConfig,
-) -> Result<Vec<SearchResult>, JobError> {
-    let request = &job.request;
-    let hier = &request.hier;
-
-    // Per-network plan: the owned loss and the network-seeded config.
-    // Start points are generated sequentially per network before any
-    // parallelism, exactly as the blocking path does.
-    let mut plans: Vec<(Box<dyn DiffLoss + '_>, GdConfig)> = Vec::new();
-    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
-    let mut items: Vec<GdItem> = Vec::new();
-    for (net_index, net) in request.networks().iter().enumerate() {
-        let mut net_cfg = *cfg;
-        net_cfg.seed = request.network_seed(net_index);
-        let (loss, opts) = build_surrogate(&request.surrogate, &net.layers, hier, &net_cfg);
-        let mut rng = StdRng::seed_from_u64(net_cfg.seed);
-        let starts = generate_start_points(
-            &mut rng,
-            &net.layers,
-            hier,
-            &opts,
-            net_cfg.start_points,
-            net_cfg.rejection_factor,
-        );
-        for (start_index, start) in starts.into_iter().enumerate() {
-            let key = job.cache.as_ref().and_then(|_| {
-                cache::gd_item_key(hier, &net.layers, &request.surrogate, &net_cfg, start_index)
-            });
-            items.push(GdItem {
-                net_index,
-                start_index,
-                start,
-                key,
-            });
-        }
-        let shape = job
-            .cache
-            .as_ref()
-            .map(|_| cache::network_shape_key(hier, &net.layers));
-        // Warm start: seed one extra descent from the best cached
-        // neighbor of this network's shape. The warm item is appended
-        // *after* the regular starts at the first unused start index, so
-        // every regular start's RNG stream and merge position is exactly
-        // what a cold run produces.
-        if request.warm_start() == WarmStart::NearestNeighbor {
-            if let (Some(cache), Some(shape)) = (&job.cache, &shape) {
-                if let Some(relaxed) = cache.warm_neighbor(shape, net.layers.len()) {
-                    let key = cache::warm_item_key(
-                        hier,
-                        &net.layers,
-                        &request.surrogate,
-                        &net_cfg,
-                        net_cfg.start_points,
-                        &relaxed,
-                    );
-                    let start = warm_start_point(&net.layers, hier, &opts, relaxed);
-                    items.push(GdItem {
-                        net_index,
-                        start_index: net_cfg.start_points,
-                        start,
-                        key,
-                    });
-                    job.stats.warm_starts.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-        plans.push((loss, net_cfg));
-        shapes.push(shape);
-    }
-    job.stats
-        .work_items
-        .fetch_add(items.len(), Ordering::Relaxed);
-
-    // Consult the cache per item before anything competes for a slot:
-    // hits land directly at their planned positions, misses go to the
-    // fleet. Reassembling by position keeps the demultiplexed per-network
-    // order — and therefore every merged result bit — identical to a
-    // cold run regardless of which items hit.
-    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let mut misses: Vec<(usize, GdItem)> = Vec::new();
-    for (pos, item) in items.into_iter().enumerate() {
-        match consult_cache(job, item.key.as_ref()) {
-            Some(result) => {
-                replay_hit(job, item.net_index, &result);
-                slots[pos] = Some((item.net_index, Some((*result).clone())));
-            }
-            None => misses.push((pos, item)),
-        }
-    }
-
-    // One fleet over all networks' remaining starts. Results land at
-    // fixed item slots, so the demultiplexed per-network order matches a
-    // standalone run regardless of thread count, batch composition, or
-    // whatever other jobs share the service's slots. Each completed item
-    // is journaled immediately — never on cancellation, so a partial
-    // result can never be replayed — which is what lets a cancelled job
-    // resubmitted identically re-run only its remainder. Misses are in
-    // plan order, so the fan-out index maps monotonically to the planned
-    // position and a contained panic's `ItemFault` (lowest fan-out index)
-    // is also the lowest-positioned panic.
-    let miss_positions: Vec<usize> = misses.iter().map(|(pos, _)| *pos).collect();
-    let executed = fleet
-        .try_run(misses, |_slot, (pos, item)| {
-            if job.halt.load(Ordering::Relaxed) {
-                return (pos, item.net_index, Ok(None));
-            }
-            let mut ctrl = network_ctrl(job, item.net_index);
-            ctrl.force_non_finite = apply_fault(job, pos);
-            let (loss, net_cfg) = &plans[item.net_index];
-            match run_single_start(&**loss, item.start.relaxed, item.start_index, net_cfg, ctrl) {
-                Ok(result) => {
-                    if !network_ctrl(job, item.net_index).cancelled() {
-                        if let (Some(cache), Some(key)) = (&job.cache, item.key) {
-                            cache.journal(key, shapes[item.net_index].as_ref(), &result);
-                        }
-                    }
-                    (pos, item.net_index, Ok(Some(result)))
-                }
-                Err(nf) => (pos, item.net_index, Err(nf.step)),
-            }
-        })
-        .map_err(|panicked| JobError::WorkerPanic {
-            item: miss_positions[panicked.item],
-            payload: panicked.payload,
-        })?;
-    let mut first_non_finite: Option<(usize, usize)> = None;
-    for (pos, net_index, outcome) in executed {
-        match outcome {
-            Ok(result) => slots[pos] = Some((net_index, result)),
-            Err(step) => {
-                if first_non_finite.is_none_or(|(p, _)| pos < p) {
-                    first_non_finite = Some((pos, step));
-                }
-            }
-        }
-    }
-    if let Some((item, step)) = first_non_finite {
-        return Err(JobError::NonFiniteLoss { item, step });
-    }
-    let per_item: Vec<(usize, Option<SearchResult>)> = slots
-        .into_iter()
-        // dosa-lint: allow(panic-perimeter) — by this point every planned
-        // item either executed, replayed from cache, or aborted the job via
-        // `?`; an unfilled slot is a planner/executor bug.
-        .map(|slot| slot.expect("every planned item resolves to an outcome"))
-        .collect();
-    Ok(demux_merge(request.networks().len(), per_item))
-}
-
-/// Random search: draw every network's hardware designs sequentially from
-/// its seed, then fan all `(network, design)` work items into the fleet —
-/// each design searched by its own RNG stream. Cache consultation,
-/// journaling, positional reassembly, fault handling, and degrade
-/// truncation mirror [`execute_gd`] ([`FaultKind::NonFiniteLoss`] is a
-/// no-op here: black-box items have no gradient loss to poison).
-fn execute_random(
-    job: &JobShared,
-    fleet: &Fleet,
-    cfg: &RandomSearchConfig,
-) -> Result<Vec<SearchResult>, JobError> {
-    let request = &job.request;
-    let hier = &request.hier;
-    let mut shapes: Vec<Option<CacheKey>> = Vec::new();
-    let mut items: Vec<(
-        usize,
-        usize,
-        crate::random_search::RandomDesign,
-        Option<CacheKey>,
-    )> = Vec::new();
-    for (net_index, net) in request.networks().iter().enumerate() {
-        let mut net_cfg = *cfg;
-        net_cfg.seed = request.network_seed(net_index);
-        for (design_index, design) in plan_random_designs(&net_cfg).into_iter().enumerate() {
-            let key = job
-                .cache
-                .as_ref()
-                .map(|_| cache::random_item_key(hier, &net.layers, &net_cfg, design_index));
-            items.push((net_index, design_index, design, key));
-        }
-        shapes.push(
-            job.cache
-                .as_ref()
-                .map(|_| cache::network_shape_key(hier, &net.layers)),
-        );
-    }
-    job.stats
-        .work_items
-        .fetch_add(items.len(), Ordering::Relaxed);
-
-    let mut slots: Vec<Option<(usize, Option<SearchResult>)>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    let mut misses = Vec::new();
-    for (pos, (net_index, design_index, design, key)) in items.into_iter().enumerate() {
-        match consult_cache(job, key.as_ref()) {
-            Some(result) => {
-                replay_hit(job, net_index, &result);
-                slots[pos] = Some((net_index, Some((*result).clone())));
-            }
-            None => misses.push((pos, net_index, design_index, design, key)),
-        }
-    }
-    let miss_positions: Vec<usize> = misses.iter().map(|(pos, ..)| *pos).collect();
-    let executed = fleet
-        .try_run(
-            misses,
-            |_slot, (pos, net_index, _design_index, design, key)| {
-                if job.halt.load(Ordering::Relaxed) {
-                    return (pos, net_index, None);
-                }
-                apply_fault(job, pos);
-                let net = &request.networks()[net_index];
-                let result = run_random_design(
-                    &net.layers,
-                    hier,
-                    &design,
-                    cfg.samples_per_hw,
-                    network_ctrl(job, net_index),
-                );
-                if !network_ctrl(job, net_index).cancelled() {
-                    if let (Some(cache), Some(key)) = (&job.cache, key) {
-                        cache.journal(key, shapes[net_index].as_ref(), &result);
-                    }
-                }
-                (pos, net_index, Some(result))
-            },
-        )
-        .map_err(|panicked| JobError::WorkerPanic {
-            item: miss_positions[panicked.item],
-            payload: panicked.payload,
-        })?;
-    for (pos, net_index, result) in executed {
-        slots[pos] = Some((net_index, result));
-    }
-    let per_item: Vec<(usize, Option<SearchResult>)> = slots
-        .into_iter()
-        // dosa-lint: allow(panic-perimeter) — by this point every planned
-        // item either executed, replayed from cache, or aborted the job via
-        // `?`; an unfilled slot is a planner/executor bug.
-        .map(|slot| slot.expect("every planned item resolves to an outcome"))
-        .collect();
-    Ok(demux_merge(request.networks().len(), per_item))
-}
-
-/// BB-BO: each network's outer GP loop is inherently sequential, so
-/// networks run one after another — but every step's inner mapping
-/// samples and EI candidate scores fan out across the fleet. The
-/// cacheable unit is the whole network (every GP step conditions on all
-/// previous observations), so one work item per network is consulted and
-/// journaled — and the failure domain is likewise the network: a panic
-/// anywhere in a network's search (its own code or an inner fleet item)
-/// fails the job with [`JobError::WorkerPanic`] carrying that network's
-/// item index. A [`DeadlinePolicy::Degrade`] deadline skips networks not
-/// yet started (they come back empty); the one in flight finishes
-/// bit-exactly.
-fn execute_bayes(
-    job: &JobShared,
-    fleet: &Fleet,
-    cfg: &BbboConfig,
-) -> Result<Vec<SearchResult>, JobError> {
-    let request = &job.request;
-    let hier = &request.hier;
-    job.stats
-        .work_items
-        .fetch_add(request.networks().len(), Ordering::Relaxed);
-    request
-        .networks()
-        .iter()
-        .enumerate()
-        .map(|(net_index, net)| {
-            let mut net_cfg = *cfg;
-            net_cfg.seed = request.network_seed(net_index);
-            let key = job
-                .cache
-                .as_ref()
-                .map(|_| cache::bayes_network_key(hier, &net.layers, &net_cfg));
-            if let Some(result) = consult_cache(job, key.as_ref()) {
-                replay_hit(job, net_index, &result);
-                return Ok((*result).clone());
-            }
-            if job.halt.load(Ordering::Relaxed) {
-                return Ok(SearchResult::empty());
-            }
-            apply_fault(job, net_index);
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                run_bayesian_search(
-                    &net.layers,
-                    hier,
-                    &net_cfg,
-                    fleet,
-                    network_ctrl(job, net_index),
-                )
-            }))
-            .map_err(|payload| JobError::WorkerPanic {
-                item: net_index,
-                payload: payload_string(payload),
-            })?;
-            if !network_ctrl(job, net_index).cancelled() {
-                if let (Some(cache), Some(key)) = (&job.cache, key) {
-                    let shape = cache::network_shape_key(hier, &net.layers);
-                    cache.journal(key, Some(&shape), &result);
-                }
-            }
-            Ok(result)
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -1409,8 +1720,9 @@ mod tests {
         last.cancel();
         let result = last.wait().unwrap();
         assert_eq!(last.status(), JobStatus::Cancelled);
-        // Either it never ran (empty) or cancellation raced the dispatcher
-        // and it wound down early; both keep the result well-formed.
+        // Either it never ran (empty) or cancellation raced its planning
+        // dispatch and it wound down early; both keep the result
+        // well-formed.
         assert_eq!(result.networks.len(), 1);
         for h in &handles[..5] {
             h.wait().unwrap();
@@ -1437,5 +1749,42 @@ mod tests {
         let request = tiny_request(0);
         assert_eq!(request.policy(), SchedPolicy::Fifo);
         assert_eq!(request.max_parallelism(), None);
+    }
+
+    /// The new [`JobStats`] counters: a segmented descent counts one
+    /// `segments_run` per dispatch — `ceil(steps_per_start / k)` per
+    /// start — and on a single worker a job's own items queue behind
+    /// each other, so the deterministic dispatch order fixes
+    /// `max_queue_wait` exactly.
+    #[test]
+    fn segment_and_queue_wait_counters_are_observable() {
+        let layers = vec![Layer::once(Problem::matmul("m", 16, 32, 32).unwrap())];
+        let service = SearchService::builder().threads(1).build();
+        let job = service
+            .submit(
+                SearchRequest::builder(Hierarchy::gemmini())
+                    .network("m", layers)
+                    .config(GdConfig {
+                        start_points: 4,
+                        steps_per_start: 20,
+                        round_every: 10,
+                        seed: 0,
+                        segment_steps: Some(6),
+                        ..GdConfig::default()
+                    })
+                    .build(),
+            )
+            .unwrap();
+        job.wait().unwrap();
+        let stats = job.stats();
+        assert_eq!(stats.work_items, 4);
+        // 20 steps in segments of 6: 6 + 6 + 6 + 2 → 4 dispatches each.
+        assert_eq!(stats.segments_run, 4 * 4);
+        // One worker, four items enqueued together: the last item in
+        // plan order waits exactly 3 dispatches for its first segment,
+        // and the round-robin of 4 re-enqueued checkpoints never waits
+        // longer.
+        assert_eq!(stats.max_queue_wait, 3);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
     }
 }

@@ -8,7 +8,7 @@
 use dosa_accel::Hierarchy;
 use dosa_search::cache::{gd_item_key, network_shape_key};
 use dosa_search::{
-    GdConfig, JobStats, RandomSearchConfig, ResultCache, SearchRequest, SearchResult,
+    dosa_search, GdConfig, JobStats, RandomSearchConfig, ResultCache, SearchRequest, SearchResult,
     SearchService, Strategy, Surrogate, WarmStart,
 };
 use dosa_workload::{Layer, Problem};
@@ -111,12 +111,24 @@ fn jobs_without_a_cache_report_zeroed_cache_stats() {
     let job = service.submit(batched_request(3)).unwrap();
     job.wait().unwrap();
     let stats = job.stats();
+    // The cache counters stay zero; the scheduler counters do not (every
+    // planned item runs on the pool, and `max_queue_wait` depends on the
+    // dispatch interleaving, so it is only bounded, not fixed).
     assert_eq!(
-        stats,
+        JobStats {
+            max_queue_wait: 0,
+            ..stats
+        },
         JobStats {
             work_items: 4,
+            segments_run: 4,
             ..JobStats::default()
         }
+    );
+    assert!(
+        stats.max_queue_wait <= 4,
+        "4 items + a plan dispatch bound the wait, got {}",
+        stats.max_queue_wait
     );
 }
 
@@ -246,6 +258,149 @@ fn warm_start_is_opt_in_and_counted() {
         .into_single();
     assert_bit_identical(&off_result, &cold, "warm-start-off vs no cache");
     drop(cold_result);
+}
+
+/// Segment-resume parity: a GD start split into bounded segments of any
+/// length `k ∈ {1, 7, 64}` produces bitwise-identical history and
+/// best-EDP to the unsegmented (`k = ∞`) run. Segmentation only
+/// re-buckets the same gradient steps into worker dispatches — the
+/// per-segment tape/scratch buffers are pure caches and the checkpoint
+/// carries the full descent state (Adam moments included, no live RNG),
+/// so no segment schedule can move a result bit.
+#[test]
+fn gd_segment_length_never_changes_a_result_bit() {
+    let hier = Hierarchy::gemmini();
+    let base = tiny_cfg(31);
+    assert_eq!(
+        base.segment_steps, None,
+        "the reference must be unsegmented"
+    );
+    let reference = dosa_search(&matmul_net(), &hier, &base);
+    let service = SearchService::builder().threads(2).build();
+    for k in [1usize, 7, 64] {
+        let job = service
+            .submit(
+                SearchRequest::builder(hier.clone())
+                    .network("gemm", matmul_net())
+                    .config(GdConfig {
+                        segment_steps: Some(k),
+                        ..base
+                    })
+                    .build(),
+            )
+            .unwrap();
+        let result = job.wait().unwrap().into_single();
+        assert_eq!(
+            job.stats().segments_run,
+            2 * 40usize.div_ceil(k),
+            "2 starts x ceil(40 / {k}) segments"
+        );
+        assert_bit_identical(&result, &reference, &format!("k = {k} vs unsegmented"));
+    }
+}
+
+/// Segmented checkpoint/resume through the cache: a segmented GD job
+/// cancelled mid-run and resubmitted identically replays its journaled
+/// descents and re-runs only the remainder, landing bit-identical to the
+/// unsegmented uninterrupted reference. And because `segment_steps` is
+/// deliberately excluded from the item fingerprint (it is bit-invisible
+/// in results), a descent journaled under one segment length replays
+/// under any other — including the unsegmented path.
+#[test]
+fn segmented_cancel_plus_cached_resubmit_is_bit_identical() {
+    let hier = Hierarchy::gemmini();
+    let cfg = GdConfig {
+        start_points: 3,
+        steps_per_start: 2_000,
+        round_every: 500,
+        seed: 41,
+        segment_steps: Some(25),
+        ..GdConfig::default()
+    };
+    let request = SearchRequest::builder(hier.clone())
+        .network("gemm", matmul_net())
+        .config(cfg)
+        .build();
+
+    // Unsegmented, uninterrupted, cache-free reference.
+    let reference = dosa_search(
+        &matmul_net(),
+        &hier,
+        &GdConfig {
+            segment_steps: None,
+            ..cfg
+        },
+    );
+
+    let cache = ResultCache::in_memory(256);
+    let service = SearchService::builder()
+        .threads(1)
+        .cache(Arc::clone(&cache))
+        .build();
+
+    // The three segmented descents round-robin on the single worker, so
+    // the first journal entry lands late in the run; cancelling then
+    // almost always interrupts the remaining descents between segments.
+    let interrupted = service.submit(request.clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while cache.stats().journaled == 0 {
+        assert!(Instant::now() < deadline, "no descent completed within 60s");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    interrupted.cancel();
+    interrupted.wait().unwrap();
+
+    // Identical resubmission: journaled descents replay; the remainder
+    // re-runs from step 1 (checkpoints live only on the in-memory queue,
+    // they are never journaled) and merges bit-identical to the
+    // reference.
+    let resumed = service.submit(request).unwrap();
+    let resumed_result = resumed.wait().unwrap().into_single();
+    let stats = resumed.stats();
+    assert_eq!(stats.work_items, 3);
+    assert!(
+        stats.cache_hits >= 1,
+        "resume must replay the journaled descent"
+    );
+    assert!(
+        stats.cache_misses < stats.work_items,
+        "resume must not re-run everything (hits {}, misses {})",
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    assert_bit_identical(
+        &resumed_result,
+        &reference,
+        "segmented resume vs unsegmented reference",
+    );
+
+    // Cross-segment-length replay: the journal written under k = 25
+    // fully serves the same request under k = 64 and k = ∞.
+    for k in [Some(64), None] {
+        let replay = service
+            .submit(
+                SearchRequest::builder(hier.clone())
+                    .network("gemm", matmul_net())
+                    .config(GdConfig {
+                        segment_steps: k,
+                        ..cfg
+                    })
+                    .build(),
+            )
+            .unwrap();
+        let replay_result = replay.wait().unwrap().into_single();
+        let stats = replay.stats();
+        assert_eq!(
+            stats.cache_hits, 3,
+            "segment_steps must be invisible to the item fingerprint (k = {k:?})"
+        );
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(
+            stats.segments_run, 0,
+            "a full replay dispatches no descent segments"
+        );
+        assert_bit_identical(&replay_result, &reference, "cross-segment-length replay");
+    }
 }
 
 proptest! {
